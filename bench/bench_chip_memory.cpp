@@ -1,0 +1,81 @@
+// Architecture characterization of the chip model (§3.1/§3.3): the relative
+// costs of LDM, RMA, LDCache (hit/thrash), GLD and atomics that motivate
+// every on-chip technique in the paper.  Modeled cycles per operation.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "chip/chip.hpp"
+#include "support/random.hpp"
+
+using namespace sunbfs;
+
+int main() {
+  bench::header("Chip memory characterization",
+                "modeled cost of each access mechanism");
+  bench::paper_line(
+      "SS3: RMA 'significantly lower latency than main memory'; GLD "
+      "'marginally slower' than cached access; atomics 'inefficient'; "
+      "LDCache 'not large enough to hold the hot data'");
+
+  chip::Chip chip(chip::Geometry::sw26010pro());
+  const int iters = 4000;
+  std::vector<uint64_t> big(1 << 22);  // 32 MB working set
+  std::vector<uint64_t> small(512);    // 4 KB working set
+  std::atomic<uint64_t> counter{0};
+
+  struct Probe {
+    const char* name;
+    double cycles_per_op;
+  };
+  std::vector<Probe> probes;
+
+  chip.run(
+      [&](chip::CpeContext& cpe) {
+        if (cpe.cpe() != 0) return;
+        Xoshiro256StarStar rng(3);
+        cpe.ldm().reset_alloc();
+        size_t ldm_off = cpe.ldm().alloc(4096);
+        uint64_t* ldm_buf = cpe.ldm().as<uint64_t>(ldm_off);
+
+        auto measure = [&](const char* name, auto&& op) {
+          double c0 = cpe.cycles();
+          for (int i = 0; i < iters; ++i) op();
+          probes.push_back(Probe{name, (cpe.cycles() - c0) / iters});
+        };
+        measure("LDM load", [&] {
+          cpe.add_cycles(cpe.cost().ldm_cycles);
+          (void)ldm_buf[rng.next_below(512)];
+        });
+        measure("RMA get (peer LDM)", [&] {
+          (void)cpe.rma_read<uint64_t>(1, ldm_off + 8 * (rng.next() & 255));
+        });
+        cpe.enable_ldcache(64 * 1024);
+        measure("LDCache, 4KB hot set", [&] {
+          (void)cpe.cached_load(small[rng.next_below(small.size())]);
+        });
+        measure("LDCache, 32MB set (thrash)", [&] {
+          (void)cpe.cached_load(big[rng.next_below(big.size())]);
+        });
+        measure("GLD (uncached)", [&] {
+          (void)cpe.gld(big[rng.next_below(big.size())]);
+        });
+        measure("atomic fetch-add", [&] { cpe.atomic_add(counter, 1); });
+        measure("DMA 2KB chunk (per 8B)", [&] {
+          cpe.dma_get(ldm_buf, big.data() + (rng.next() & 0xFFFF), 2048);
+          cpe.add_cycles(-cpe.cost().dma_startup_cycles);  // report amortized
+        });
+        probes.back().cycles_per_op /= 256.0;
+      },
+      1);
+
+  std::printf("%-30s %14s\n", "mechanism", "cycles/op");
+  for (const auto& p : probes)
+    std::printf("%-30s %14.2f\n", p.name, p.cycles_per_op);
+
+  bench::shape_line(
+      "LDM ~ 1 cycle << RMA ~ tens << GLD/atomics ~ hundreds; LDCache only "
+      "helps when the working set fits — the premise of CG-aware "
+      "segmenting");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 11: execution time breakdown by communication type during scaling.
+//
+// The paper categorizes the run into compute, imbalance/latency, alltoallv,
+// allgather and reduce-scatter, and observes the collective share growing
+// with scale (alltoallv and reduce-scatter dominating it) while the
+// imbalance component stays flat.
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bfs/runner.hpp"
+
+using namespace sunbfs;
+
+int main() {
+  bench::header("Figure 11", "time breakdown by communication type");
+  bench::paper_line(
+      "communication share grows with scale, led by alltoallv and "
+      "reduce-scatter; imbalance/latency roughly constant");
+
+  int base_scale = 12 + bench::scale_delta();
+  std::vector<sim::MeshShape> meshes = {{1, 2}, {2, 2}, {2, 4}, {4, 4}};
+
+  std::printf("%6s | %8s %10s %10s %10s %10s %10s %10s\n", "ranks", "compute",
+              "imbalance", "alltoallv", "allgather", "reduce_sc", "allreduce",
+              "broadcast");
+
+  for (size_t i = 0; i < meshes.size(); ++i) {
+    bfs::RunnerConfig cfg;
+    cfg.graph.scale = base_scale + int(i) + 1;
+    cfg.graph.seed = 9;
+    cfg.thresholds = {2048, 256};
+    cfg.num_roots = 2;
+    cfg.validate = false;
+    sim::Topology topo(meshes[i]);
+    auto result = bfs::run_graph500(topo, cfg);
+
+    // compute = mean per-rank CPU; imbalance = max - mean (the spread the
+    // slowest rank imposes through collectives); comm = modeled per type.
+    int p = meshes[i].ranks();
+    double comm_by_type[sim::kCollectiveTypeCount] = {};
+    double cpu_sum = 0, cpu_max = 0;
+    for (const auto& run : result.runs) {
+      double run_cpu_sum = run.stats.total_cpu_s();  // summed over ranks
+      cpu_sum += run_cpu_sum / p;
+      cpu_max += run.modeled_s - run.stats.total_comm_modeled_s() /
+                                     double(p);  // max-rank compute portion
+      for (int t = 0; t < sim::kCollectiveTypeCount; ++t)
+        comm_by_type[t] +=
+            run.stats.comm.entry(sim::CollectiveType(t)).modeled_s / p;
+    }
+    double imbalance = std::max(0.0, cpu_max - cpu_sum);
+    double total = cpu_sum + imbalance;
+    for (double c : comm_by_type) total += c;
+    std::printf("%6d | %7.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                p, 100 * cpu_sum / total, 100 * imbalance / total,
+                100 * comm_by_type[int(sim::CollectiveType::Alltoallv)] / total,
+                100 * comm_by_type[int(sim::CollectiveType::Allgather)] / total,
+                100 * comm_by_type[int(sim::CollectiveType::ReduceScatter)] / total,
+                100 * comm_by_type[int(sim::CollectiveType::Allreduce)] / total,
+                100 * comm_by_type[int(sim::CollectiveType::Barrier)] / total);
+  }
+  std::printf("\nnote: EH frontier unions run as allreduce on this "
+              "implementation; the paper's reduce-scatter+allgather pair is "
+              "the same mesh-wide union pattern.\n");
+
+  bench::shape_line(
+      "collective share grows with rank count; point-to-point alltoallv and "
+      "the frontier-union reductions dominate the communication time");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §6.1 headline: the full Graph 500 benchmark pipeline, end to end.
+//
+// The paper: SCALE 44 (281T edges) on 103,912 nodes, 64 search keys, 1.55 s
+// mean traversal, 180,792 GTEPS, results validated per Graph 500 spec 2.0.
+// We run the identical pipeline — generate, partition, BFS from random
+// keys, validate every run — at simulation scale, and report the same
+// quantities.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bfs/runner.hpp"
+
+using namespace sunbfs;
+
+int main() {
+  bench::header("Headline (§6.1)", "full Graph 500 BFS benchmark");
+  bench::paper_line(
+      "SCALE 44, 103,912 nodes, 40.5M cores: 180,792 GTEPS over 64 roots, "
+      "validated (1.75x previous record, 8x graph size)");
+
+  bfs::RunnerConfig cfg;
+  cfg.graph.scale = 15 + bench::scale_delta();
+  cfg.graph.seed = 2026;
+  cfg.thresholds = {4096, 512};
+  cfg.num_roots = bench::env_int("SUNBFS_ROOTS", 8);
+  cfg.validate = true;
+  sim::Topology topo(sim::MeshShape{4, 4});
+
+  std::printf("SCALE %d (%llu vertices, %llu edges), %d ranks, %d search "
+              "keys, validation ON\n\n",
+              cfg.graph.scale, (unsigned long long)cfg.graph.num_vertices(),
+              (unsigned long long)cfg.graph.num_edges(), topo.mesh().ranks(),
+              cfg.num_roots);
+
+  auto result = bfs::run_graph500(topo, cfg);
+
+  std::printf("%6s %14s %14s %12s %8s\n", "key", "root", "trav. edges",
+              "modeled s", "valid");
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    const auto& r = result.runs[i];
+    std::printf("%6zu %14lld %14llu %12.6f %8s\n", i, (long long)r.root,
+                (unsigned long long)r.traversed_edges, r.modeled_s,
+                r.valid ? "yes" : r.error.c_str());
+  }
+  // Graph 500 output-format-style summary block.
+  {
+    std::vector<double> times;
+    for (const auto& r : result.runs) times.push_back(r.modeled_s);
+    std::sort(times.begin(), times.end());
+    double sum = 0;
+    for (double t : times) sum += t;
+    double mean = sum / double(times.size());
+    double var = 0;
+    for (double t : times) var += (t - mean) * (t - mean);
+    var /= double(std::max<size_t>(1, times.size() - 1));
+    std::printf("\nSCALE:                 %d\n", cfg.graph.scale);
+    std::printf("edgefactor:            %d\n", cfg.graph.edge_factor);
+    std::printf("NBFS:                  %d\n", cfg.num_roots);
+    std::printf("construction_time:     %.6f s (wall)\n",
+                result.partition_wall_s);
+    std::printf("min_time:              %.6f\n", times.front());
+    std::printf("median_time:           %.6f\n", times[times.size() / 2]);
+    std::printf("max_time:              %.6f\n", times.back());
+    std::printf("mean_time:             %.6f\n", mean);
+    std::printf("stddev_time:           %.6f\n", std::sqrt(var));
+    std::printf("harmonic_mean_TEPS:    %.3e\n",
+                result.harmonic_gteps * 1e9);
+  }
+
+  std::printf("\nclassification: |EH| = %llu (|E| = %llu) of %llu vertices\n",
+              (unsigned long long)result.num_eh,
+              (unsigned long long)result.num_e,
+              (unsigned long long)cfg.graph.num_vertices());
+  std::printf("harmonic mean: %.3f GTEPS (modeled clock)\n",
+              result.harmonic_gteps);
+  std::printf("all runs validated: %s\n", result.all_valid ? "YES" : "NO");
+
+  bench::shape_line(
+      "every search key passes Graph 500 validation; harmonic-mean GTEPS "
+      "reported on the modeled machine clock");
+  return result.all_valid ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Graph 500 kernel 3 (SSSP) companion bench.
+//
+// Not a paper exhibit — the paper measures BFS only — but §8 names SSSP
+// among the algorithms the 1.5D techniques carry to, and Graph 500 defines
+// SSSP as its second kernel.  Same pipeline as the BFS headline: generate,
+// partition 1.5D, run the search keys, validate (reference-free structural
+// rules), report harmonic-mean GTEPS.
+#include "analytics/delta_stepping.hpp"
+#include "analytics/sssp_runner.hpp"
+#include "partition/part15d.hpp"
+#include "bench/common.hpp"
+#include "support/timer.hpp"
+
+using namespace sunbfs;
+
+int main() {
+  bench::header("Graph 500 kernel 3", "SSSP over the 1.5D partition");
+  bench::paper_line(
+      "SS8: 'the push-pull selection ... works on many graph algorithms, "
+      "including SSSP'");
+
+  analytics::SsspRunnerConfig cfg;
+  cfg.graph.scale = 13 + bench::scale_delta();
+  cfg.graph.seed = 3;
+  cfg.thresholds = {1024, 128};
+  cfg.num_roots = 4;
+  sim::Topology topo(sim::MeshShape{2, 2});
+
+  auto result = analytics::run_graph500_sssp(topo, cfg);
+
+  std::printf("SCALE %d, %d ranks, %d keys, weights [1, %llu], |EH| = %llu\n\n",
+              cfg.graph.scale, topo.mesh().ranks(), cfg.num_roots,
+              (unsigned long long)cfg.sssp.max_weight,
+              (unsigned long long)result.num_eh);
+  std::printf("%6s %14s %14s %12s %7s\n", "key", "root", "trav. edges",
+              "modeled s", "valid");
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    const auto& r = result.runs[i];
+    std::printf("%6zu %14lld %14llu %12.6f %7s\n", i, (long long)r.root,
+                (unsigned long long)r.traversed_edges, r.modeled_s,
+                r.valid ? "yes" : r.error.c_str());
+  }
+  std::printf("\nharmonic mean: %.3f GTEPS (modeled)\n",
+              result.harmonic_gteps);
+  std::printf("all runs validated: %s\n", result.all_valid ? "YES" : "NO");
+
+  // Engine comparison: Bellman-Ford-style propagation vs delta-stepping.
+  {
+    partition::VertexSpace space{cfg.graph.num_vertices(), 4};
+    sim::run_spmd(sim::MeshShape{2, 2}, [&](sim::RankContext& ctx) {
+      uint64_t m = cfg.graph.num_edges();
+      auto slice = graph::generate_rmat_range(
+          cfg.graph, m * uint64_t(ctx.rank) / 4,
+          m * uint64_t(ctx.rank + 1) / 4);
+      auto deg = partition::compute_local_degrees(ctx, space, slice);
+      auto part = partition::build_15d(ctx, space, slice, deg,
+                                       cfg.thresholds);
+      graph::Vertex root = result.runs[0].root;
+      ThreadCpuTimer t1;
+      analytics::sssp15d(ctx, part, root, cfg.sssp);
+      double bf = t1.seconds();
+      analytics::DeltaSteppingStats st;
+      ThreadCpuTimer t2;
+      analytics::sssp15d_delta(ctx, part, root, {cfg.sssp, 128}, &st);
+      double ds = t2.seconds();
+      if (ctx.rank == 0)
+        std::printf("\nengines from key 0: Bellman-Ford rounds %.3f ms CPU; "
+                    "delta-stepping (delta=128) %.3f ms CPU, %d buckets, "
+                    "%d light rounds\n",
+                    bf * 1e3, ds * 1e3, st.buckets_processed,
+                    st.light_rounds);
+    });
+  }
+
+  bench::shape_line(
+      "the partition built for BFS serves SSSP unchanged; every run passes "
+      "the reference-free distance validation; delta-stepping buckets the "
+      "relaxations exactly as the kernel-3 reference codes do");
+  return result.all_valid ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the substrate kernels: PARADIS
+// in-place radix sort vs std::sort, R-MAT generation rate, CSR build rate,
+// bit-vector scans.  These are engineering benchmarks, not paper exhibits.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "sort/paradis.hpp"
+#include "support/bitvector.hpp"
+#include "support/random.hpp"
+
+using namespace sunbfs;
+
+namespace {
+
+std::vector<uint64_t> random_data(size_t n) {
+  Xoshiro256StarStar rng(7);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.next();
+  return v;
+}
+
+void BM_ParadisSort(benchmark::State& state) {
+  auto base = random_data(size_t(state.range(0)));
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    sort::paradis_sort(std::span(v), [](uint64_t x) { return x; }, pool);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParadisSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_StdSort(benchmark::State& state) {
+  auto base = random_data(size_t(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  graph::Graph500Config cfg;
+  cfg.scale = int(state.range(0));
+  for (auto _ : state) {
+    auto edges = graph::generate_rmat_range(cfg, 0, 1 << 14);
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(16)->Arg(24);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::Graph500Config cfg;
+  cfg.scale = 14;
+  auto edges = graph::generate_rmat(cfg);
+  for (auto _ : state) {
+    auto csr = graph::Csr::from_undirected(cfg.num_vertices(), edges);
+    benchmark::DoNotOptimize(csr.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_BitVectorScan(benchmark::State& state) {
+  BitVector bv(1 << 20);
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < (1 << 14); ++i) bv.set(rng.next_below(bv.size()));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    bv.for_each_set([&](size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitVectorScan);
+
+void BM_VertexScramble(benchmark::State& state) {
+  graph::VertexScrambler s(30, 1);
+  graph::Vertex v = 12345;
+  for (auto _ : state) {
+    v = s.scramble(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_VertexScramble);
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Table 1: large-scale BFS results by partitioning method.
+//
+// The paper's table compares records: 1D with heavy delegates (Checconi'14,
+// Lin'16), 2D (Ueno'15, Nakao'21) and this work's degree-aware 1.5D, with
+// 1.5D winning at equal or larger problem sizes.  We cannot re-run other
+// machines, but we can run all three partitioning strategies on the same
+// simulated machine and graph: vanilla 1D, the |H|=0 degeneration
+// ("1D with heavy delegates"), the |L|=0 degeneration ("2D"), and full 1.5D.
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bfs/runner.hpp"
+
+using namespace sunbfs;
+
+int main() {
+  bench::header("Table 1", "BFS by partitioning method, same machine & graph");
+  bench::paper_line(
+      "1D+delegates 15.4/23.8 TTEPS-class records; 2D 38.6/103 kGTEPS; "
+      "this work (1.5D) 180,792 GTEPS at 8x the graph size");
+
+  bfs::RunnerConfig base;
+  base.graph.scale = 17 + bench::scale_delta();
+  base.graph.seed = 1;
+  base.num_roots = 4;
+  base.validate = false;
+  sim::Topology topo(sim::MeshShape{4, 4});
+
+  struct Row {
+    const char* name;
+    bfs::RunnerConfig cfg;
+  };
+  std::vector<Row> rows;
+  {
+    bfs::RunnerConfig c = base;
+    c.engine = bfs::EngineKind::OneD;
+    rows.push_back({"vanilla 1D", c});
+  }
+  {
+    bfs::RunnerConfig c = base;  // |H| = 0: heavy delegates only
+    c.thresholds = {512, 512};
+    rows.push_back({"1D + heavy delegates", c});
+  }
+  {
+    bfs::RunnerConfig c = base;  // |L| = 0: every connected vertex delegated
+    c.thresholds = {4096, 0};
+    rows.push_back({"2D (all delegated)", c});
+  }
+  {
+    bfs::RunnerConfig c = base;
+    c.thresholds = {4096, 512};
+    rows.push_back({"degree-aware 1.5D", c});
+  }
+
+  std::printf("scale %d, %d ranks, %d roots; modeled clock\n\n",
+              base.graph.scale, topo.mesh().ranks(), base.num_roots);
+  std::printf("%-22s %12s %16s %18s\n", "partitioning", "GTEPS",
+              "bytes sent", "inter-supernode");
+  double gteps_15d = 0, gteps_best_baseline = 0;
+  for (auto& row : rows) {
+    auto result = bfs::run_graph500(topo, row.cfg);
+    auto agg = result.spmd.aggregate();
+    std::printf("%-22s %12.3f %16llu %18llu\n", row.name,
+                result.harmonic_gteps,
+                (unsigned long long)agg.total_bytes_sent(),
+                (unsigned long long)agg.total_bytes_inter_supernode());
+    if (std::string(row.name) == "degree-aware 1.5D")
+      gteps_15d = result.harmonic_gteps;
+    else
+      gteps_best_baseline = std::max(gteps_best_baseline,
+                                     result.harmonic_gteps);
+  }
+  std::printf("\n1.5D / best delegation baseline = %.2fx (paper: 1.75x over "
+              "the 2021 2D record)\n", gteps_15d / gteps_best_baseline);
+
+  // §2.3's capacity argument, which no small simulation can show directly:
+  // per-rank working set of the bottom-up frontier at the paper's SCALE 44
+  // over 103,912 nodes.  Vanilla 1D gathers the full N-bit frontier; 1D
+  // delegation replicates ~0.1% of vertices as 8-byte entries; 1.5D holds
+  // its N/P owned bits plus the |EH| bitmap.
+  const double n44 = std::pow(2.0, 44), p44 = 103912.0;
+  std::printf("\nper-rank frontier working set extrapolated to SCALE 44 / "
+              "103,912 nodes (96 GiB/node):\n");
+  std::printf("  %-22s %10.1f GiB  (full N-bit frontier: infeasible)\n",
+              "vanilla 1D", n44 / 8 / (1 << 30));
+  std::printf("  %-22s %10.1f GiB  (0.1%% of N delegated as 8 B entries: "
+              "infeasible, SS2.3)\n",
+              "1D + heavy delegates", n44 * 0.001 * 8 / (1 << 30));
+  std::printf("  %-22s %10.1f GiB  (|V|sqrt(P) shared bits: infeasible, "
+              "SS2.3)\n",
+              "2D", n44 / p44 * std::sqrt(p44) / 8 / (1 << 30) * 8);
+  std::printf("  %-22s %10.4f GiB  (N/P owned bits + 100M-vertex column EH "
+              "bitmap)\n",
+              "degree-aware 1.5D", (n44 / p44 / 8 + 100e6 / 8) / (1 << 30));
+
+  bench::shape_line(
+      "1.5D beats the delegation baselines at equal resources and is the "
+      "only method whose per-rank state stays feasible at SCALE 44; vanilla "
+      "1D stays competitive only while the whole frontier fits in memory "
+      "(it cannot beyond simulation scale)");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// Shared helpers for the figure/table reproduction benches.
+///
+/// Every bench prints:
+///  - a `paper:` line quoting what the original exhibit showed,
+///  - the regenerated rows/series on our simulated substrate,
+///  - a `shape:` line stating the qualitative claim that must hold.
+/// Scales default to sizes that run in seconds on one host core; set
+/// SUNBFS_BENCH_SCALE_DELTA=+k to enlarge every experiment by k scales.
+namespace sunbfs::bench {
+
+/// Integer knob from the environment with a default.
+inline int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : def;
+}
+
+/// Global scale adjustment applied by every bench.
+inline int scale_delta() { return env_int("SUNBFS_BENCH_SCALE_DELTA", 0); }
+
+inline void header(const char* exhibit, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", exhibit, what);
+  std::printf("==============================================================\n");
+}
+
+inline void paper_line(const char* text) { std::printf("paper: %s\n", text); }
+inline void shape_line(const char* text) { std::printf("shape: %s\n\n", text); }
+
+}  // namespace sunbfs::bench

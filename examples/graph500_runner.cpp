@@ -1,0 +1,102 @@
+// Full Graph 500 benchmark pipeline as a command-line tool.
+//
+//   ./graph500_runner [--scale N] [--rows R] [--cols C] [--roots K]
+//                     [--e-threshold D] [--h-threshold D] [--no-validate]
+//                     [--engine 1d|1.5d] [--baseline-direction]
+//
+// Runs generation -> partitioning -> K timed BFS runs -> validation and
+// prints a Graph 500-style report with the time breakdowns of Figures 10
+// and 11 for the configured machine.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bfs/runner.hpp"
+
+using namespace sunbfs;
+
+namespace {
+uint64_t arg_u64(int argc, char** argv, const char* name, uint64_t def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0)
+      return std::strtoull(argv[i + 1], nullptr, 10);
+  return def;
+}
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+const char* arg_str(int argc, char** argv, const char* name, const char* def) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return def;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  bfs::RunnerConfig cfg;
+  cfg.graph.scale = int(arg_u64(argc, argv, "--scale", 14));
+  cfg.graph.seed = arg_u64(argc, argv, "--seed", 1);
+  cfg.thresholds.e = arg_u64(argc, argv, "--e-threshold", 2048);
+  cfg.thresholds.h = arg_u64(argc, argv, "--h-threshold", 128);
+  cfg.num_roots = int(arg_u64(argc, argv, "--roots", 8));
+  cfg.validate = !has_flag(argc, argv, "--no-validate");
+  cfg.bfs.sub_iteration_direction = !has_flag(argc, argv,
+                                              "--baseline-direction");
+  if (std::string(arg_str(argc, argv, "--engine", "1.5d")) == "1d")
+    cfg.engine = bfs::EngineKind::OneD;
+  sim::MeshShape mesh{int(arg_u64(argc, argv, "--rows", 2)),
+                      int(arg_u64(argc, argv, "--cols", 2))};
+  sim::Topology topo(mesh);
+
+  std::printf("graph500_runner: SCALE %d, edge factor %d, %s engine\n",
+              cfg.graph.scale, cfg.graph.edge_factor,
+              cfg.engine == bfs::EngineKind::OneFiveD ? "1.5D" : "1D");
+  std::printf("machine: %s\n", topo.to_string().c_str());
+  std::printf("thresholds: E >= %llu, H >= %llu; %d search keys; "
+              "validation %s\n\n",
+              (unsigned long long)cfg.thresholds.e,
+              (unsigned long long)cfg.thresholds.h, cfg.num_roots,
+              cfg.validate ? "on" : "off");
+
+  auto result = bfs::run_graph500(topo, cfg);
+
+  std::printf("%6s %14s %14s %12s %7s\n", "key", "root", "trav. edges",
+              "modeled s", "valid");
+  for (size_t i = 0; i < result.runs.size(); ++i) {
+    const auto& r = result.runs[i];
+    std::printf("%6zu %14lld %14llu %12.6f %7s\n", i, (long long)r.root,
+                (unsigned long long)r.traversed_edges, r.modeled_s,
+                r.valid ? "yes" : "NO");
+  }
+  if (cfg.engine == bfs::EngineKind::OneFiveD) {
+    std::printf("\nclassification: |E| = %llu, |EH| = %llu\n",
+                (unsigned long long)result.num_e,
+                (unsigned long long)result.num_eh);
+    std::printf("time by subgraph (all runs, %% of attributed time):\n");
+    double t[partition::kSubgraphCount] = {}, reduce = 0, other = 0,
+           total = 0;
+    for (const auto& run : result.runs) {
+      for (int s = 0; s < partition::kSubgraphCount; ++s)
+        t[s] += run.stats.push_cpu_s[size_t(s)] +
+                run.stats.pull_cpu_s[size_t(s)] +
+                run.stats.comm_modeled_s[size_t(s)];
+      reduce += run.stats.reduce_cpu_s + run.stats.reduce_comm_modeled_s;
+      other += run.stats.other_cpu_s + run.stats.other_comm_modeled_s;
+    }
+    for (double x : t) total += x;
+    total += reduce + other;
+    for (int s = 0; s < partition::kSubgraphCount; ++s)
+      std::printf("  %-6s %5.1f%%\n",
+                  partition::subgraph_name(partition::Subgraph(s)),
+                  100 * t[s] / total);
+    std::printf("  %-6s %5.1f%%\n  %-6s %5.1f%%\n", "reduce",
+                100 * reduce / total, "other", 100 * other / total);
+  }
+  std::printf("\nharmonic mean: %.3f GTEPS (modeled)\n",
+              result.harmonic_gteps);
+  if (cfg.validate)
+    std::printf("validation: %s\n", result.all_valid ? "ALL PASSED" : "FAILED");
+  return cfg.validate && !result.all_valid ? 1 : 0;
+}

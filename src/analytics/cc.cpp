@@ -1,0 +1,61 @@
+#include "analytics/cc.hpp"
+
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "analytics/propagate.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::analytics {
+
+using graph::Vertex;
+
+namespace {
+/// Min-label propagation expressed as a propagation program: every vertex
+/// repeatedly adopts the smallest label among itself and its neighbors.
+struct MinLabelProgram {
+  using Value = Vertex;
+  Value identity() const { return std::numeric_limits<Vertex>::max(); }
+  Value combine(Value a, Value b) const { return std::min(a, b); }
+  Value contribution(Value u_value, Vertex, Vertex) const { return u_value; }
+  bool update(Value& state, const Value& gathered) const {
+    if (gathered < state) {
+      state = gathered;
+      return true;
+    }
+    return false;
+  }
+};
+}  // namespace
+
+std::vector<Vertex> cc15d(sim::RankContext& ctx,
+                          const partition::Part15d& part) {
+  PropagationEngine<MinLabelProgram> engine(ctx, part, MinLabelProgram{},
+                                            {.incremental = true});
+  engine.initialize([](Vertex v) { return v; });
+  engine.run();
+  return engine.owned_values();
+}
+
+std::vector<Vertex> reference_cc(uint64_t num_vertices,
+                                 std::span<const graph::Edge> edges) {
+  std::vector<Vertex> parent(num_vertices);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<Vertex(Vertex)> find = [&](Vertex v) {
+    while (parent[size_t(v)] != v) {
+      parent[size_t(v)] = parent[size_t(parent[size_t(v)])];
+      v = parent[size_t(v)];
+    }
+    return v;
+  };
+  for (const graph::Edge& e : edges) {
+    Vertex a = find(e.u), b = find(e.v);
+    if (a != b) parent[size_t(std::max(a, b))] = std::min(a, b);
+  }
+  std::vector<Vertex> label(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) label[v] = find(Vertex(v));
+  return label;
+}
+
+}  // namespace sunbfs::analytics

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "partition/part15d.hpp"
+#include "sim/runtime.hpp"
+
+/// Connected components over the 1.5D partition — the paper's §8 claim that
+/// 3-level degree-aware 1.5D partitioning is neutral to the graph algorithm.
+///
+/// Min-label propagation: every vertex starts with its own id; labels flow
+/// along all six subgraph components until a fixpoint.  E/H labels are
+/// replicated and merged with the same column+row reduction the BFS engine
+/// uses for frontiers; L-to-L propagation uses the same intra-/inter-rank
+/// messaging as BFS top-down.
+namespace sunbfs::analytics {
+
+/// Labels of this rank's owned vertices (local index order).  Two vertices
+/// are in the same component iff they end with the same label (the minimum
+/// global vertex id of the component).  Collective.
+std::vector<graph::Vertex> cc15d(sim::RankContext& ctx,
+                                 const partition::Part15d& part);
+
+/// Serial reference (union-find).
+std::vector<graph::Vertex> reference_cc(uint64_t num_vertices,
+                                        std::span<const graph::Edge> edges);
+
+}  // namespace sunbfs::analytics

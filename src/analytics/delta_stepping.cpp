@@ -1,0 +1,237 @@
+#include "analytics/delta_stepping.hpp"
+
+#include "support/bitvector.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::analytics {
+
+using graph::Vertex;
+
+namespace {
+
+/// One relaxation sweep over all six subgraph components, restricted to
+/// source vertices flagged active and to edges passing `weight_pred`.
+/// Newly improved vertices are flagged in the `improved` outputs.
+class DeltaRelaxer {
+ public:
+  DeltaRelaxer(sim::RankContext& ctx, const partition::Part15d& part,
+               const DeltaSteppingOptions& opts)
+      : ctx_(ctx),
+        part_(part),
+        opts_(opts),
+        k_(part.cls.num_eh()),
+        nloc_(part.local_count) {}
+
+  Dist w(Vertex a, Vertex b) const {
+    return edge_weight(a, b, opts_.weights.weight_seed,
+                       opts_.weights.max_weight);
+  }
+
+  /// Sweep; returns whether any distance improved globally.
+  template <typename WeightPred>
+  bool sweep(const BitVector& act_eh, const BitVector& act_l,
+             std::vector<Dist>& eh_dist, std::vector<Dist>& l_dist,
+             BitVector& improved_eh, BitVector& improved_l,
+             WeightPred take_edge) {
+    const partition::EhlTable& cls = part_.cls;
+    // --- relax into EH ---------------------------------------------------
+    std::vector<Dist> acc = eh_dist;
+    for (uint64_t x = 0; x < part_.eh2eh.num_rows(); ++x) {
+      if (part_.eh2eh.degree(x) == 0 || !act_eh.get(x)) continue;
+      Vertex gx = cls.eh_to_global(x);
+      for (Vertex y : part_.eh2eh.neighbors(x)) {
+        Dist wt = w(gx, cls.eh_to_global(uint64_t(y)));
+        if (!take_edge(wt)) continue;
+        acc[size_t(y)] = std::min(acc[size_t(y)], eh_dist[x] + wt);
+      }
+    }
+    for (uint64_t l = 0; l < nloc_; ++l) {
+      if (!act_l.get(l)) continue;
+      Vertex gl = part_.space.to_global(ctx_.rank, l);
+      auto relax_to_eh = [&](Vertex t) {
+        Dist wt = w(gl, cls.eh_to_global(uint64_t(t)));
+        if (take_edge(wt))
+          acc[size_t(t)] = std::min(acc[size_t(t)], l_dist[l] + wt);
+      };
+      for (Vertex e : part_.l2e.neighbors(l)) relax_to_eh(e);
+      for (Vertex h : part_.l2h.neighbors(l)) relax_to_eh(h);
+    }
+    if (k_ > 0) {
+      auto dmin = [](Dist a, Dist b) { return a < b ? a : b; };
+      ctx_.col.allreduce_inplace(std::span<Dist>(acc), dmin);
+      ctx_.row.allreduce_inplace(std::span<Dist>(acc), dmin);
+    }
+    bool changed = false;
+    for (uint64_t i = 0; i < k_; ++i) {
+      if (acc[i] < eh_dist[i]) {
+        eh_dist[i] = acc[i];
+        improved_eh.set(i);
+        if (part_.eh_space.owner(Vertex(i)) == ctx_.rank) changed = true;
+      }
+    }
+
+    // --- relax into L ------------------------------------------------------
+    // From EH (delegated mirrors at the owner; sources are active EH).
+    for (uint64_t l = 0; l < nloc_; ++l) {
+      Vertex gl = part_.space.to_global(ctx_.rank, l);
+      Dist best = l_dist[l];
+      auto relax_from_eh = [&](Vertex s) {
+        if (!act_eh.get(uint64_t(s))) return;
+        Dist wt = w(cls.eh_to_global(uint64_t(s)), gl);
+        if (take_edge(wt) && eh_dist[size_t(s)] < kInfDist)
+          best = std::min(best, eh_dist[size_t(s)] + wt);
+      };
+      for (Vertex e : part_.l2e.neighbors(l)) relax_from_eh(e);
+      for (Vertex h : part_.l2h.neighbors(l)) relax_from_eh(h);
+      if (best < l_dist[l]) {
+        l_dist[l] = best;
+        improved_l.set(l);
+        changed = true;
+      }
+    }
+    // L -> L with messages.
+    struct DistMsg {
+      Vertex dst;
+      Dist dist;
+    };
+    std::vector<std::vector<DistMsg>> to(size_t(ctx_.nranks()));
+    act_l.for_each_set([&](size_t l) {
+      Vertex gl = part_.space.to_global(ctx_.rank, l);
+      for (Vertex l2 : part_.l2l.neighbors(l)) {
+        Dist wt = w(gl, l2);
+        if (!take_edge(wt)) continue;
+        Dist cand = l_dist[l] + wt;
+        int owner = part_.space.owner(l2);
+        if (owner == ctx_.rank) {
+          uint64_t t = part_.space.to_local(owner, l2);
+          if (cand < l_dist[t]) {
+            l_dist[t] = cand;
+            improved_l.set(t);
+            changed = true;
+          }
+        } else {
+          to[size_t(owner)].push_back(DistMsg{l2, cand});
+        }
+      }
+    });
+    auto got = ctx_.world.alltoallv(to);
+    for (const DistMsg& m : got) {
+      uint64_t t = part_.space.to_local(ctx_.rank, m.dst);
+      if (m.dist < l_dist[t]) {
+        l_dist[t] = m.dist;
+        improved_l.set(t);
+        changed = true;
+      }
+    }
+    return ctx_.world.allreduce_or(changed);
+  }
+
+ private:
+  sim::RankContext& ctx_;
+  const partition::Part15d& part_;
+  const DeltaSteppingOptions& opts_;
+  uint64_t k_, nloc_;
+};
+
+}  // namespace
+
+std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
+                                const partition::Part15d& part, Vertex root,
+                                const DeltaSteppingOptions& options,
+                                DeltaSteppingStats* stats) {
+  SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
+  SUNBFS_CHECK(options.delta >= 1);
+  const partition::EhlTable& cls = part.cls;
+  const uint64_t k = cls.num_eh();
+  const uint64_t nloc = part.local_count;
+  const Dist delta = options.delta;
+
+  std::vector<Dist> eh_dist(k, kInfDist);
+  std::vector<Dist> l_dist(nloc, kInfDist);
+  uint64_t root_eh = cls.eh_of(root);
+  if (root_eh != partition::EhlTable::kNotEh)
+    eh_dist[root_eh] = 0;
+  else if (part.space.owner(root) == ctx.rank)
+    l_dist[part.space.to_local(ctx.rank, root)] = 0;
+
+  DeltaRelaxer relaxer(ctx, part, options);
+  BitVector act_eh(k), act_l(nloc);
+  BitVector imp_eh(k), imp_l(nloc);
+  DeltaSteppingStats local_stats;
+
+  auto in_bucket = [&](Dist d, uint64_t bucket) {
+    return d < kInfDist && d / delta == bucket;
+  };
+  // Mark bucket members active; when only_improved, restrict to vertices
+  // improved by the previous sweep (the classic delta-stepping re-queue).
+  auto fill_active = [&](uint64_t bucket, bool only_improved) {
+    act_eh.reset();
+    act_l.reset();
+    for (uint64_t i = 0; i < k; ++i)
+      if (in_bucket(eh_dist[i], bucket) && (!only_improved || imp_eh.get(i)))
+        act_eh.set(i);
+    for (uint64_t l = 0; l < nloc; ++l)
+      if (in_bucket(l_dist[l], bucket) && !part.local_is_eh.get(l) &&
+          (!only_improved || imp_l.get(l)))
+        act_l.set(l);
+  };
+  // Smallest bucket index >= `from` with an unsettled vertex, or ~0.
+  auto next_bucket = [&](uint64_t from) {
+    uint64_t local = ~uint64_t(0);
+    for (uint64_t i = 0; i < k; ++i)
+      if (part.eh_space.owner(Vertex(i)) == ctx.rank &&
+          eh_dist[i] < kInfDist && eh_dist[i] / delta >= from)
+        local = std::min(local, eh_dist[i] / delta);
+    for (uint64_t l = 0; l < nloc; ++l)
+      if (!part.local_is_eh.get(l) && l_dist[l] < kInfDist &&
+          l_dist[l] / delta >= from)
+        local = std::min(local, l_dist[l] / delta);
+    return ctx.world.allreduce(
+        local, [](uint64_t a, uint64_t b) { return std::min(a, b); });
+  };
+
+  uint64_t bucket = next_bucket(0);
+  while (bucket != ~uint64_t(0)) {
+    ++local_stats.buckets_processed;
+    // Inner light-edge rounds: first from all bucket members, then only
+    // from members improved in the previous round.
+    bool first = true;
+    for (;;) {
+      fill_active(bucket, !first);
+      imp_eh.reset();
+      imp_l.reset();
+      ++local_stats.light_rounds;
+      bool changed = relaxer.sweep(act_eh, act_l, eh_dist, l_dist, imp_eh,
+                                   imp_l, [&](Dist w) { return w <= delta; });
+      first = false;
+      if (!changed) break;
+      // Continue while improvements landed inside this bucket.
+      bool again_local = false;
+      for (uint64_t i = 0; i < k && !again_local; ++i)
+        if (imp_eh.get(i) && in_bucket(eh_dist[i], bucket) &&
+            part.eh_space.owner(Vertex(i)) == ctx.rank)
+          again_local = true;
+      for (uint64_t l = 0; l < nloc && !again_local; ++l)
+        if (imp_l.get(l) && in_bucket(l_dist[l], bucket)) again_local = true;
+      if (!ctx.world.allreduce_or(again_local)) break;
+    }
+    // Heavy phase: relax heavy edges once from all settled bucket members.
+    fill_active(bucket, false);
+    imp_eh.reset();
+    imp_l.reset();
+    relaxer.sweep(act_eh, act_l, eh_dist, l_dist, imp_eh, imp_l,
+                  [&](Dist w) { return w > delta; });
+    bucket = next_bucket(bucket + 1);
+  }
+
+  if (stats) *stats = local_stats;
+  std::vector<Dist> out(nloc);
+  for (uint64_t l = 0; l < nloc; ++l) {
+    Vertex g = part.space.to_global(ctx.rank, l);
+    uint64_t eh = cls.eh_of(g);
+    out[l] = eh == partition::EhlTable::kNotEh ? l_dist[l] : eh_dist[eh];
+  }
+  return out;
+}
+
+}  // namespace sunbfs::analytics

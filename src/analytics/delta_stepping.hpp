@@ -1,0 +1,43 @@
+#pragma once
+
+#include "analytics/sssp.hpp"
+
+/// Delta-stepping SSSP over the 1.5D partition (Meyer & Sanders; the
+/// algorithm behind the massively parallel SSSP the paper cites [5] and
+/// behind Graph 500 kernel-3 reference implementations).
+///
+/// Distances are processed in buckets of width delta.  A bucket is settled
+/// by repeated relaxation of *light* edges (weight <= delta) from its
+/// members — new members pulled into the bucket join the next inner round —
+/// and then *heavy* edges (weight > delta) are relaxed once from the
+/// settled members.  Compared to the Bellman-Ford rounds of sssp15d, far
+/// fewer relaxations re-run on long paths.
+///
+/// The distributed layout matches the rest of the library: E/H distances
+/// replicated and merged with the mesh column+row min-reduction, L
+/// distances owned, L-to-L relaxations messaged.  Bucket control decisions
+/// (inner-loop termination, next bucket index) are allreduced, so every
+/// rank steps through identical phases.
+namespace sunbfs::analytics {
+
+struct DeltaSteppingOptions {
+  SsspOptions weights;
+  /// Bucket width.  Values near the mean edge weight work well; the
+  /// default matches the default max_weight's mean of ~128.
+  Dist delta = 128;
+};
+
+struct DeltaSteppingStats {
+  int buckets_processed = 0;
+  int light_rounds = 0;
+};
+
+/// Distances of this rank's owned vertices (kInfDist if unreachable).
+/// Exact (agrees with Dijkstra).  Collective.
+std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
+                                const partition::Part15d& part,
+                                graph::Vertex root,
+                                const DeltaSteppingOptions& options = {},
+                                DeltaSteppingStats* stats = nullptr);
+
+}  // namespace sunbfs::analytics

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "partition/part15d.hpp"
+#include "sim/runtime.hpp"
+
+/// PageRank over the 1.5D partition (§8: "the push-pull selection behind
+/// [sub-iteration direction optimization] works on many graph algorithms,
+/// including ... PageRank").
+///
+/// Power iteration with damping and dangling-mass redistribution.  E/H rank
+/// accumulators are merged with the column+row sum-reduction; H-to-L and
+/// E-to-L contributions are computed locally at the L owner from the
+/// mirrored CSRs (delegation avoids messages exactly as in BFS); only
+/// L-to-L contributions are messaged.
+namespace sunbfs::analytics {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// Stop when the global L1 change drops below this.
+  double tolerance = 1e-12;
+};
+
+/// Ranks of this rank's owned vertices (local index order); sums to 1 over
+/// all ranks.  `local_degrees` must match partition::compute_local_degrees.
+/// Collective.
+std::vector<double> pagerank15d(sim::RankContext& ctx,
+                                const partition::Part15d& part,
+                                std::span<const uint64_t> local_degrees,
+                                const PageRankOptions& options = {});
+
+/// Serial reference power iteration with the identical update rule.
+std::vector<double> reference_pagerank(uint64_t num_vertices,
+                                       std::span<const graph::Edge> edges,
+                                       const PageRankOptions& options = {});
+
+}  // namespace sunbfs::analytics

@@ -1,0 +1,670 @@
+#include "bfs/bfs15d.hpp"
+
+#include <algorithm>
+
+#include "bfs/gathered_frontier.hpp"
+#include "bfs/segmenting.hpp"
+#include "bfs/vertex_cut.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace sunbfs::bfs {
+
+using graph::Vertex;
+using graph::kNoVertex;
+using partition::Subgraph;
+
+namespace {
+
+/// Number of set bits of `bv` in [lo, hi).
+uint64_t count_range(const BitVector& bv, uint64_t lo, uint64_t hi) {
+  uint64_t n = 0;
+  for (uint64_t i = lo; i < hi; ++i)
+    if (bv.get(i)) ++n;
+  return n;
+}
+
+/// Message for remote visits: set `dst`'s parent to `parent`.
+struct VisitMsg {
+  Vertex dst;     // global L id (H2L, L2L) or EH id (L2H)
+  Vertex parent;  // global vertex id
+};
+
+/// Compact 8-byte visit message for the hot alltoallv paths: destinations
+/// travel as receiver-local indices (or EH ids) and parents as sender-local
+/// indices (or EH ids); the receiver reconstructs global ids from the
+/// alltoallv source offsets.  Halves the per-edge traffic, as record BFS
+/// implementations do.
+struct CompactMsg {
+  uint32_t dst;
+  uint32_t src;
+};
+
+class Engine {
+ public:
+  Engine(sim::RankContext& ctx, const partition::Part15d& part, Vertex root,
+         const Bfs15dOptions& opts)
+      : ctx_(ctx),
+        part_(part),
+        opts_(opts),
+        mesh_(ctx.mesh),
+        my_row_(ctx.row_index()),
+        my_col_(ctx.col_index()),
+        k_(part.cls.num_eh()),
+        num_e_(part.cls.num_e()),
+        root_(root) {
+    SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
+    if (opts_.pull_kernel != Bfs15dOptions::EhPullKernel::Host)
+      SUNBFS_CHECK_MSG(opts_.chip != nullptr,
+                       "chip-executed pull kernel requires a chip");
+    eh_curr_.resize(k_);
+    eh_visited_.resize(k_);
+    eh_next_.resize(k_);
+    eh_next_local_.resize(k_);
+    cand_.assign(k_, kNoVertex);
+    local_count_ = part.local_count;
+    parent_.assign(local_count_, kNoVertex);
+    l_visited_.resize(local_count_);
+    l_curr_.resize(local_count_);
+    l_next_.resize(local_count_);
+    num_l_global_ = part.space.total - k_;
+    dedup_l_.resize(part.space.total);
+    dedup_eh_.resize(k_);
+    // Compact 8-byte messages index vertices with 32 bits.
+    SUNBFS_CHECK(part.space.max_count() < (uint64_t(1) << 32));
+    SUNBFS_CHECK(k_ < (uint64_t(1) << 32));
+    l_unvisited_ = 0;
+    for (uint64_t l = 0; l < local_count_; ++l)
+      if (!part.local_is_eh.get(l)) ++l_unvisited_;
+    // EH ids owned by ranks in this rank's mesh row (pull destinations) and
+    // column (push sources).  Ownership is cyclic, so these are strided id
+    // sets; materialize them once (|EH| is small by construction).  The H
+    // subsets drive the scoped delegation sync: H frontier/visited bits are
+    // only kept valid on the owner's row and column ("delegated on rows and
+    // columns", §4.1), while E bits are kept valid globally.
+    for (uint64_t kid = 0; kid < k_; ++kid) {
+      int owner = part.eh_space.owner(graph::Vertex(kid));
+      if (mesh_.row_of(owner) == my_row_) {
+        row_targets_.push_back(kid);
+        if (kid >= num_e_) row_h_ids_.push_back(kid);
+      }
+      if (mesh_.col_of(owner) == my_col_) {
+        col_sources_.push_back(kid);
+        if (kid >= num_e_) col_h_ids_.push_back(kid);
+      }
+      if (owner == ctx.rank && kid >= num_e_) owned_h_ids_.push_back(kid);
+    }
+  }
+
+  Bfs15dResult run() {
+    ThreadCpuTimer run_cpu;
+    const double comm_start = ctx_.stats.total_modeled_s();
+
+    seed_root();
+    int iteration = 0;
+    for (;;) {
+      ++iteration;
+      IterationRecord rec;
+      rec.iteration = iteration;
+      rec.active_e = count_range(eh_curr_, 0, num_e_);  // E bits are global
+      // One fused collective carries the L counters and the owner-counted H
+      // counters (H bits are only scope-valid, so owners count them).
+      refresh_counts(l_curr_.count());
+      rec.active_h = act_h_;
+      rec.active_l = act_l_;
+      if (rec.active_e + rec.active_h + rec.active_l == 0) break;
+
+      rec.bottom_up[int(Subgraph::EH2EH)] = decide(Subgraph::EH2EH, rec);
+      sub_eh2eh(rec.bottom_up[int(Subgraph::EH2EH)]);
+
+      rec.bottom_up[int(Subgraph::E2L)] = decide(Subgraph::E2L, rec);
+      sub_e2l(rec.bottom_up[int(Subgraph::E2L)]);
+
+      // L2E only updates E bits, which no later sub-iteration of this
+      // iteration reads; its sync is folded into L2H's (one fewer mesh-wide
+      // union per iteration).
+      rec.bottom_up[int(Subgraph::L2E)] = decide(Subgraph::L2E, rec);
+      sub_l2e(rec.bottom_up[int(Subgraph::L2E)]);
+
+      // Latest-unvisited refresh (§4.2) before the direction-sensitive
+      // remote sub-iterations; earlier sub-iterations changed the unvisited
+      // counts (l_curr_ is immutable within the iteration, so act is stable).
+      refresh_counts(l_curr_.count());
+      rec.bottom_up[int(Subgraph::H2L)] = decide(Subgraph::H2L, rec);
+      sub_h2l(rec.bottom_up[int(Subgraph::H2L)]);
+
+      rec.bottom_up[int(Subgraph::L2H)] = decide(Subgraph::L2H, rec);
+      sub_l2h(rec.bottom_up[int(Subgraph::L2H)]);
+
+      rec.bottom_up[int(Subgraph::L2L)] = decide(Subgraph::L2L, rec);
+      sub_l2l(rec.bottom_up[int(Subgraph::L2L)]);
+
+      stats_.iterations.push_back(rec);
+      // Advance the frontier.
+      eh_curr_ = eh_next_;
+      eh_next_.reset();
+      std::swap(l_curr_, l_next_);
+      l_next_.reset();
+      if (!opts_.delayed_parent_reduction) reduce_parents();
+    }
+    stats_.num_iterations = iteration - 1;
+
+    if (opts_.delayed_parent_reduction) reduce_parents();
+
+    // "Other" is everything not attributed to a sub-iteration or to the
+    // parent reduction: heuristics, frontier swaps, termination checks.
+    stats_.other_cpu_s =
+        std::max(0.0, run_cpu.seconds() - attributed_host_cpu_);
+    double attributed_comm = stats_.reduce_comm_modeled_s;
+    for (double c : stats_.comm_modeled_s) attributed_comm += c;
+    stats_.other_comm_modeled_s = std::max(
+        0.0, ctx_.stats.total_modeled_s() - comm_start - attributed_comm);
+
+    stats_.comm = ctx_.stats;
+    Bfs15dResult result;
+    result.parent = std::move(parent_);
+    result.stats = std::move(stats_);
+    return result;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+  void seed_root() {
+    uint64_t k = part_.cls.eh_of(root_);
+    if (k != partition::EhlTable::kNotEh) {
+      eh_visited_.set(k);
+      eh_curr_.set(k);
+      cand_[k] = root_;  // replicated: every rank records the self-parent
+    } else if (part_.space.owner(root_) == ctx_.rank) {
+      uint64_t l = part_.space.to_local(ctx_.rank, root_);
+      parent_[l] = root_;
+      l_visited_.set(l);
+      l_curr_.set(l);
+      --l_unvisited_;
+    }
+  }
+
+  // ---- direction selection (§4.2) ----------------------------------------
+  // Every input is either replicated (EH bitmaps) or allreduced (L counts),
+  // so all ranks always reach the same decision — required, because the two
+  // directions of a sub-iteration issue different collectives.
+  bool decide(Subgraph s, const IterationRecord& rec) const {
+    auto frac = [](uint64_t a, uint64_t b) {
+      return b == 0 ? 0.0 : double(a) / double(b);
+    };
+    if (!opts_.sub_iteration_direction) {
+      double r_all = frac(rec.active_e + rec.active_h + rec.active_l,
+                          part_.space.total);
+      return r_all > opts_.global_pull_ratio;
+    }
+    double r_e = frac(rec.active_e, num_e_);
+    double r_h = frac(rec.active_h, k_ - num_e_);
+    double r_l = frac(rec.active_l, num_l_global_);
+    switch (s) {
+      case Subgraph::EH2EH:
+        return frac(rec.active_e + rec.active_h, k_) > opts_.local_pull_ratio;
+      case Subgraph::E2L:
+        return r_e > opts_.local_pull_ratio;
+      case Subgraph::L2E:
+        return r_l > opts_.local_pull_ratio;
+      case Subgraph::H2L:
+        return r_h > opts_.remote_pull_factor *
+                         frac(unv_l_global_, num_l_global_);
+      case Subgraph::L2H:
+        return r_l > opts_.remote_pull_factor *
+                         frac(unv_h_global_, k_ - num_e_);
+      case Subgraph::L2L:
+        return r_l > opts_.remote_pull_factor *
+                         frac(unv_l_global_, num_l_global_);
+    }
+    return false;
+  }
+
+  /// One allreduce refreshing the global L counters and the global H
+  /// counters (each rank contributes its owned H bits, which are always
+  /// within its validity scope).
+  void refresh_counts(uint64_t local_active_l) {
+    struct Counts {
+      uint64_t act_l, unv_l, act_h, unv_h;
+    };
+    uint64_t act_h = 0, unv_h = 0;
+    for (uint64_t h : owned_h_ids_) {
+      if (eh_curr_.get(h)) ++act_h;
+      if (!eh_visited_.get(h)) ++unv_h;
+    }
+    Counts c = ctx_.world.allreduce(
+        Counts{local_active_l, l_unvisited_, act_h, unv_h},
+        [](Counts a, Counts b) {
+          return Counts{a.act_l + b.act_l, a.unv_l + b.unv_l,
+                        a.act_h + b.act_h, a.unv_h + b.unv_h};
+        });
+    act_l_ = c.act_l;
+    unv_l_global_ = c.unv_l;
+    act_h_ = c.act_h;
+    unv_h_global_ = c.unv_h;
+  }
+
+  // ---- shared helpers -----------------------------------------------------
+  /// Attribute a sub-iteration's compute + communication.  If the body sets
+  /// time_override_ >= 0 (chip kernels), that value replaces measured CPU.
+  template <typename Fn>
+  void timed_sub(Subgraph s, bool bottom_up, Fn&& fn) {
+    double comm0 = ctx_.stats.total_modeled_s();
+    time_override_ = -1.0;
+    ThreadCpuTimer cpu;
+    fn();
+    attributed_host_cpu_ += cpu.seconds();
+    double t = time_override_ >= 0 ? time_override_ : cpu.seconds();
+    auto& arr = bottom_up ? stats_.pull_cpu_s : stats_.push_cpu_s;
+    arr[size_t(int(s))] += t;
+    stats_.comm_modeled_s[size_t(int(s))] +=
+        ctx_.stats.total_modeled_s() - comm0;
+  }
+
+  /// Mesh-aware union of locally discovered EH visits, honoring the
+  /// delegation scopes of §4.1:
+  ///   1. column allreduce of the full bitmap (E and H column unions);
+  ///   2. row allreduce of the E prefix (E becomes globally valid — global
+  ///      delegation) plus the packed bits of H owned by this row (each H
+  ///      becomes valid on its owner's row);
+  ///   3. column allreduce of the packed bits of H owned by this column
+  ///      (each H becomes valid on its owner's column).
+  /// After this an H bit is correct exactly on its owner's row and column —
+  /// every rank that stores arcs touching it — while off-scope H bits may
+  /// be stale.  The row/column steps move |E| + |H|/C + |H|/R bits instead
+  /// of |E| + |H|: the communication saving H delegation exists for.
+  void sync_eh() {
+    if (k_ == 0) return;  // no delegated vertices at all (pure-1D config)
+    std::span<uint64_t> words(eh_next_local_.data(),
+                              eh_next_local_.word_count());
+    auto lor = [](uint64_t a, uint64_t b) { return a | b; };
+    ctx_.col.allreduce_inplace(words, lor);
+    // Row step: one collective carrying [E prefix words | packed row-H bits].
+    if (ctx_.row.size() > 1) {
+      size_t e_words = (num_e_ + 63) / 64;
+      std::vector<uint64_t> buf(e_words + (row_h_ids_.size() + 63) / 64, 0);
+      std::copy_n(eh_next_local_.data(), e_words, buf.data());
+      pack_ids(row_h_ids_, buf.data() + e_words);
+      ctx_.row.allreduce_inplace(std::span<uint64_t>(buf), lor);
+      std::copy_n(buf.data(), e_words, eh_next_local_.data());
+      unpack_ids(row_h_ids_, buf.data() + e_words);
+    }
+    // Column step for column-owned H bits (owner now has the full union).
+    if (ctx_.col.size() > 1 && !col_h_ids_.empty()) {
+      std::vector<uint64_t> buf((col_h_ids_.size() + 63) / 64, 0);
+      pack_ids(col_h_ids_, buf.data());
+      ctx_.col.allreduce_inplace(std::span<uint64_t>(buf), lor);
+      unpack_ids(col_h_ids_, buf.data());
+    }
+    eh_visited_ |= eh_next_local_;
+    eh_next_ |= eh_next_local_;
+    eh_next_local_.reset();
+  }
+
+  void pack_ids(const std::vector<uint64_t>& ids, uint64_t* packed) {
+    for (size_t i = 0; i < ids.size(); ++i)
+      if (eh_next_local_.get(ids[i]))
+        packed[i >> 6] |= uint64_t(1) << (i & 63);
+  }
+
+  void unpack_ids(const std::vector<uint64_t>& ids, const uint64_t* packed) {
+    for (size_t i = 0; i < ids.size(); ++i)
+      if ((packed[i >> 6] >> (i & 63)) & 1) eh_next_local_.set(ids[i]);
+  }
+
+  void visit_local_l(uint64_t lloc, Vertex parent) {
+    if (l_visited_.test_and_set(lloc)) {
+      parent_[lloc] = parent;
+      l_next_.set(lloc);
+      --l_unvisited_;
+    }
+  }
+
+  /// Record an EH visit candidate; returns false if already visited/found.
+  bool visit_eh(uint64_t k, Vertex parent) {
+    if (eh_visited_.get(k)) return false;
+    if (!eh_next_local_.test_and_set(k)) return false;
+    cand_[k] = parent;
+    return true;
+  }
+
+  Vertex local_to_global(uint64_t lloc) const {
+    return part_.space.to_global(ctx_.rank, lloc);
+  }
+
+  // ---- EH2EH (§4.1/4.3) ---------------------------------------------------
+  void sub_eh2eh(bool bottom_up) {
+    timed_sub(Subgraph::EH2EH, bottom_up, [&] {
+      if (!bottom_up) {
+        // Top-down with edge-aware vertex cut (§5).
+        std::vector<uint64_t> active;
+        for (uint64_t x : col_sources_)
+          if (eh_curr_.get(x) && part_.eh2eh.degree(x) > 0)
+            active.push_back(x);
+        auto body = [&](size_t i) {
+          uint64_t x = active[i];
+          Vertex px = part_.cls.eh_to_global(x);
+          for (Vertex y : part_.eh2eh.neighbors(x))
+            visit_eh(uint64_t(y), px);
+        };
+        if (opts_.edge_aware_vertex_cut) {
+          edge_aware_foreach(
+              active,
+              [&](uint64_t x) { return part_.eh2eh.degree(x); }, pool_, body);
+        } else {
+          for (size_t i = 0; i < active.size(); ++i) body(i);
+        }
+      } else if (opts_.pull_kernel == Bfs15dOptions::EhPullKernel::Host) {
+        for (uint64_t y : row_targets_) {
+          if (eh_visited_.get(y) || eh_next_local_.get(y)) continue;
+          for (Vertex x : part_.eh2eh_rev.neighbors(y)) {
+            if (eh_curr_.get(uint64_t(x))) {
+              visit_eh(y, part_.cls.eh_to_global(uint64_t(x)));
+              break;  // early exit
+            }
+          }
+        }
+      } else {
+        // Chip-executed pull (GLD baseline or segmented RMA kernel, §4.3).
+        if (!puller_)
+          puller_ = std::make_unique<ChipEhPuller>(*opts_.chip, part_, mesh_,
+                                                   my_row_);
+        bool rma = opts_.pull_kernel == Bfs15dOptions::EhPullKernel::ChipRma;
+        auto out = puller_->pull(eh_curr_, eh_visited_, cand_, rma);
+        for (const auto& v : out.visits)
+          visit_eh(v.y, part_.cls.eh_to_global(v.x));
+        time_override_ = out.report.modeled_seconds;
+      }
+      sync_eh();
+    });
+  }
+
+  // ---- E2L / L2E (no communication: E is globally delegated) --------------
+  void sub_e2l(bool bottom_up) {
+    timed_sub(Subgraph::E2L, bottom_up, [&] {
+      if (!bottom_up) {
+        for (uint64_t e = 0; e < num_e_; ++e) {
+          if (!eh_curr_.get(e) || part_.e2l.degree(e) == 0) continue;
+          Vertex pe = part_.cls.eh_to_global(e);
+          for (Vertex lloc : part_.e2l.neighbors(e))
+            visit_local_l(uint64_t(lloc), pe);
+        }
+      } else {
+        for (uint64_t lloc = 0; lloc < local_count_; ++lloc) {
+          if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
+          for (Vertex e : part_.l2e.neighbors(lloc)) {
+            if (eh_curr_.get(uint64_t(e))) {
+              visit_local_l(lloc, part_.cls.eh_to_global(uint64_t(e)));
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  void sub_l2e(bool bottom_up) {
+    timed_sub(Subgraph::L2E, bottom_up, [&] {
+      if (!bottom_up) {
+        l_curr_.for_each_set([&](size_t lloc) {
+          Vertex pl = local_to_global(lloc);
+          for (Vertex e : part_.l2e.neighbors(lloc))
+            visit_eh(uint64_t(e), pl);
+        });
+      } else {
+        for (uint64_t e = 0; e < num_e_; ++e) {
+          if (eh_visited_.get(e) || eh_next_local_.get(e)) continue;
+          for (Vertex lloc : part_.e2l.neighbors(e)) {
+            if (l_curr_.get(uint64_t(lloc))) {
+              visit_eh(e, local_to_global(uint64_t(lloc)));
+              break;
+            }
+          }
+        }
+      }
+      // No sync here: L2E only marks E vertices, which nothing reads before
+      // L2H's sync covers them.
+    });
+  }
+
+  // ---- H2L (push messages intra-row) ---------------------------------------
+  void sub_h2l(bool bottom_up) {
+    timed_sub(Subgraph::H2L, bottom_up, [&] {
+      if (!bottom_up) {
+        // Push with per-destination dedup: at most one message per target
+        // vertex per rank, whatever the hub fan-in (a standard trick of
+        // record BFS implementations; any winning parent is valid).
+        dedup_l_.reset();
+        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
+        for (uint64_t h = num_e_; h < k_; ++h) {
+          if (!eh_curr_.get(h) || part_.h2l.degree(h) == 0) continue;
+          for (Vertex l : part_.h2l.neighbors(h)) {
+            if (!dedup_l_.test_and_set(uint64_t(l))) continue;
+            int owner = part_.space.owner(l);
+            to[size_t(mesh_.col_of(owner))].push_back(CompactMsg{
+                uint32_t(part_.space.to_local(owner, l)), uint32_t(h)});
+          }
+        }
+        auto got = ctx_.row.alltoallv(to);
+        for (const CompactMsg& m : got)
+          visit_local_l(m.dst, part_.cls.eh_to_global(m.src));
+      } else {
+        // Pull at the storage ranks over the destination-major mirror
+        // ("stored by the destination index"): gather the row's visited
+        // bitmap, scan unvisited destinations, early-exit on the first
+        // active h (whose bits are valid here — this rank is in h's
+        // column), and send one message per newly found vertex instead of
+        // one per edge.
+        GatheredFrontier row_visited =
+            GatheredFrontier::gather(ctx_.row, l_visited_);
+        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
+        int col = 0;
+        for (uint64_t rl = 0; rl < part_.h2l_by_l.num_rows(); ++rl) {
+          if (part_.h2l_by_l.degree(rl) == 0) continue;
+          while (part_.row_l_offsets[size_t(col) + 1] <= rl) ++col;
+          uint64_t lloc = rl - part_.row_l_offsets[size_t(col)];
+          if (row_visited.get(col, lloc)) continue;
+          for (Vertex h : part_.h2l_by_l.neighbors(rl)) {
+            if (eh_curr_.get(uint64_t(h))) {
+              to[size_t(col)].push_back(
+                  CompactMsg{uint32_t(lloc), uint32_t(h)});
+              break;  // early exit: one message per vertex
+            }
+          }
+        }
+        auto got = ctx_.row.alltoallv(to);
+        for (const CompactMsg& m : got)
+          visit_local_l(m.dst, part_.cls.eh_to_global(m.src));
+      }
+    });
+  }
+
+  // ---- L2H -----------------------------------------------------------------
+  void sub_l2h(bool bottom_up) {
+    timed_sub(Subgraph::L2H, bottom_up, [&] {
+      if (!bottom_up) {
+        // Push to h's column delegate in this row (intra-row message).
+        dedup_eh_.reset();
+        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
+        l_curr_.for_each_set([&](size_t lloc) {
+          for (Vertex h : part_.l2h.neighbors(lloc)) {
+            if (eh_visited_.get(uint64_t(h))) continue;
+            if (!dedup_eh_.test_and_set(uint64_t(h))) continue;
+            int col = mesh_.col_of(part_.eh_space.owner(h));
+            to[size_t(col)].push_back(
+                CompactMsg{uint32_t(h), uint32_t(lloc)});
+          }
+        });
+        std::vector<size_t> src_off;
+        auto got = ctx_.row.alltoallv(to, &src_off);
+        for (int src_col = 0; src_col < mesh_.cols; ++src_col) {
+          int src_rank = mesh_.rank_of(my_row_, src_col);
+          for (size_t i = src_off[size_t(src_col)];
+               i < src_off[size_t(src_col) + 1]; ++i)
+            visit_eh(uint64_t(got[i].dst),
+                     part_.space.to_global(src_rank, got[i].src));
+        }
+      } else {
+        // Pull at the H2L storage ranks: L frontier gathered along the row
+        // (the allgather component of Figure 11).
+        GatheredFrontier row_frontier =
+            GatheredFrontier::gather(ctx_.row, l_curr_);
+        for (uint64_t h = num_e_; h < k_; ++h) {
+          if (eh_visited_.get(h) || eh_next_local_.get(h)) continue;
+          for (Vertex l : part_.h2l.neighbors(h)) {
+            int owner = part_.space.owner(l);
+            uint64_t lloc = uint64_t(l) - part_.space.begin(owner);
+            if (row_frontier.get(mesh_.col_of(owner), lloc)) {
+              visit_eh(h, l);
+              break;
+            }
+          }
+        }
+      }
+      sync_eh();
+    });
+  }
+
+  // ---- L2L (classic 1D messaging) -------------------------------------------
+  void sub_l2l(bool bottom_up) {
+    timed_sub(Subgraph::L2L, bottom_up, [&] {
+      if (!bottom_up) {
+        if (opts_.l2l_forwarding) {
+          // Stage 1: sort outgoing messages by the forwarding rank — the
+          // intersection of this rank's column and the destination's row —
+          // and exchange along the column.
+          dedup_l_.reset();
+          std::vector<std::vector<VisitMsg>> down(size_t(mesh_.rows));
+          l_curr_.for_each_set([&](size_t lloc) {
+            Vertex pl = local_to_global(lloc);
+            for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+              int owner = part_.space.owner(l2);
+              if (owner == ctx_.rank)
+                visit_local_l(part_.space.to_local(owner, l2), pl);
+              else if (dedup_l_.test_and_set(uint64_t(l2)))
+                down[size_t(mesh_.row_of(owner))].push_back(VisitMsg{l2, pl});
+            }
+          });
+          auto staged = ctx_.col.alltoallv(down);
+          // Stage 2: the forwarder re-sorts by destination column (the
+          // OCS-RMA use case "forwarding in global messaging") and sends
+          // along its row.
+          std::vector<std::vector<VisitMsg>> along(size_t(mesh_.cols));
+          for (const VisitMsg& m : staged) {
+            int owner = part_.space.owner(m.dst);
+            SUNBFS_ASSERT(mesh_.row_of(owner) == my_row_);
+            along[size_t(mesh_.col_of(owner))].push_back(m);
+          }
+          auto got = ctx_.row.alltoallv(along);
+          for (const VisitMsg& m : got)
+            visit_local_l(part_.space.to_local(ctx_.rank, m.dst), m.parent);
+        } else {
+          dedup_l_.reset();
+          std::vector<std::vector<CompactMsg>> to(size_t(mesh_.ranks()));
+          l_curr_.for_each_set([&](size_t lloc) {
+            Vertex pl = local_to_global(lloc);
+            for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+              int owner = part_.space.owner(l2);
+              if (owner == ctx_.rank)
+                visit_local_l(part_.space.to_local(owner, l2), pl);
+              else if (dedup_l_.test_and_set(uint64_t(l2)))
+                to[size_t(owner)].push_back(CompactMsg{
+                    uint32_t(part_.space.to_local(owner, l2)),
+                    uint32_t(lloc)});
+            }
+          });
+          std::vector<size_t> src_off;
+          auto got = ctx_.world.alltoallv(to, &src_off);
+          for (int src = 0; src < ctx_.nranks(); ++src)
+            for (size_t i = src_off[size_t(src)]; i < src_off[size_t(src) + 1];
+                 ++i)
+              visit_local_l(got[i].dst,
+                            part_.space.to_global(src, got[i].src));
+        }
+      } else {
+        GatheredFrontier world_frontier =
+            GatheredFrontier::gather(ctx_.world, l_curr_);
+        for (uint64_t lloc = 0; lloc < local_count_; ++lloc) {
+          if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
+          for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+            int owner = part_.space.owner(l2);
+            uint64_t l2loc = uint64_t(l2) - part_.space.begin(owner);
+            if (world_frontier.get(owner, l2loc)) {
+              visit_local_l(lloc, l2);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // ---- delayed reduction of delegated parents (§5) --------------------------
+  void reduce_parents() {
+    double comm0 = ctx_.stats.total_modeled_s();
+    ThreadCpuTimer cpu;
+    uint64_t block = part_.eh_space.max_count();
+    std::vector<Vertex> contrib(block * uint64_t(ctx_.nranks()), kNoVertex);
+    for (int r = 0; r < ctx_.nranks(); ++r) {
+      uint64_t n = part_.eh_space.count(r);
+      for (uint64_t i = 0; i < n; ++i)
+        contrib[uint64_t(r) * block + i] =
+            cand_[uint64_t(part_.eh_space.to_global(r, i))];
+    }
+    auto mine = ctx_.world.reduce_scatter_block(
+        std::span<const Vertex>(contrib), block,
+        [](Vertex a, Vertex b) { return std::max(a, b); });
+    // Deliver reduced parents to the owners of the original vertex ids.
+    std::vector<std::vector<VisitMsg>> to(size_t(ctx_.nranks()));
+    for (uint64_t i = 0; i < part_.eh_space.count(ctx_.rank); ++i) {
+      if (mine[i] == kNoVertex) continue;
+      Vertex g = part_.cls.eh_to_global(
+          uint64_t(part_.eh_space.to_global(ctx_.rank, i)));
+      to[size_t(part_.space.owner(g))].push_back(VisitMsg{g, mine[i]});
+    }
+    auto got = ctx_.world.alltoallv(to);
+    for (const VisitMsg& m : got)
+      parent_[part_.space.to_local(ctx_.rank, m.dst)] = m.parent;
+    stats_.reduce_cpu_s += cpu.seconds();
+    attributed_host_cpu_ += cpu.seconds();
+    stats_.reduce_comm_modeled_s += ctx_.stats.total_modeled_s() - comm0;
+  }
+
+  // ---- members --------------------------------------------------------------
+  sim::RankContext& ctx_;
+  const partition::Part15d& part_;
+  Bfs15dOptions opts_;
+  sim::MeshShape mesh_;
+  int my_row_, my_col_;
+  uint64_t k_, num_e_;
+  Vertex root_;
+
+  BitVector eh_curr_, eh_visited_, eh_next_, eh_next_local_;
+  std::vector<Vertex> cand_;
+  uint64_t local_count_ = 0;
+  std::vector<Vertex> parent_;
+  BitVector l_visited_, l_curr_, l_next_;
+  uint64_t l_unvisited_ = 0;
+  uint64_t num_l_global_ = 0;
+  uint64_t act_l_ = 0, unv_l_global_ = 0;
+  uint64_t act_h_ = 0, unv_h_global_ = 0;
+  std::vector<uint64_t> row_targets_, col_sources_;
+  std::vector<uint64_t> row_h_ids_, col_h_ids_, owned_h_ids_;
+  /// Per-push-sub-iteration message dedup: at most one message per target.
+  BitVector dedup_l_, dedup_eh_;
+  std::unique_ptr<ChipEhPuller> puller_;
+  double time_override_ = -1.0;
+  double attributed_host_cpu_ = 0.0;
+  ThreadPool pool_{1};  // intra-rank workers (serial on the 1-core harness)
+  BfsStats stats_;
+};
+
+}  // namespace
+
+Bfs15dResult bfs15d_run(sim::RankContext& ctx, const partition::Part15d& part,
+                        Vertex root, const Bfs15dOptions& options) {
+  Engine engine(ctx, part, root, options);
+  return engine.run();
+}
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,94 @@
+#include "bfs/bfs1d.hpp"
+
+#include "bfs/gathered_frontier.hpp"
+#include "support/bitvector.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace sunbfs::bfs {
+
+using graph::Vertex;
+using graph::kNoVertex;
+
+Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
+                      Vertex root, const Bfs1dOptions& options) {
+  const partition::VertexSpace& space = part.space;
+  SUNBFS_CHECK(root >= 0 && uint64_t(root) < space.total);
+  const uint64_t local_count = space.count(ctx.rank);
+
+  std::vector<Vertex> parent(local_count, kNoVertex);
+  BitVector visited(local_count), curr(local_count), next(local_count);
+  BitVector dedup(space.total);
+
+  // Compact 8-byte messages: receiver-local destination + sender-local
+  // parent, reconstructed from the alltoallv source offsets.
+  struct VisitMsg {
+    uint32_t dst, src;
+  };
+  SUNBFS_CHECK(space.max_count() < (uint64_t(1) << 32));
+  auto visit = [&](uint64_t lloc, Vertex p) {
+    if (visited.test_and_set(lloc)) {
+      parent[lloc] = p;
+      next.set(lloc);
+    }
+  };
+
+  if (space.owner(root) == ctx.rank)
+    visit(space.to_local(ctx.rank, root), root);
+
+  Bfs1dResult result;
+  ThreadCpuTimer cpu;
+  const double comm0 = ctx.stats.total_modeled_s();
+  int iteration = 0;
+  for (;;) {
+    std::swap(curr, next);
+    next.reset();
+    uint64_t active = ctx.world.allreduce_sum(curr.count());
+    if (active == 0) break;
+    ++iteration;
+    bool bottom_up =
+        double(active) / double(space.total) > options.pull_ratio;
+    if (!bottom_up) {
+      // Per-destination dedup, as in the 1.5D engine: one message per
+      // target vertex per rank.
+      dedup.reset();
+      std::vector<std::vector<VisitMsg>> to(size_t(ctx.nranks()));
+      curr.for_each_set([&](size_t lloc) {
+        for (Vertex v : part.adj.neighbors(lloc)) {
+          int owner = space.owner(v);
+          if (owner == ctx.rank)
+            visit(space.to_local(owner, v), space.to_global(ctx.rank, lloc));
+          else if (dedup.test_and_set(uint64_t(v)))
+            to[size_t(owner)].push_back(VisitMsg{
+                uint32_t(space.to_local(owner, v)), uint32_t(lloc)});
+        }
+      });
+      std::vector<size_t> src_off;
+      auto got = ctx.world.alltoallv(to, &src_off);
+      for (int src = 0; src < ctx.nranks(); ++src)
+        for (size_t i = src_off[size_t(src)]; i < src_off[size_t(src) + 1];
+             ++i)
+          visit(got[i].dst, space.to_global(src, got[i].src));
+    } else {
+      GatheredFrontier frontier = GatheredFrontier::gather(ctx.world, curr);
+      for (uint64_t lloc = 0; lloc < local_count; ++lloc) {
+        if (visited.get(lloc)) continue;
+        for (Vertex u : part.adj.neighbors(lloc)) {
+          int owner = space.owner(u);
+          if (frontier.get(owner, uint64_t(u) - space.begin(owner))) {
+            visit(lloc, u);
+            break;  // early exit
+          }
+        }
+      }
+    }
+  }
+
+  result.parent = std::move(parent);
+  result.num_iterations = iteration;
+  result.cpu_s = cpu.seconds();
+  result.comm_modeled_s = ctx.stats.total_modeled_s() - comm0;
+  return result;
+}
+
+}  // namespace sunbfs::bfs

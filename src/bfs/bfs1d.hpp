@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/part1d.hpp"
+#include "sim/runtime.hpp"
+
+/// Vanilla 1D-partitioned BFS with direction optimization (the Table 1 /
+/// §2.1 baseline): per-edge messages in top-down, a world-wide frontier
+/// gather in bottom-up, no delegation of heavy vertices.
+namespace sunbfs::bfs {
+
+struct Bfs1dOptions {
+  /// Switch to bottom-up when the active fraction exceeds this.
+  double pull_ratio = 0.04;
+};
+
+struct Bfs1dResult {
+  std::vector<graph::Vertex> parent;  ///< owned slice, local index order
+  int num_iterations = 0;
+  double cpu_s = 0;           ///< this rank's compute CPU seconds
+  double comm_modeled_s = 0;  ///< modeled network seconds of this run
+};
+
+/// Run BFS from `root`.  Collective over all ranks.
+Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
+                      graph::Vertex root, const Bfs1dOptions& options = {});
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "support/bitvector.hpp"
+
+/// A frontier bitmap gathered from every rank of a communicator (used by
+/// bottom-up sub-iterations whose sources live on other ranks: L2L pull
+/// gathers over the world, L2H pull gathers over the mesh row).
+namespace sunbfs::bfs {
+
+class GatheredFrontier {
+ public:
+  /// Collective: every participant contributes its local bitmap.
+  static GatheredFrontier gather(sim::Comm& comm, const BitVector& local) {
+    GatheredFrontier g;
+    std::span<const uint64_t> words(local.data(), local.word_count());
+    g.words_ = comm.allgatherv(words, &g.word_off_);
+    return g;
+  }
+
+  /// Bit `local_index` of participant `comm_index`'s bitmap.
+  bool get(int comm_index, uint64_t local_index) const {
+    size_t base = word_off_[size_t(comm_index)];
+    return (words_[base + (local_index >> 6)] >> (local_index & 63)) & 1;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  std::vector<size_t> word_off_;
+};
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,187 @@
+#include "bfs/runner.hpp"
+
+#include <mutex>
+
+#include "bfs/bfs1d.hpp"
+#include "partition/part1d.hpp"
+#include "support/log.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace sunbfs::bfs {
+
+using graph::Vertex;
+
+BfsStats sum_stats(const std::vector<BfsStats>& per_rank) {
+  BfsStats total;
+  for (const auto& s : per_rank) {
+    for (int i = 0; i < partition::kSubgraphCount; ++i) {
+      total.push_cpu_s[size_t(i)] += s.push_cpu_s[size_t(i)];
+      total.pull_cpu_s[size_t(i)] += s.pull_cpu_s[size_t(i)];
+      total.comm_modeled_s[size_t(i)] += s.comm_modeled_s[size_t(i)];
+    }
+    total.reduce_cpu_s += s.reduce_cpu_s;
+    total.reduce_comm_modeled_s += s.reduce_comm_modeled_s;
+    total.other_cpu_s += s.other_cpu_s;
+    total.other_comm_modeled_s += s.other_comm_modeled_s;
+    total.comm.merge(s.comm);
+    total.num_iterations = std::max(total.num_iterations, s.num_iterations);
+    if (total.iterations.size() < s.iterations.size())
+      total.iterations = s.iterations;  // replicated content; keep longest
+  }
+  return total;
+}
+
+RunnerResult run_graph500(const sim::Topology& topology,
+                          const RunnerConfig& config) {
+  const sim::MeshShape mesh = topology.mesh();
+  const int nranks = mesh.ranks();
+  const graph::Graph500Config& g = config.graph;
+  partition::VertexSpace space{g.num_vertices(), nranks};
+
+  // Search keys: deterministic, degree >= 1 enforced after degrees are
+  // known (all ranks run the same RNG; validity is allreduced).
+  RunnerResult result;
+
+  // Per-root, per-rank collection areas (indexed [root][rank]).
+  std::vector<std::vector<BfsStats>> stats(size_t(config.num_roots),
+                                           std::vector<BfsStats>(size_t(nranks)));
+  std::vector<std::vector<double>> cpu_s(size_t(config.num_roots),
+                                         std::vector<double>(size_t(nranks), 0));
+  std::vector<std::vector<double>> comm_s = cpu_s;
+  std::vector<double> wall_s(size_t(config.num_roots), 0);
+  std::vector<uint64_t> traversed(size_t(config.num_roots), 0);
+  std::vector<Vertex> roots;
+  // Gathered global parent arrays per root (filled by rank 0's view).
+  std::vector<std::vector<Vertex>> parents(size_t(config.num_roots));
+  partition::BalanceReport balance;
+  uint64_t num_eh = 0, num_e = 0;
+  double partition_wall = 0;
+
+  result.spmd = sim::run_spmd(topology, [&](sim::RankContext& ctx) {
+    WallTimer setup_wall;
+    uint64_t m = g.num_edges();
+    auto slice = graph::generate_rmat_range(
+        g, m * uint64_t(ctx.rank) / uint64_t(nranks),
+        m * uint64_t(ctx.rank + 1) / uint64_t(nranks));
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+
+    std::optional<partition::Part15d> part15;
+    std::optional<partition::Part1d> part1;
+    if (config.engine == EngineKind::OneFiveD) {
+      part15 = partition::build_15d(ctx, space, slice, degrees,
+                                    config.thresholds);
+      if (ctx.rank == 0) {
+        num_eh = part15->cls.num_eh();
+        num_e = part15->cls.num_e();
+      }
+      balance = partition::gather_balance(ctx, *part15);
+    } else {
+      part1 = partition::build_1d(ctx, space, slice);
+    }
+    slice.clear();
+    slice.shrink_to_fit();
+    if (ctx.rank == 0) partition_wall = setup_wall.seconds();
+
+    // Pick roots: same RNG everywhere; owner votes on degree >= 1.
+    Xoshiro256StarStar rng(config.root_seed ^ g.seed);
+    std::vector<Vertex> chosen;
+    while (int(chosen.size()) < config.num_roots) {
+      Vertex cand = Vertex(rng.next_below(space.total));
+      int has_edge = 0;
+      if (space.owner(cand) == ctx.rank)
+        has_edge = degrees[space.to_local(ctx.rank, cand)] > 0 ? 1 : 0;
+      if (ctx.world.allreduce_sum(has_edge) > 0) chosen.push_back(cand);
+    }
+    if (ctx.rank == 0) roots = chosen;
+
+    std::optional<chip::Chip> chip;
+    Bfs15dOptions opts = config.bfs;
+    if (opts.pull_kernel != Bfs15dOptions::EhPullKernel::Host) {
+      chip.emplace(config.chip_geometry);
+      opts.chip = &*chip;
+    }
+
+    for (int i = 0; i < config.num_roots; ++i) {
+      ctx.world.barrier();
+      WallTimer run_wall;
+      std::vector<Vertex> local_parent;
+      if (config.engine == EngineKind::OneFiveD) {
+        auto r = bfs15d_run(ctx, *part15, chosen[size_t(i)], opts);
+        stats[size_t(i)][size_t(ctx.rank)] = std::move(r.stats);
+        cpu_s[size_t(i)][size_t(ctx.rank)] =
+            stats[size_t(i)][size_t(ctx.rank)].total_cpu_s();
+        comm_s[size_t(i)][size_t(ctx.rank)] =
+            stats[size_t(i)][size_t(ctx.rank)].total_comm_modeled_s();
+        local_parent = std::move(r.parent);
+      } else {
+        auto r = bfs1d_run(ctx, *part1, chosen[size_t(i)], config.bfs1d);
+        cpu_s[size_t(i)][size_t(ctx.rank)] = r.cpu_s;
+        comm_s[size_t(i)][size_t(ctx.rank)] = r.comm_modeled_s;
+        local_parent = std::move(r.parent);
+      }
+      if (ctx.rank == 0) wall_s[size_t(i)] = run_wall.seconds();
+      // Degree-sum TEPS numerator (exact validation count replaces it when
+      // validation is enabled): each in-component edge contributes twice.
+      uint64_t local_deg_sum = 0;
+      for (uint64_t l = 0; l < local_parent.size(); ++l)
+        if (local_parent[l] != graph::kNoVertex) local_deg_sum += degrees[l];
+      uint64_t deg_sum = ctx.world.allreduce_sum(local_deg_sum);
+      if (ctx.rank == 0) traversed[size_t(i)] = deg_sum / 2;
+      // Assemble the global parent array for host-side validation.
+      auto global_parent =
+          ctx.world.allgatherv(std::span<const Vertex>(local_parent));
+      if (ctx.rank == 0) parents[size_t(i)] = std::move(global_parent);
+    }
+  });
+
+  result.balance = std::move(balance);
+  result.num_eh = num_eh;
+  result.num_e = num_e;
+  result.partition_wall_s = partition_wall;
+
+  // Host-side validation against the full edge list.
+  std::vector<graph::Edge> all_edges;
+  if (config.validate) all_edges = graph::generate_rmat(g);
+
+  result.all_valid = true;
+  for (int i = 0; i < config.num_roots; ++i) {
+    RootRun run;
+    run.root = roots[size_t(i)];
+    double max_cpu = 0, max_comm = 0;
+    for (int r = 0; r < nranks; ++r) {
+      max_cpu = std::max(max_cpu, cpu_s[size_t(i)][size_t(r)]);
+      max_comm = std::max(max_comm, comm_s[size_t(i)][size_t(r)]);
+    }
+    run.modeled_s = max_cpu + max_comm;
+    run.wall_s = wall_s[size_t(i)];
+    if (config.engine == EngineKind::OneFiveD)
+      run.stats = sum_stats(stats[size_t(i)]);
+    if (config.validate) {
+      auto v = graph::validate_bfs(g.num_vertices(), all_edges,
+                                   run.root, parents[size_t(i)]);
+      run.valid = v.ok;
+      run.error = v.error;
+      run.traversed_edges = v.edges_in_component;
+      if (!v.ok) {
+        result.all_valid = false;
+        log_warn("root ", run.root, " failed validation: ", v.error);
+      }
+    } else {
+      run.valid = true;
+      run.traversed_edges = std::max<uint64_t>(1, traversed[size_t(i)]);
+    }
+    result.runs.push_back(std::move(run));
+  }
+
+  std::vector<graph::BfsRunSample> samples;
+  for (const auto& r : result.runs)
+    if (r.traversed_edges > 0 && r.modeled_s > 0)
+      samples.push_back(r.sample());
+  if (!samples.empty())
+    result.harmonic_gteps =
+        graph::gteps(graph::harmonic_mean_teps(samples));
+  return result;
+}
+
+}  // namespace sunbfs::bfs

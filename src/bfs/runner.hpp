@@ -1,0 +1,75 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bfs/bfs15d.hpp"
+#include "bfs/bfs1d.hpp"
+#include "chip/arch.hpp"
+#include "graph/gteps.hpp"
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+#include "partition/balance.hpp"
+#include "sim/runtime.hpp"
+
+/// Graph 500 benchmark driver: generate → partition → BFS from N random
+/// search keys → validate → report harmonic-mean GTEPS.  This is the
+/// end-to-end pipeline behind the headline result and most figures.
+namespace sunbfs::bfs {
+
+/// Which BFS engine to run.
+enum class EngineKind {
+  OneD,      ///< vanilla 1D baseline
+  OneFiveD,  ///< degree-aware 1.5D (the paper's system)
+};
+
+struct RunnerConfig {
+  graph::Graph500Config graph;
+  partition::DegreeThresholds thresholds;
+  EngineKind engine = EngineKind::OneFiveD;
+  Bfs15dOptions bfs;  ///< chip field ignored; see chip_geometry
+  Bfs1dOptions bfs1d;
+  int num_roots = 8;
+  uint64_t root_seed = 7;
+  bool validate = true;
+  /// Per-rank chip used when bfs.pull_kernel is chip-executed.
+  chip::Geometry chip_geometry = chip::Geometry::tiny();
+};
+
+/// Result of one search key.
+struct RootRun {
+  graph::Vertex root = 0;
+  double modeled_s = 0;  ///< max-rank compute CPU + modeled network time
+  double wall_s = 0;     ///< host wall time (simulation cost)
+  uint64_t traversed_edges = 0;
+  bool valid = false;
+  std::string error;
+  /// Per-rank stats summed (1.5D engine only).
+  BfsStats stats;
+
+  graph::BfsRunSample sample() const {
+    return graph::BfsRunSample{modeled_s, traversed_edges};
+  }
+};
+
+struct RunnerResult {
+  std::vector<RootRun> runs;
+  double harmonic_gteps = 0;  ///< over the modeled clock
+  bool all_valid = false;
+  partition::BalanceReport balance;       ///< 1.5D engine only
+  uint64_t num_eh = 0, num_e = 0;         ///< classification sizes
+  sim::SpmdReport spmd;                   ///< whole-pipeline comm stats
+  double partition_wall_s = 0;            ///< generation + partitioning
+};
+
+/// Run the full benchmark on `topology`'s mesh.  Validation runs on the
+/// host against a serially regenerated edge list, so keep scales modest
+/// when validate is on.
+RunnerResult run_graph500(const sim::Topology& topology,
+                          const RunnerConfig& config);
+
+/// Merge per-rank stats by summing all time components (composition shares
+/// are what the breakdown figures report).
+BfsStats sum_stats(const std::vector<BfsStats>& per_rank);
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,159 @@
+#include "bfs/segmenting.hpp"
+
+#include <cstring>
+
+#include "partition/space.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::bfs {
+
+namespace {
+/// Word-aligned segmentation of the frontier bitmap over core groups.
+partition::VertexSpace word_segments(uint64_t k_bits, int n_cgs) {
+  uint64_t words = (k_bits + 63) / 64;
+  return partition::VertexSpace{words, n_cgs};
+}
+}  // namespace
+
+ChipEhPuller::ChipEhPuller(chip::Chip& chip, const partition::Part15d& part,
+                           const sim::MeshShape& mesh, int my_row,
+                           ChipEhPullConfig cfg)
+    : chip_(chip), cfg_(cfg), k_(part.cls.num_eh()) {
+  const int n_cgs = chip.geometry().core_groups;
+  partition::VertexSpace segs = word_segments(k_, n_cgs);
+
+  // Split the reverse arcs by the segment of their random-read endpoint x.
+  std::vector<std::vector<graph::Vertex>> rows(static_cast<size_t>(n_cgs));
+  std::vector<std::vector<graph::Vertex>> vals(static_cast<size_t>(n_cgs));
+  const graph::Csr& rev = part.eh2eh_rev;
+  for (uint64_t y = 0; y < rev.num_rows(); ++y) {
+    for (graph::Vertex x : rev.neighbors(y)) {
+      int g = k_ == 0 ? 0 : segs.owner(graph::Vertex(uint64_t(x) / 64));
+      rows[size_t(g)].push_back(graph::Vertex(y));
+      vals[size_t(g)].push_back(x);
+    }
+  }
+  seg_csr_.reserve(size_t(n_cgs));
+  for (int g = 0; g < n_cgs; ++g)
+    seg_csr_.push_back(graph::Csr::from_arcs(k_, rows[size_t(g)],
+                                             vals[size_t(g)]));
+
+  // Destination list: EH ids owned (cyclically) by ranks in this mesh row.
+  for (uint64_t y = 0; y < k_; ++y)
+    if (mesh.row_of(part.eh_space.owner(graph::Vertex(y))) == my_row)
+      targets_.push_back(y);
+  found_.assign(k_, 0);
+}
+
+ChipEhPullResult ChipEhPuller::pull(const BitVector& curr,
+                                    const BitVector& visited,
+                                    std::span<const graph::Vertex> cand,
+                                    bool use_rma) {
+  SUNBFS_CHECK(curr.size() == k_ && visited.size() == k_);
+  SUNBFS_CHECK(cand.size() == k_);
+  const auto& geo = chip_.geometry();
+  const int n_cgs = geo.core_groups;
+  const int ncpe = geo.cpes_per_cg;
+  partition::VertexSpace segs = word_segments(k_, n_cgs);
+  std::memset(found_.data(), 0, found_.size());
+
+  // Per-CPE output staging in host memory (each slot written by one CPE).
+  std::vector<std::vector<ChipPullVisit>> outs(
+      size_t(geo.total_cpes()));
+
+  const size_t line_bytes = cfg_.line_bytes;
+  const uint64_t t_total = targets_.size();
+
+  auto report = chip_.run([&](chip::CpeContext& cpe) {
+    const int g = cpe.cg();
+    const int me = cpe.cpe();
+    const double dma_bpc = cpe.cost().dma_bytes_per_cycle_per_cpe(
+        geo.core_groups, geo.cpes_per_cg);
+    // Streaming costs: destinations are scanned sequentially.  Every
+    // destination costs its visited/found bits (chunked DMA); only
+    // unvisited destinations fetch their CSR offset pair, and values are
+    // 32-bit segment-local indices streamed alongside.
+    const double seq_cost_per_y = 0.25 / dma_bpc;
+    const double seq_cost_per_unvisited_y = 8.0 / dma_bpc;
+    const double seq_cost_per_arc = 4.0 / dma_bpc;
+
+    cpe.ldm().reset_alloc();
+    // --- Load this CG's frontier segment into distributed LDM lines.
+    const uint64_t seg_word_lo = segs.begin(g);
+    const uint64_t seg_words = segs.count(g);
+    const uint64_t seg_bytes = seg_words * 8;
+    const uint64_t n_lines = (seg_bytes + line_bytes - 1) / line_bytes;
+    const uint64_t my_lines = n_lines / uint64_t(ncpe) +
+                              (uint64_t(me) < n_lines % uint64_t(ncpe) ? 1 : 0);
+    size_t lines_off = 0;
+    if (use_rma) {
+      lines_off = cpe.ldm().alloc(std::max<uint64_t>(my_lines, 1) * line_bytes);
+      for (uint64_t l = uint64_t(me), slot = 0; l < n_lines;
+           l += uint64_t(ncpe), ++slot) {
+        uint64_t byte_lo = l * line_bytes;
+        uint64_t nbytes = std::min<uint64_t>(line_bytes, seg_bytes - byte_lo);
+        cpe.dma_get(cpe.ldm().data() + lines_off + slot * line_bytes,
+                    reinterpret_cast<const unsigned char*>(curr.data() +
+                                                           seg_word_lo) +
+                        byte_lo,
+                    nbytes);
+      }
+      cpe.sync_cg();
+    }
+
+    // Figure 7 offset mapping: word -> (line, cpe, slot, offset-in-line).
+    auto read_frontier_word = [&](uint64_t word) -> uint64_t {
+      if (!use_rma) {
+        return cpe.gld(curr.data()[word]);
+      }
+      uint64_t byte = (word - seg_word_lo) * 8;
+      uint64_t line = byte / line_bytes;
+      int owner_cpe = int(line % uint64_t(ncpe));
+      uint64_t slot = line / uint64_t(ncpe);
+      size_t off = lines_off + slot * line_bytes + byte % line_bytes;
+      return cpe.rma_read<uint64_t>(owner_cpe, off);
+    };
+
+    auto& out = outs[size_t(g * ncpe + me)];
+    const graph::Csr& csr = seg_csr_[size_t(g)];
+
+    // Rounds: CG g processes destination interval (g + t) mod n_cgs in
+    // round t; chip-wide sync between rounds keeps writes exclusive.
+    for (int t = 0; t < n_cgs; ++t) {
+      int interval = (g + t) % n_cgs;
+      uint64_t ilo = t_total * uint64_t(interval) / uint64_t(n_cgs);
+      uint64_t ihi = t_total * uint64_t(interval + 1) / uint64_t(n_cgs);
+      // CPEs split the interval with a stride: destination ids are ordered
+      // by degree, so contiguous splits would hand one CPE all the hubs.
+      for (uint64_t i = ilo + uint64_t(me); i < ihi; i += uint64_t(ncpe)) {
+        uint64_t y = targets_[i];
+        cpe.add_cycles(seq_cost_per_y);
+        if (visited.get(y) || cand[y] != graph::kNoVertex || found_[y])
+          continue;
+        cpe.add_cycles(seq_cost_per_unvisited_y);
+        for (graph::Vertex xv : csr.neighbors(y)) {
+          uint64_t x = uint64_t(xv);
+          cpe.add_cycles(seq_cost_per_arc);
+          uint64_t word = read_frontier_word(x >> 6);
+          if ((word >> (x & 63)) & 1) {
+            found_[y] = 1;  // distinct y per CPE per round: no race
+            // Visits are buffered in LDM and streamed out in batches
+            // (sequential write side of the kernel): amortized DMA cost.
+            cpe.add_cycles(double(sizeof(ChipPullVisit)) / dma_bpc);
+            out.push_back(ChipPullVisit{y, x});
+            break;  // early exit
+          }
+        }
+      }
+      if (n_cgs > 1) cpe.sync_chip();
+    }
+  });
+
+  ChipEhPullResult result;
+  result.report = report;
+  for (auto& o : outs)
+    result.visits.insert(result.visits.end(), o.begin(), o.end());
+  return result;
+}
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "partition/part15d.hpp"
+#include "sim/topology.hpp"
+#include "support/bitvector.hpp"
+
+/// CG-aware core subgraph segmenting (§4.3, Figures 6 and 7).
+///
+/// The EH2EH bottom-up kernel random-reads the column frontier bit vector —
+/// too large for one LDM.  The kernel splits the frontier's index range into
+/// one segment per core group and the EH2EH arcs by which segment their
+/// random-read endpoint falls in; core group g only processes segment g,
+/// holding the segment's bits distributed line-wise over its 64 CPE LDMs
+/// (line = cfg.line_bytes, round-robin by line index, Figure 7) and reading
+/// them with RMA instead of GLD.  Destinations are cut into one interval per
+/// CG and round-robin scheduled across rounds with a chip-wide sync so no
+/// two CGs ever write the same interval (write safety without atomics).
+///
+/// Sequential accesses (destination scan, CSR offsets/values, visited bits)
+/// are charged at amortized DMA streaming cost; only the random frontier
+/// reads differ between the RMA mode and the GLD baseline — exactly the
+/// contrast Figure 15's "+Segment." bar measures.
+namespace sunbfs::bfs {
+
+struct ChipPullVisit {
+  uint64_t y = 0;  ///< newly visited EH id
+  uint64_t x = 0;  ///< its frontier neighbor (EH id)
+};
+
+struct ChipEhPullConfig {
+  /// LDM line granularity for the distributed frontier bitmap (paper: 1024).
+  size_t line_bytes = 1024;
+};
+
+struct ChipEhPullResult {
+  std::vector<ChipPullVisit> visits;
+  chip::KernelReport report;
+};
+
+/// One rank's chip-executed EH2EH pull kernel.  Construct once per BFS run;
+/// pull() may be called every iteration.
+class ChipEhPuller {
+ public:
+  ChipEhPuller(chip::Chip& chip, const partition::Part15d& part,
+               const sim::MeshShape& mesh, int my_row,
+               ChipEhPullConfig cfg = {});
+
+  /// Scan this rank's unvisited destinations (skipping those with a parent
+  /// candidate in `cand`) and pull from `curr`.  use_rma selects the
+  /// segmented RMA kernel; false runs the GLD baseline on the same chip.
+  ChipEhPullResult pull(const BitVector& curr, const BitVector& visited,
+                        std::span<const graph::Vertex> cand, bool use_rma);
+
+  uint64_t num_targets() const { return targets_.size(); }
+
+ private:
+  chip::Chip& chip_;
+  ChipEhPullConfig cfg_;
+  uint64_t k_ = 0;                     ///< EH id count (frontier bits)
+  std::vector<graph::Csr> seg_csr_;    ///< per-CG arc segment
+  std::vector<uint64_t> targets_;      ///< this rank's destination EH ids
+  std::vector<uint8_t> found_;         ///< per-pass dedup, indexed by EH id
+};
+
+}  // namespace sunbfs::bfs

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/prefix.hpp"
+#include "support/thread_pool.hpp"
+
+/// Edge-aware vertex-cut load balancing (§5, after GraphIt).
+///
+/// In EH2EH top-down a handful of frontier vertices can carry almost all the
+/// edges; cutting work by vertex count starves most workers.  Instead we
+/// prefix-sum the frontier vertices' degrees and cut the frontier at equal
+/// accumulated-degree boundaries, so each worker receives a balanced number
+/// of edges regardless of skew.
+namespace sunbfs::bfs {
+
+/// Process `frontier` (any vertex list) on `pool`, calling
+/// visit(frontier_index) for every element, with workers receiving
+/// contiguous sub-ranges balanced by degree_of(frontier[i]).
+template <typename V, typename DegreeFn, typename VisitFn>
+void edge_aware_foreach(const std::vector<V>& frontier, DegreeFn degree_of,
+                        sunbfs::ThreadPool& pool, VisitFn visit) {
+  if (frontier.empty()) return;
+  size_t workers = pool.size();
+  if (workers <= 1 || frontier.size() < 2 * workers) {
+    for (size_t i = 0; i < frontier.size(); ++i) visit(i);
+    return;
+  }
+  // Offsets of accumulated degree (degree 0 counted as 1 so empty vertices
+  // still make progress through the cut).
+  std::vector<uint64_t> offsets(frontier.size() + 1, 0);
+  for (size_t i = 0; i < frontier.size(); ++i)
+    offsets[i + 1] = offsets[i] + std::max<uint64_t>(1, degree_of(frontier[i]));
+  uint64_t total = offsets.back();
+  pool.run_chunks(workers, [&](size_t w) {
+    uint64_t lo_work = total * w / workers;
+    uint64_t hi_work = total * (w + 1) / workers;
+    size_t lo = upper_offset_index(offsets, lo_work);
+    size_t hi = upper_offset_index(offsets, hi_work);
+    if (w + 1 == workers) hi = frontier.size();
+    for (size_t i = lo; i < hi && i < frontier.size(); ++i) visit(i);
+  });
+}
+
+}  // namespace sunbfs::bfs

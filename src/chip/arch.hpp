@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// Architectural parameters of the simulated SW26010-Pro processor.
+///
+/// The chip model is *functional + cost model*: kernels execute for real on
+/// host threads (one per CPE) against simulated LDM scratchpads, while every
+/// DMA / RMA / GLD / GST / atomic operation charges modeled cycles to the
+/// issuing CPE.  A kernel's modeled time is the maximum cycle count over all
+/// participating CPEs, which reproduces the paper's on-chip performance
+/// relations (RMA ≪ GLD, DMA needs large grains, atomics are expensive).
+namespace sunbfs::chip {
+
+/// Physical shape of the chip.
+struct Geometry {
+  int core_groups = 6;       ///< CGs per chip (SW26010-Pro: 6)
+  int cpes_per_cg = 64;      ///< CPEs per CG (SW26010-Pro: 64)
+  size_t ldm_bytes = 256 * 1024;  ///< LDM scratchpad per CPE (256 KB)
+
+  int total_cpes() const { return core_groups * cpes_per_cg; }
+
+  /// Full SW26010-Pro geometry.
+  static Geometry sw26010pro() { return Geometry{}; }
+
+  /// Small geometry for unit tests (fewer host threads, smaller LDM).
+  static Geometry tiny() { return Geometry{2, 8, 16 * 1024}; }
+};
+
+/// Cycle cost model.  Values are chosen to match published SW26010-Pro
+/// characteristics: 249.0 GB/s whole-chip DMA peak, RMA latency far below
+/// main-memory latency, and atomics implemented as slow uncached
+/// read-modify-writes.
+struct CostModel {
+  double cpe_hz = 2.1e9;            ///< CPE clock
+
+  /// Whole-chip DMA peak (paper: measured 249.0 GB/s).  Each CG owns its
+  /// memory controller, so a single CG is limited to 1/core_groups of this.
+  double dma_chip_bytes_per_s = 249.0e9;
+  double dma_startup_cycles = 350;  ///< per DMA request (favors >1KB grains)
+
+  double rma_startup_cycles = 25;   ///< per RMA op, intra-CG NoC
+  double rma_bytes_per_cycle = 16;  ///< per-CPE RMA payload bandwidth
+
+  double gld_cycles = 280;          ///< uncached random main-memory load
+  double gst_cycles = 240;          ///< uncached main-memory store
+  double atomic_cycles = 620;       ///< main-memory atomic RMW
+  double ldm_cycles = 1;            ///< local LDM access
+  double cg_sync_cycles = 120;      ///< intra-CG barrier
+  double mpe_mem_cycles = 135;      ///< MPE memory access (partial cache locality)
+  double mpe_hz = 2.1e9;
+
+  /// DMA payload bytes/cycle available to one CPE when `active_cpes` CPEs of
+  /// `active_cgs` CGs stream concurrently (controller shared within a CG).
+  double dma_bytes_per_cycle_per_cpe(int active_cgs, int cpes_per_cg) const {
+    double chip_bpc = dma_chip_bytes_per_s / cpe_hz;
+    double cg_bpc = chip_bpc / 6.0;  // per-controller share
+    (void)active_cgs;
+    return cg_bpc / double(cpes_per_cg);
+  }
+
+  double seconds(double cycles) const { return cycles / cpe_hz; }
+};
+
+}  // namespace sunbfs::chip

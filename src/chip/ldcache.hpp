@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/arch.hpp"
+#include "support/check.hpp"
+
+/// Local Data Cache model (§3.1.2).
+///
+/// SW26010-Pro can repurpose LDM as a hardware data cache for main-memory
+/// loads/stores ("an optional feature that user programs can easily
+/// reconfigure at runtime").  We model a direct-mapped write-through cache:
+/// hits cost ~LDM latency, misses cost a main-memory access plus a line
+/// fill.  §3.3's observation — the cache is too small for the millions of
+/// vertices per node, so random traversal access still misses — is exactly
+/// what the model shows (see the chip tests and bench_chip_memory).
+namespace sunbfs::chip {
+
+/// Direct-mapped, write-through, per-CPE cache simulator.  Tracks tags and
+/// statistics only (data correctness is the host memory's job); the caller
+/// charges cycles from the returned hit/miss outcome.
+class LdCache {
+ public:
+  /// `capacity_bytes` of cache backed by `line_bytes` lines.
+  LdCache(size_t capacity_bytes, size_t line_bytes = 256)
+      : line_bytes_(line_bytes),
+        tags_(capacity_bytes / line_bytes, kEmpty) {
+    SUNBFS_CHECK(line_bytes >= 8 && capacity_bytes >= line_bytes);
+  }
+
+  /// Access `address`; returns true on hit.  A miss installs the line.
+  bool access(uint64_t address) {
+    uint64_t line = address / line_bytes_;
+    size_t set = size_t(line % tags_.size());
+    ++accesses_;
+    if (tags_[set] == line) {
+      ++hits_;
+      return true;
+    }
+    tags_[set] = line;
+    return false;
+  }
+
+  void flush() { std::fill(tags_.begin(), tags_.end(), kEmpty); }
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t hits() const { return hits_; }
+  double hit_rate() const {
+    return accesses_ ? double(hits_) / double(accesses_) : 0.0;
+  }
+
+  size_t capacity_bytes() const { return tags_.size() * line_bytes_; }
+  size_t line_bytes() const { return line_bytes_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t(0);
+  size_t line_bytes_;
+  std::vector<uint64_t> tags_;
+  uint64_t accesses_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace sunbfs::chip

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "support/check.hpp"
+
+/// Local Data Memory: the per-CPE scratchpad.
+namespace sunbfs::chip {
+
+/// A CPE's LDM: fixed-capacity byte array with a bump allocator.  Capacity
+/// violations throw — the paper's segmenting technique exists precisely
+/// because data sets must be *proven* to fit, so the model enforces it.
+class Ldm {
+ public:
+  explicit Ldm(size_t capacity) : bytes_(capacity, 0) {}
+
+  size_t capacity() const { return bytes_.size(); }
+  size_t used() const { return used_; }
+
+  /// Reserve `nbytes` (aligned); returns the offset of the block.
+  size_t alloc(size_t nbytes, size_t align = 8) {
+    size_t start = (used_ + align - 1) / align * align;
+    SUNBFS_CHECK_MSG(start + nbytes <= capacity(),
+                     "LDM capacity exceeded (" + std::to_string(start + nbytes)
+                         + " > " + std::to_string(capacity()) + " bytes)");
+    used_ = start + nbytes;
+    return start;
+  }
+
+  /// Typed view of the block at `offset`.
+  template <typename T>
+  T* as(size_t offset) {
+    SUNBFS_ASSERT(offset + sizeof(T) <= capacity());
+    return reinterpret_cast<T*>(bytes_.data() + offset);
+  }
+
+  template <typename T>
+  const T* as(size_t offset) const {
+    SUNBFS_ASSERT(offset + sizeof(T) <= capacity());
+    return reinterpret_cast<const T*>(bytes_.data() + offset);
+  }
+
+  unsigned char* data() { return bytes_.data(); }
+  const unsigned char* data() const { return bytes_.data(); }
+
+  /// Release all allocations (contents preserved until overwritten).
+  void reset_alloc() { used_ = 0; }
+
+ private:
+  std::vector<unsigned char> bytes_;
+  size_t used_ = 0;
+};
+
+}  // namespace sunbfs::chip

@@ -1,0 +1,55 @@
+#include "graph/csr.hpp"
+
+#include "support/check.hpp"
+#include "support/prefix.hpp"
+
+namespace sunbfs::graph {
+
+Csr Csr::from_arcs(uint64_t num_rows, std::span<const Vertex> rows,
+                   std::span<const Vertex> values) {
+  SUNBFS_CHECK(rows.size() == values.size());
+  Csr csr;
+  std::vector<uint64_t> counts(num_rows, 0);
+  for (Vertex r : rows) {
+    SUNBFS_ASSERT(r >= 0 && uint64_t(r) < num_rows);
+    counts[size_t(r)]++;
+  }
+  csr.offsets_ = offsets_from_counts(counts);
+  csr.values_.resize(rows.size());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (size_t i = 0; i < rows.size(); ++i)
+    csr.values_[cursor[size_t(rows[i])]++] = values[i];
+  return csr;
+}
+
+Csr Csr::from_undirected(uint64_t num_vertices, std::span<const Edge> edges) {
+  Csr csr;
+  std::vector<uint64_t> counts(num_vertices, 0);
+  for (const Edge& e : edges) {
+    SUNBFS_ASSERT(uint64_t(e.u) < num_vertices && uint64_t(e.v) < num_vertices);
+    counts[size_t(e.u)]++;
+    counts[size_t(e.v)]++;
+  }
+  csr.offsets_ = offsets_from_counts(counts);
+  csr.values_.resize(2 * edges.size());
+  std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    csr.values_[cursor[size_t(e.u)]++] = e.v;
+    csr.values_[cursor[size_t(e.v)]++] = e.u;
+  }
+  return csr;
+}
+
+std::vector<uint64_t> undirected_degrees(uint64_t num_vertices,
+                                         std::span<const Edge> edges) {
+  std::vector<uint64_t> deg(num_vertices, 0);
+  for (const Edge& e : edges) {
+    SUNBFS_CHECK(e.u >= 0 && uint64_t(e.u) < num_vertices);
+    SUNBFS_CHECK(e.v >= 0 && uint64_t(e.v) < num_vertices);
+    deg[size_t(e.u)]++;
+    deg[size_t(e.v)]++;
+  }
+  return deg;
+}
+
+}  // namespace sunbfs::graph

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// Compressed sparse row adjacency storage.
+///
+/// Used for node-local subgraphs: row ids are *local* indices in
+/// [0, num_rows); column values are whatever vertex naming the caller uses
+/// (local or global), the structure does not interpret them.
+namespace sunbfs::graph {
+
+/// Immutable CSR built from (row, value) pairs.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from directed arcs: for each i, an arc row[i] -> value[i].
+  /// Duplicate arcs and self loops are kept (Graph 500 inputs contain them;
+  /// algorithms must tolerate them).
+  static Csr from_arcs(uint64_t num_rows, std::span<const Vertex> rows,
+                       std::span<const Vertex> values);
+
+  /// Build a symmetric adjacency from undirected edges over vertices
+  /// [0, num_vertices): each edge contributes arcs in both directions.
+  static Csr from_undirected(uint64_t num_vertices,
+                             std::span<const Edge> edges);
+
+  uint64_t num_rows() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  uint64_t num_arcs() const { return values_.empty() ? 0 : values_.size(); }
+
+  uint64_t degree(uint64_t row) const {
+    return offsets_[row + 1] - offsets_[row];
+  }
+
+  std::span<const Vertex> neighbors(uint64_t row) const {
+    return std::span<const Vertex>(values_.data() + offsets_[row],
+                                   degree(row));
+  }
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<Vertex>& values() const { return values_; }
+
+ private:
+  std::vector<uint64_t> offsets_;  // num_rows + 1
+  std::vector<Vertex> values_;     // num_arcs
+};
+
+/// Degree of every vertex in [0, num_vertices) counting both endpoints of
+/// each undirected edge (self loops count twice, per adjacency-matrix
+/// convention).
+std::vector<uint64_t> undirected_degrees(uint64_t num_vertices,
+                                         std::span<const Edge> edges);
+
+}  // namespace sunbfs::graph

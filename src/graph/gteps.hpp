@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/check.hpp"
+
+/// Graph 500 performance accounting and degree-distribution reporting.
+namespace sunbfs::graph {
+
+/// One timed BFS run.
+struct BfsRunSample {
+  double seconds = 0;
+  uint64_t traversed_edges = 0;  ///< validation's edges_in_component
+
+  double teps() const { return seconds > 0 ? traversed_edges / seconds : 0; }
+};
+
+/// Graph 500 reports the harmonic mean of TEPS over the search keys.
+inline double harmonic_mean_teps(std::span<const BfsRunSample> runs) {
+  SUNBFS_CHECK(!runs.empty());
+  double denom = 0;
+  for (const auto& r : runs) {
+    SUNBFS_CHECK(r.teps() > 0);
+    denom += 1.0 / r.teps();
+  }
+  return double(runs.size()) / denom;
+}
+
+inline double gteps(double teps) { return teps / 1e9; }
+
+/// Exact degree -> vertex-count distribution (Figure 2's scatter).  Only for
+/// scales where the degree array fits in memory.
+inline std::map<uint64_t, uint64_t> degree_distribution(
+    std::span<const uint64_t> degrees) {
+  std::map<uint64_t, uint64_t> dist;
+  for (uint64_t d : degrees) dist[d]++;
+  return dist;
+}
+
+}  // namespace sunbfs::graph

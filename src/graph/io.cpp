@@ -1,0 +1,76 @@
+#include "graph/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sunbfs::graph {
+
+namespace {
+uint64_t scan_max_vertex(const std::vector<Edge>& edges) {
+  Vertex mx = -1;
+  for (const Edge& e : edges) {
+    SUNBFS_CHECK_MSG(e.u >= 0 && e.v >= 0, "negative vertex id");
+    mx = std::max(mx, std::max(e.u, e.v));
+  }
+  return uint64_t(mx + 1);
+}
+}  // namespace
+
+std::vector<Edge> read_edge_list_text(const std::string& path,
+                                      uint64_t* num_vertices) {
+  std::ifstream in(path);
+  SUNBFS_CHECK_MSG(in.good(), "cannot open " + path);
+  std::vector<Edge> edges;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream ls(line);
+    Edge e;
+    SUNBFS_CHECK_MSG(bool(ls >> e.u >> e.v),
+                     path + ":" + std::to_string(lineno) + ": expected 'u v'");
+    edges.push_back(e);
+  }
+  if (num_vertices) *num_vertices = scan_max_vertex(edges);
+  return edges;
+}
+
+void write_edge_list_text(const std::string& path,
+                          const std::vector<Edge>& edges) {
+  std::ofstream out(path);
+  SUNBFS_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out << "# sunbfs edge list: " << edges.size() << " undirected edges\n";
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+  SUNBFS_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+std::vector<Edge> read_edge_list_binary(const std::string& path,
+                                        uint64_t* num_vertices) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  SUNBFS_CHECK_MSG(in.good(), "cannot open " + path);
+  std::streamsize bytes = in.tellg();
+  SUNBFS_CHECK_MSG(bytes % std::streamsize(sizeof(Edge)) == 0,
+                   path + ": size is not a whole number of edges");
+  in.seekg(0);
+  std::vector<Edge> edges(size_t(bytes) / sizeof(Edge));
+  in.read(reinterpret_cast<char*>(edges.data()), bytes);
+  SUNBFS_CHECK_MSG(in.good(), "read failed: " + path);
+  if (num_vertices) *num_vertices = scan_max_vertex(edges);
+  return edges;
+}
+
+void write_edge_list_binary(const std::string& path,
+                            const std::vector<Edge>& edges) {
+  std::ofstream out(path, std::ios::binary);
+  SUNBFS_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            std::streamsize(edges.size() * sizeof(Edge)));
+  SUNBFS_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+}  // namespace sunbfs::graph

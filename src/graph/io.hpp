@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// Edge-list file I/O.
+///
+/// §8 expects the partitioning "to work with those real-world graphs"
+/// (social networks, web graphs).  These helpers load and store undirected
+/// edge lists so the pipeline can run on external data: a text format (one
+/// "u v" pair per line, '#' comments — the common SNAP layout) and a raw
+/// binary format (little-endian int64 pairs) for large inputs.
+namespace sunbfs::graph {
+
+/// Parse a text edge list.  Returns the edges and sets `num_vertices` to
+/// max id + 1.  Throws CheckError on malformed input.
+std::vector<Edge> read_edge_list_text(const std::string& path,
+                                      uint64_t* num_vertices);
+
+/// Write a text edge list ("u v" per line).
+void write_edge_list_text(const std::string& path,
+                          const std::vector<Edge>& edges);
+
+/// Raw binary (pairs of little-endian int64).
+std::vector<Edge> read_edge_list_binary(const std::string& path,
+                                        uint64_t* num_vertices);
+void write_edge_list_binary(const std::string& path,
+                            const std::vector<Edge>& edges);
+
+}  // namespace sunbfs::graph

@@ -1,0 +1,98 @@
+#include "graph/rmat.hpp"
+
+#include "support/check.hpp"
+
+namespace sunbfs::graph {
+
+namespace {
+/// Multiplicative inverse of an odd 64-bit integer mod 2^64 (Newton).
+uint64_t odd_inverse(uint64_t a) {
+  uint64_t x = a;  // 3-bit correct seed
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+}  // namespace
+
+VertexScrambler::VertexScrambler(int scale, uint64_t seed) {
+  SUNBFS_CHECK(scale >= 1 && scale <= 62);
+  mask_ = (uint64_t(1) << scale) - 1;
+  shift_ = scale > 2 ? scale / 2 : 1;
+  SplitMix64 sm(seed ^ 0x5CA4B1E5D00DF00Dull);
+  mul_a_ = (sm.next() | 1) & mask_;
+  add_b_ = sm.next() & mask_;
+  mul_c_ = (sm.next() | 1) & mask_;
+  inv_a_ = odd_inverse(mul_a_) & mask_;
+  inv_c_ = odd_inverse(mul_c_) & mask_;
+}
+
+Vertex VertexScrambler::scramble(Vertex v) const {
+  // Composition of bijections on scale-bit integers: odd multiply, xorshift,
+  // add, xorshift, odd multiply.  Acts like a hash finalizer restricted to
+  // the vertex domain, destroying the correlation between R-MAT bit pattern
+  // and vertex id, as the Graph 500 spec requires.
+  uint64_t x = uint64_t(v) & mask_;
+  x = (x * mul_a_) & mask_;
+  x ^= x >> shift_;
+  x = (x + add_b_) & mask_;
+  x ^= x >> shift_;
+  x = (x * mul_c_) & mask_;
+  return Vertex(x);
+}
+
+Vertex VertexScrambler::unscramble(Vertex v) const {
+  auto un_xorshift = [&](uint64_t x) {
+    // Invert x ^= x >> shift_ over at most 64/shift_ steps.
+    uint64_t y = x;
+    for (int s = shift_; s < 64; s += shift_) y = x ^ (y >> shift_);
+    return y & mask_;
+  };
+  uint64_t x = uint64_t(v) & mask_;
+  x = (x * inv_c_) & mask_;
+  x = un_xorshift(x);
+  x = (x - add_b_) & mask_;
+  x = un_xorshift(x);
+  x = (x * inv_a_) & mask_;
+  return Vertex(x);
+}
+
+std::vector<Edge> generate_rmat_range(const Graph500Config& config,
+                                      uint64_t begin, uint64_t end) {
+  SUNBFS_CHECK(begin <= end && end <= config.num_edges());
+  VertexScrambler scrambler(config.scale, config.seed);
+  std::vector<Edge> edges;
+  edges.reserve(end - begin);
+  const double ab = config.a + config.b;
+  const double abc = ab + config.c;
+  for (uint64_t e = begin; e < end; ++e) {
+    // Independent stream per edge index: reproducible and order-free, so any
+    // rank can generate exactly its slice with no communication.
+    Xoshiro256StarStar rng(
+        SplitMix64::mix(config.seed * 0x9E3779B97F4A7C15ull + e));
+    uint64_t u = 0, v = 0;
+    for (int level = 0; level < config.scale; ++level) {
+      double r = rng.next_double();
+      uint64_t ubit = 0, vbit = 0;
+      if (r < config.a) {
+        // quadrant A: (0,0)
+      } else if (r < ab) {
+        vbit = 1;  // B: (0,1)
+      } else if (r < abc) {
+        ubit = 1;  // C: (1,0)
+      } else {
+        ubit = 1;  // D: (1,1)
+        vbit = 1;
+      }
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    edges.push_back(
+        Edge{scrambler.scramble(Vertex(u)), scrambler.scramble(Vertex(v))});
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_rmat(const Graph500Config& config) {
+  return generate_rmat_range(config, 0, config.num_edges());
+}
+
+}  // namespace sunbfs::graph

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/random.hpp"
+
+/// Graph 500 synthetic graph generator.
+///
+/// R-MAT / Kronecker generator with the benchmark-specified parameters
+/// A=0.57, B=C=0.19, D=0.05 and edge factor 16 (Chakrabarti et al. 2004;
+/// Graph 500 spec 2.0).  Vertex labels are scrambled with a seeded bijective
+/// permutation so vertex id carries no degree information, as required by
+/// the benchmark.  Generation is deterministic per (config, edge index),
+/// which lets every rank generate exactly its slice of the edge list in
+/// parallel with no communication.
+namespace sunbfs::graph {
+
+/// Problem configuration following Graph 500 terminology.
+struct Graph500Config {
+  int scale = 16;          ///< log2 of the vertex count
+  int edge_factor = 16;    ///< edges per vertex
+  uint64_t seed = 1;       ///< generator seed
+
+  // R-MAT quadrant probabilities (spec values).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+
+  uint64_t num_vertices() const { return uint64_t(1) << scale; }
+  uint64_t num_edges() const { return num_vertices() * uint64_t(edge_factor); }
+};
+
+/// Seeded bijective permutation over [0, 2^scale) used to scramble vertex
+/// labels: a composition of odd-multiplier affine maps and xorshifts on the
+/// scale-bit label (each step is invertible mod 2^scale).  The inverse is
+/// provided for tests.
+class VertexScrambler {
+ public:
+  VertexScrambler(int scale, uint64_t seed);
+
+  Vertex scramble(Vertex v) const;
+  Vertex unscramble(Vertex v) const;
+
+ private:
+  uint64_t mask_ = 0;
+  int shift_ = 1;
+  uint64_t mul_a_ = 1, add_b_ = 0, mul_c_ = 1;
+  uint64_t inv_a_ = 1, inv_c_ = 1;
+};
+
+/// Generate edges [begin, end) of the global edge list (end exclusive,
+/// indices in [0, config.num_edges())).  Each edge is derived only from
+/// (config.seed, edge index), so disjoint ranges can be generated
+/// concurrently and their concatenation is the canonical edge list.
+std::vector<Edge> generate_rmat_range(const Graph500Config& config,
+                                      uint64_t begin, uint64_t end);
+
+/// Convenience: the whole edge list (small scales only).
+std::vector<Edge> generate_rmat(const Graph500Config& config);
+
+}  // namespace sunbfs::graph

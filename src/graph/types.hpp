@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+/// Core graph types shared across the library.
+namespace sunbfs::graph {
+
+/// Global vertex identifier.  Signed so that -1 can mark "no parent" /
+/// "unvisited", matching the Graph 500 output convention.
+using Vertex = int64_t;
+
+inline constexpr Vertex kNoVertex = -1;
+
+/// One undirected edge as produced by the generator.
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+}  // namespace sunbfs::graph

@@ -1,0 +1,130 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::graph {
+
+std::vector<Vertex> reference_bfs(uint64_t num_vertices,
+                                  std::span<const Edge> edges, Vertex root) {
+  SUNBFS_CHECK(root >= 0 && uint64_t(root) < num_vertices);
+  Csr adj = Csr::from_undirected(num_vertices, edges);
+  std::vector<Vertex> parent(num_vertices, kNoVertex);
+  parent[size_t(root)] = root;
+  std::deque<Vertex> frontier = {root};
+  while (!frontier.empty()) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    for (Vertex v : adj.neighbors(uint64_t(u))) {
+      if (parent[size_t(v)] == kNoVertex) {
+        parent[size_t(v)] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<int64_t> levels_from_parents(uint64_t num_vertices,
+                                         std::span<const Vertex> parent,
+                                         Vertex root) {
+  SUNBFS_CHECK(parent.size() == num_vertices);
+  std::vector<int64_t> level(num_vertices, -1);
+  level[size_t(root)] = 0;
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (parent[v] == kNoVertex || level[v] >= 0) continue;
+    // Walk up to a vertex with known level, then unwind.
+    std::vector<uint64_t> path;
+    uint64_t cur = v;
+    while (level[cur] < 0) {
+      path.push_back(cur);
+      SUNBFS_CHECK_MSG(path.size() <= num_vertices,
+                       "cycle in parent pointers");
+      Vertex p = parent[cur];
+      SUNBFS_CHECK_MSG(p >= 0 && uint64_t(p) < num_vertices,
+                       "parent out of range");
+      cur = uint64_t(p);
+    }
+    int64_t base = level[cur];
+    for (auto it = path.rbegin(); it != path.rend(); ++it)
+      level[*it] = ++base;
+  }
+  return level;
+}
+
+ValidationResult validate_bfs(uint64_t num_vertices,
+                              std::span<const Edge> edges, Vertex root,
+                              std::span<const Vertex> parent) {
+  ValidationResult res;
+  auto fail = [&](const std::string& why) {
+    res.ok = false;
+    res.error = why;
+    return res;
+  };
+  if (parent.size() != num_vertices) return fail("parent array size mismatch");
+  if (root < 0 || uint64_t(root) >= num_vertices)
+    return fail("root out of range");
+  if (parent[size_t(root)] != root) return fail("parent[root] != root");
+
+  // Rule 2: tree structure (level computation detects cycles / bad parents).
+  std::vector<int64_t> level;
+  try {
+    level = levels_from_parents(num_vertices, parent, root);
+  } catch (const CheckError& e) {
+    return fail(e.what());
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (parent[v] != kNoVertex && level[v] < 0)
+      return fail("vertex with parent not connected to root");
+    if (parent[v] == kNoVertex && level[v] >= 0 && Vertex(v) != root)
+      return fail("reached vertex without parent");
+  }
+
+  // Rule 3: every tree edge must exist in the input.  Collect tree edges as
+  // sorted (min,max) pairs and probe a sorted copy of the input edges.
+  std::vector<std::pair<Vertex, Vertex>> input_pairs;
+  input_pairs.reserve(edges.size());
+  for (const Edge& e : edges)
+    input_pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  std::sort(input_pairs.begin(), input_pairs.end());
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (parent[v] == kNoVertex || Vertex(v) == root) continue;
+    std::pair<Vertex, Vertex> key{std::min(Vertex(v), parent[v]),
+                                  std::max(Vertex(v), parent[v])};
+    if (!std::binary_search(input_pairs.begin(), input_pairs.end(), key)) {
+      std::ostringstream os;
+      os << "tree edge (" << v << ", " << parent[v] << ") not in graph";
+      return fail(os.str());
+    }
+    if (level[v] != level[size_t(parent[v])] + 1)
+      return fail("tree edge does not connect adjacent levels");
+  }
+
+  // Rule 4 + 5: level difference over input edges; component spanning;
+  // TEPS numerator.
+  for (const Edge& e : edges) {
+    if (e.u < 0 || uint64_t(e.u) >= num_vertices || e.v < 0 ||
+        uint64_t(e.v) >= num_vertices)
+      return fail("edge endpoint out of range");
+    bool ru = level[size_t(e.u)] >= 0;
+    bool rv = level[size_t(e.v)] >= 0;
+    if (ru != rv)
+      return fail("edge connects reached and unreached vertices");
+    if (ru && rv) {
+      int64_t d = level[size_t(e.u)] - level[size_t(e.v)];
+      if (d < -1 || d > 1) return fail("edge spans more than one level");
+      if (e.u != e.v) res.edges_in_component++;
+    }
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v)
+    if (level[v] >= 0) res.reached++;
+
+  res.ok = true;
+  return res;
+}
+
+}  // namespace sunbfs::graph

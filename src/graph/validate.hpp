@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// Graph 500 BFS output validation (specification 2.0, kernel 2) and a
+/// serial reference BFS used by the test suite as ground truth.
+namespace sunbfs::graph {
+
+/// Outcome of validating one BFS run.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;          ///< empty when ok
+  uint64_t reached = 0;       ///< vertices in the traversed component
+  uint64_t edges_in_component = 0;  ///< input edges with both ends reached,
+                                    ///< self loops excluded (TEPS numerator)
+};
+
+/// Validate `parent` as a BFS tree of the undirected graph `edges` rooted at
+/// `root`, per the Graph 500 rules:
+///   1. parent[root] == root;
+///   2. the parent pointers form a tree (no cycles) rooted at root;
+///   3. every tree edge (v, parent[v]) exists in the input edge list;
+///   4. BFS levels of edge endpoints differ by at most one, and a reached
+///      vertex never neighbors an unreached one (the tree spans the whole
+///      connected component of root);
+///   5. exactly the component of root is reached (parent[v] == -1 elsewhere).
+ValidationResult validate_bfs(uint64_t num_vertices,
+                              std::span<const Edge> edges, Vertex root,
+                              std::span<const Vertex> parent);
+
+/// Serial reference BFS.  Returns the parent array (parent[root] == root,
+/// -1 for unreachable vertices).  Deterministic: smallest-id parent wins.
+std::vector<Vertex> reference_bfs(uint64_t num_vertices,
+                                  std::span<const Edge> edges, Vertex root);
+
+/// BFS levels from a parent array (root at level 0, unreachable = -1).
+/// Throws CheckError if the parent pointers contain a cycle.
+std::vector<int64_t> levels_from_parents(uint64_t num_vertices,
+                                         std::span<const Vertex> parent,
+                                         Vertex root);
+
+}  // namespace sunbfs::graph

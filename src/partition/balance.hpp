@@ -1,0 +1,34 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "partition/part15d.hpp"
+#include "sim/runtime.hpp"
+#include "support/histogram.hpp"
+
+/// Load-balance reporting for the 1.5D partition (§6.2.2, Figure 13): the
+/// distribution of per-rank arc counts for each of the six subgraphs.
+namespace sunbfs::partition {
+
+struct BalanceReport {
+  /// Per subgraph: summary over ranks of stored arc counts.
+  std::array<Summary, kSubgraphCount> per_subgraph;
+  /// Per subgraph: every rank's arc count (rank-major), for CDF plotting.
+  std::array<std::vector<uint64_t>, kSubgraphCount> per_rank_counts;
+};
+
+/// Gather every rank's arc counts (collective).  All ranks return the same
+/// report.
+inline BalanceReport gather_balance(sim::RankContext& ctx,
+                                    const Part15d& part) {
+  BalanceReport report;
+  for (int s = 0; s < kSubgraphCount; ++s) {
+    auto counts = ctx.world.allgather(part.arc_counts[size_t(s)]);
+    report.per_rank_counts[size_t(s)].assign(counts.begin(), counts.end());
+    for (uint64_t c : counts) report.per_subgraph[size_t(s)].add(double(c));
+  }
+  return report;
+}
+
+}  // namespace sunbfs::partition

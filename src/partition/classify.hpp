@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "partition/space.hpp"
+#include "sim/runtime.hpp"
+
+/// 3-level degree classification (§4.1): vertices are split into Extremely
+/// heavy (E), Heavy (H) and Light (L) by two degree thresholds.  E and H
+/// vertices are taken out of the original id space, sorted by degree and
+/// given new contiguous "EH ids"; L vertices keep their original ids.
+namespace sunbfs::partition {
+
+/// Degree thresholds.  A vertex with degree >= e is E; degree in [h, e) is
+/// H; below h is L.  Setting h == e yields |H| = 0 (the paper's degenerate
+/// "1D with heavy delegates"); setting h <= 1 yields |L| = 0 (degenerate 2D).
+struct DegreeThresholds {
+  uint64_t e = 1 << 14;
+  uint64_t h = 1 << 9;
+};
+
+/// Replicated classification table: identical on every rank.
+class EhlTable {
+ public:
+  EhlTable() = default;
+  EhlTable(DegreeThresholds thresholds,
+           std::vector<std::pair<uint64_t, graph::Vertex>> eh_by_degree_desc);
+
+  const DegreeThresholds& thresholds() const { return thresholds_; }
+
+  /// Total number of E and H vertices (the EH id space).
+  uint64_t num_eh() const { return eh_to_global_.size(); }
+  /// EH ids [0, num_e()) are E; [num_e(), num_eh()) are H.
+  uint64_t num_e() const { return num_e_; }
+  uint64_t num_h() const { return num_eh() - num_e_; }
+
+  bool is_e(uint64_t eh_id) const { return eh_id < num_e_; }
+
+  graph::Vertex eh_to_global(uint64_t eh_id) const {
+    return eh_to_global_[eh_id];
+  }
+  uint64_t eh_degree(uint64_t eh_id) const { return eh_degree_[eh_id]; }
+
+  /// EH id of a global vertex, or kNotEh if the vertex is L.
+  static constexpr uint64_t kNotEh = ~uint64_t(0);
+  uint64_t eh_of(graph::Vertex v) const {
+    auto it = global_to_eh_.find(v);
+    return it == global_to_eh_.end() ? kNotEh : it->second;
+  }
+  bool is_eh(graph::Vertex v) const { return eh_of(v) != kNotEh; }
+
+ private:
+  DegreeThresholds thresholds_;
+  std::vector<graph::Vertex> eh_to_global_;
+  std::vector<uint64_t> eh_degree_;
+  std::unordered_map<graph::Vertex, uint64_t> global_to_eh_;
+  uint64_t num_e_ = 0;
+};
+
+/// Compute the degrees of this rank's owned vertices from distributed edge
+/// slices: every rank contributes the endpoints it generated; counts arrive
+/// at each endpoint's owner (one alltoallv).  Self loops count twice.
+std::vector<uint64_t> compute_local_degrees(sim::RankContext& ctx,
+                                            const VertexSpace& space,
+                                            std::span<const graph::Edge> slice);
+
+/// Build the replicated EhlTable: each rank nominates its owned vertices
+/// with degree >= thresholds.h, the nominations are allgathered, and all
+/// ranks deterministically sort them by (degree desc, id asc) to assign EH
+/// ids.  Must be called by all ranks collectively.
+EhlTable classify_vertices(sim::RankContext& ctx, const VertexSpace& space,
+                           std::span<const uint64_t> local_degrees,
+                           DegreeThresholds thresholds);
+
+}  // namespace sunbfs::partition

@@ -1,0 +1,31 @@
+#include "sim/barrier.hpp"
+
+#include "support/check.hpp"
+
+namespace sunbfs::sim {
+
+Barrier::Barrier(int participants) : participants_(participants) {
+  SUNBFS_CHECK(participants >= 1);
+}
+
+void Barrier::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_) throw AbortError();
+  if (++waiting_ == participants_) {
+    waiting_ = 0;
+    ++phase_;
+    cv_.notify_all();
+    return;
+  }
+  uint64_t my_phase = phase_;
+  cv_.wait(lk, [&] { return aborted_ || phase_ != my_phase; });
+  if (aborted_) throw AbortError();
+}
+
+void Barrier::abort() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace sunbfs::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+/// Abortable rendezvous barrier for the SPMD runtime.
+namespace sunbfs::sim {
+
+/// Thrown out of Barrier::wait on every rank when the SPMD run is aborted
+/// (some rank threw); unwinds rank threads so the runtime can join them.
+class AbortError : public std::runtime_error {
+ public:
+  AbortError() : std::runtime_error("SPMD run aborted by another rank") {}
+};
+
+/// Sense-reversing barrier over a fixed number of participants, with an
+/// abort channel so a failing rank never deadlocks its peers.
+class Barrier {
+ public:
+  explicit Barrier(int participants);
+
+  /// Block until all participants arrive.  Throws AbortError if abort() was
+  /// or is called while waiting.
+  void wait();
+
+  /// Wake all waiters with AbortError and make future waits throw.
+  void abort();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int participants_;
+  int waiting_ = 0;
+  uint64_t phase_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace sunbfs::sim

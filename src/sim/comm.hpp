@@ -1,0 +1,335 @@
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sim/barrier.hpp"
+#include "sim/comm_stats.hpp"
+#include "sim/topology.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+/// MPI-style collectives for the in-process SPMD runtime.
+///
+/// A Comm is a lightweight per-rank handle onto shared state owned by the
+/// runtime.  Collectives must be entered by every rank of the communicator in
+/// the same order, exactly as in MPI.  Payload types must be trivially
+/// copyable.  Every collective records bytes moved, modeled network time (from
+/// the Topology cost model) and measured wall time into the rank's CommStats.
+namespace sunbfs::sim {
+
+/// Shared state backing one communicator group; owned by the runtime.
+struct CommShared {
+  CommShared(std::vector<int> ranks, const Topology* topo);
+
+  std::vector<int> global_ranks;  // participant global ranks, by index
+  const Topology* topology;
+  Barrier barrier;
+  // Publication slots, one per participant (pointer + byte count).
+  std::vector<const void*> ptrs;
+  std::vector<uint64_t> nbytes;
+  // Alltoallv publication matrix: slot [src * P + dst].
+  std::vector<const void*> a2a_ptrs;
+  std::vector<uint64_t> a2a_nbytes;
+  // Scratch used by segment-parallel reductions.
+  std::vector<unsigned char> scratch;
+};
+
+/// Per-rank communicator handle.
+class Comm {
+ public:
+  Comm() = default;
+  Comm(CommShared* shared, int index, CommStats* stats)
+      : shared_(shared), index_(index), stats_(stats) {}
+
+  bool valid() const { return shared_ != nullptr; }
+  /// Rank of the caller within this communicator.
+  int rank() const { return index_; }
+  /// Number of participants.
+  int size() const { return int(shared_->global_ranks.size()); }
+  /// Global rank of participant `index`.
+  int global_rank_of(int index) const { return shared_->global_ranks[index]; }
+
+  /// Synchronize all participants.
+  void barrier() {
+    WallTimer t;
+    shared_->barrier.wait();
+    record(CollectiveType::Barrier, 0, 0,
+           topo().transfer_time(size(), 0, 0), t.seconds());
+  }
+
+  /// Element-wise reduction of a single value across all participants;
+  /// every rank receives the result.
+  template <typename T, typename Op>
+  T allreduce(const T& value, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WallTimer t;
+    publish(&value, sizeof(T));
+    shared_->barrier.wait();
+    T acc = *static_cast<const T*>(shared_->ptrs[0]);
+    for (int j = 1; j < size(); ++j)
+      acc = op(acc, *static_cast<const T*>(shared_->ptrs[j]));
+    auto [intra, inter] = symmetric_bytes(sizeof(T));
+    shared_->barrier.wait();
+    record(CollectiveType::Allreduce, sizeof(T), inter,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+    return acc;
+  }
+
+  /// Sum-reduction convenience.
+  template <typename T>
+  T allreduce_sum(const T& value) {
+    return allreduce(value, [](T a, T b) { return a + b; });
+  }
+
+  /// Logical-or reduction convenience.
+  bool allreduce_or(bool value) {
+    return allreduce(int(value), [](int a, int b) { return a | b; }) != 0;
+  }
+
+  /// Max-reduction convenience.
+  template <typename T>
+  T allreduce_max(const T& value) {
+    return allreduce(value, [](T a, T b) { return a > b ? a : b; });
+  }
+
+  /// Gather one value from each participant; result indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WallTimer t;
+    publish(&value, sizeof(T));
+    shared_->barrier.wait();
+    std::vector<T> out(size());
+    for (int j = 0; j < size(); ++j)
+      std::memcpy(&out[j], shared_->ptrs[j], sizeof(T));
+    auto [intra, inter] = symmetric_bytes(sizeof(T));
+    shared_->barrier.wait();
+    record(CollectiveType::Allgather, sizeof(T), inter,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+    return out;
+  }
+
+  /// Variable-size gather: concatenation of every participant's span in rank
+  /// order.  If `offsets` is non-null it receives size()+1 entries delimiting
+  /// each rank's contribution in the result.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::vector<size_t>* offsets = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WallTimer t;
+    publish(mine.data(), mine.size_bytes());
+    shared_->barrier.wait();
+    size_t total_bytes = 0;
+    for (int j = 0; j < size(); ++j) total_bytes += shared_->nbytes[j];
+    std::vector<T> out(total_bytes / sizeof(T));
+    if (offsets) offsets->assign(size_t(size()) + 1, 0);
+    size_t pos = 0;
+    for (int j = 0; j < size(); ++j) {
+      if (offsets) (*offsets)[j] = pos / sizeof(T);
+      if (shared_->nbytes[j] > 0)
+        std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
+                    shared_->ptrs[j], shared_->nbytes[j]);
+      pos += shared_->nbytes[j];
+    }
+    if (offsets) (*offsets)[size()] = pos / sizeof(T);
+    // Each rank's NIC receives everyone else's contribution.
+    auto [intra, inter] = gatherv_bytes();
+    shared_->barrier.wait();
+    record(CollectiveType::Allgather, mine.size_bytes(), inter,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+    return out;
+  }
+
+  /// MPI_Reduce_scatter_block: `contrib` has size() * block elements; rank r
+  /// receives the element-wise reduction of block r across all participants.
+  template <typename T, typename Op>
+  std::vector<T> reduce_scatter_block(std::span<const T> contrib, size_t block,
+                                      Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SUNBFS_CHECK(contrib.size() == block * size_t(size()));
+    WallTimer t;
+    publish(contrib.data(), contrib.size_bytes());
+    shared_->barrier.wait();
+    std::vector<T> out(block);
+    const T* base0 = static_cast<const T*>(shared_->ptrs[0]);
+    std::memcpy(out.data(), base0 + size_t(index_) * block, block * sizeof(T));
+    for (int j = 1; j < size(); ++j) {
+      const T* base = static_cast<const T*>(shared_->ptrs[j]);
+      const T* blk = base + size_t(index_) * block;
+      for (size_t i = 0; i < block; ++i) out[i] = op(out[i], blk[i]);
+    }
+    auto [intra, inter] = symmetric_bytes(block * sizeof(T));
+    shared_->barrier.wait();
+    record(CollectiveType::ReduceScatter, contrib.size_bytes(), inter,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+    return out;
+  }
+
+  /// Element-wise allreduce over a span, in place (used for frontier
+  /// bit-vector unions along mesh columns).  Implemented as a
+  /// segment-parallel reduce + gather through shared scratch.
+  template <typename T, typename Op>
+  void allreduce_inplace(std::span<T> data, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size() == 1) return;  // nothing to exchange
+    WallTimer t;
+    publish(data.data(), data.size_bytes());
+    if (index_ == 0) shared_->scratch.resize(data.size_bytes());
+    shared_->barrier.wait();
+    SUNBFS_CHECK(shared_->nbytes[0] == data.size_bytes());
+    // Each participant reduces its own contiguous segment into scratch.
+    size_t n = data.size();
+    size_t lo = n * size_t(index_) / size_t(size());
+    size_t hi = n * size_t(index_ + 1) / size_t(size());
+    T* scratch = reinterpret_cast<T*>(shared_->scratch.data());
+    for (size_t i = lo; i < hi; ++i) {
+      T acc = static_cast<const T*>(shared_->ptrs[0])[i];
+      for (int j = 1; j < size(); ++j)
+        acc = op(acc, static_cast<const T*>(shared_->ptrs[j])[i]);
+      scratch[i] = acc;
+    }
+    shared_->barrier.wait();
+    std::memcpy(data.data(), scratch, data.size_bytes());
+    auto [intra, inter] = symmetric_bytes(data.size_bytes());
+    shared_->barrier.wait();
+    record(CollectiveType::Allreduce, data.size_bytes(), inter,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+  }
+
+  /// Personalized all-to-all: `to[d]` is the message for participant d; the
+  /// result is the concatenation of messages addressed to the caller in
+  /// source-rank order.  If `src_offsets` is non-null it receives size()+1
+  /// entries delimiting each source's data in the result.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& to,
+                           std::vector<size_t>* src_offsets = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SUNBFS_CHECK(int(to.size()) == size());
+    WallTimer t;
+    int p = size();
+    for (int d = 0; d < p; ++d) {
+      shared_->a2a_ptrs[size_t(index_) * p + d] = to[d].data();
+      shared_->a2a_nbytes[size_t(index_) * p + d] = to[d].size() * sizeof(T);
+    }
+    shared_->barrier.wait();
+    size_t total_bytes = 0;
+    for (int s = 0; s < p; ++s)
+      total_bytes += shared_->a2a_nbytes[size_t(s) * p + index_];
+    std::vector<T> out(total_bytes / sizeof(T));
+    if (src_offsets) src_offsets->assign(size_t(p) + 1, 0);
+    size_t pos = 0;
+    for (int s = 0; s < p; ++s) {
+      if (src_offsets) (*src_offsets)[s] = pos / sizeof(T);
+      uint64_t nb = shared_->a2a_nbytes[size_t(s) * p + index_];
+      if (nb > 0)
+        std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
+                    shared_->a2a_ptrs[size_t(s) * p + index_], nb);
+      pos += nb;
+    }
+    if (src_offsets) (*src_offsets)[p] = pos / sizeof(T);
+    auto [sent, intra, inter, max_intra, max_inter] = a2a_bytes();
+    shared_->barrier.wait();
+    record(CollectiveType::Alltoallv, sent, inter,
+           topo().transfer_time(p, max_intra, max_inter), t.seconds());
+    return out;
+  }
+
+  /// Broadcast `data` from participant `root` into every rank's buffer.
+  template <typename T>
+  void broadcast(std::span<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SUNBFS_CHECK(root >= 0 && root < size());
+    WallTimer t;
+    publish(data.data(), data.size_bytes());
+    shared_->barrier.wait();
+    SUNBFS_CHECK(shared_->nbytes[root] == data.size_bytes());
+    if (index_ != root)
+      std::memcpy(data.data(), shared_->ptrs[root], data.size_bytes());
+    auto [intra, inter] = symmetric_bytes(data.size_bytes());
+    shared_->barrier.wait();
+    record(CollectiveType::Broadcast, index_ == root ? data.size_bytes() : 0,
+           index_ == root ? inter : 0,
+           topo().transfer_time(size(), intra, inter), t.seconds());
+  }
+
+ private:
+  const Topology& topo() const { return *shared_->topology; }
+
+  void publish(const void* ptr, uint64_t bytes) {
+    shared_->ptrs[index_] = ptr;
+    shared_->nbytes[index_] = bytes;
+  }
+
+  void record(CollectiveType type, uint64_t bytes_sent, uint64_t inter,
+              double modeled_s, double wall_s) {
+    if (stats_) stats_->record(type, bytes_sent, inter, modeled_s, wall_s);
+  }
+
+  /// For symmetric collectives where each rank effectively exchanges
+  /// `bytes_per_rank` with every peer group: returns {intra, inter} bytes the
+  /// most loaded rank moves across each network level.
+  std::pair<uint64_t, uint64_t> symmetric_bytes(uint64_t bytes_per_rank) const {
+    uint64_t intra = 0, inter = 0;
+    int me = shared_->global_ranks[index_];
+    for (int j = 0; j < size(); ++j) {
+      if (j == index_) continue;
+      if (topo().same_supernode(me, shared_->global_ranks[j]))
+        intra += bytes_per_rank;
+      else
+        inter += bytes_per_rank;
+    }
+    return {intra, inter};
+  }
+
+  /// allgatherv: most loaded rank receives everyone's contribution.
+  std::pair<uint64_t, uint64_t> gatherv_bytes() const {
+    uint64_t intra = 0, inter = 0;
+    int me = shared_->global_ranks[index_];
+    for (int j = 0; j < size(); ++j) {
+      if (j == index_) continue;
+      if (topo().same_supernode(me, shared_->global_ranks[j]))
+        intra += shared_->nbytes[j];
+      else
+        inter += shared_->nbytes[j];
+    }
+    return {intra, inter};
+  }
+
+  /// alltoallv byte accounting: {my_sent, my_intra, my_inter,
+  /// max_rank_intra, max_rank_inter}.
+  std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t> a2a_bytes()
+      const {
+    int p = size();
+    uint64_t my_sent = 0, my_intra = 0, my_inter = 0;
+    uint64_t max_intra = 0, max_inter = 0;
+    for (int s = 0; s < p; ++s) {
+      uint64_t s_intra = 0, s_inter = 0;
+      int gs = shared_->global_ranks[s];
+      for (int d = 0; d < p; ++d) {
+        if (s == d) continue;
+        uint64_t nb = shared_->a2a_nbytes[size_t(s) * p + d];
+        if (topo().same_supernode(gs, shared_->global_ranks[d]))
+          s_intra += nb;
+        else
+          s_inter += nb;
+      }
+      if (s == index_) {
+        my_intra = s_intra;
+        my_inter = s_inter;
+        my_sent = s_intra + s_inter;
+      }
+      max_intra = std::max(max_intra, s_intra);
+      max_inter = std::max(max_inter, s_inter);
+    }
+    return {my_sent, my_intra, my_inter, max_intra, max_inter};
+  }
+
+  CommShared* shared_ = nullptr;
+  int index_ = 0;
+  CommStats* stats_ = nullptr;
+};
+
+}  // namespace sunbfs::sim

@@ -1,0 +1,79 @@
+#include "sim/comm_stats.hpp"
+
+#include <sstream>
+
+namespace sunbfs::sim {
+
+const char* collective_type_name(CollectiveType type) {
+  switch (type) {
+    case CollectiveType::Alltoallv: return "alltoallv";
+    case CollectiveType::Allgather: return "allgather";
+    case CollectiveType::ReduceScatter: return "reduce_scatter";
+    case CollectiveType::Allreduce: return "allreduce";
+    case CollectiveType::Broadcast: return "broadcast";
+    case CollectiveType::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+void CommStats::record(CollectiveType type, uint64_t bytes_sent,
+                       uint64_t bytes_inter_supernode, double modeled_s,
+                       double wall_s) {
+  auto& e = entries_[int(type)];
+  e.calls += 1;
+  e.bytes_sent += bytes_sent;
+  e.bytes_inter_supernode += bytes_inter_supernode;
+  e.modeled_s += modeled_s;
+  e.wall_s += wall_s;
+}
+
+double CommStats::total_modeled_s() const {
+  double t = 0;
+  for (const auto& e : entries_) t += e.modeled_s;
+  return t;
+}
+
+double CommStats::total_wall_s() const {
+  double t = 0;
+  for (const auto& e : entries_) t += e.wall_s;
+  return t;
+}
+
+uint64_t CommStats::total_bytes_sent() const {
+  uint64_t b = 0;
+  for (const auto& e : entries_) b += e.bytes_sent;
+  return b;
+}
+
+uint64_t CommStats::total_bytes_inter_supernode() const {
+  uint64_t b = 0;
+  for (const auto& e : entries_) b += e.bytes_inter_supernode;
+  return b;
+}
+
+void CommStats::merge(const CommStats& other) {
+  for (int i = 0; i < kCollectiveTypeCount; ++i) {
+    entries_[i].calls += other.entries_[i].calls;
+    entries_[i].bytes_sent += other.entries_[i].bytes_sent;
+    entries_[i].bytes_inter_supernode += other.entries_[i].bytes_inter_supernode;
+    entries_[i].modeled_s += other.entries_[i].modeled_s;
+    entries_[i].wall_s += other.entries_[i].wall_s;
+  }
+}
+
+void CommStats::reset() { entries_ = {}; }
+
+std::string CommStats::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < kCollectiveTypeCount; ++i) {
+    const auto& e = entries_[i];
+    if (e.calls == 0) continue;
+    os << "  " << collective_type_name(CollectiveType(i)) << ": " << e.calls
+       << " calls, " << e.bytes_sent << " B sent (" << e.bytes_inter_supernode
+       << " B inter-supernode), modeled " << e.modeled_s << " s, wall "
+       << e.wall_s << " s\n";
+  }
+  return os.str();
+}
+
+}  // namespace sunbfs::sim

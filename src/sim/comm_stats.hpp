@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+/// Per-rank accounting of communication by collective type.
+///
+/// Figure 11 of the paper breaks BFS time into alltoallv / allgather /
+/// reduce-scatter / compute / imbalance; this structure captures the
+/// communication side of that breakdown for every run.
+namespace sunbfs::sim {
+
+enum class CollectiveType : int {
+  Alltoallv = 0,
+  Allgather,
+  ReduceScatter,
+  Allreduce,
+  Broadcast,
+  Barrier,
+};
+inline constexpr int kCollectiveTypeCount = 6;
+
+/// Human-readable name ("alltoallv", "allgather", ...).
+const char* collective_type_name(CollectiveType type);
+
+/// Accumulated counters for one collective type.
+struct CollectiveEntry {
+  uint64_t calls = 0;
+  /// Bytes this rank sent (payload, not counting duplication inside the
+  /// collective algorithm).
+  uint64_t bytes_sent = 0;
+  /// Portion of bytes_sent that crossed a supernode boundary.
+  uint64_t bytes_inter_supernode = 0;
+  /// Modeled network seconds (identical on every participating rank).
+  double modeled_s = 0.0;
+  /// Measured wall seconds spent inside the collective on this rank
+  /// (includes wait-for-peers time, i.e. imbalance).
+  double wall_s = 0.0;
+};
+
+/// Per-rank communication statistics.
+class CommStats {
+ public:
+  void record(CollectiveType type, uint64_t bytes_sent,
+              uint64_t bytes_inter_supernode, double modeled_s,
+              double wall_s);
+
+  const CollectiveEntry& entry(CollectiveType type) const {
+    return entries_[int(type)];
+  }
+
+  /// Sum of modeled seconds over all collective types.
+  double total_modeled_s() const;
+  /// Sum of measured wall seconds over all collective types.
+  double total_wall_s() const;
+  uint64_t total_bytes_sent() const;
+  uint64_t total_bytes_inter_supernode() const;
+
+  /// Element-wise accumulate (for cross-rank aggregation).
+  void merge(const CommStats& other);
+
+  void reset();
+
+  std::string to_string() const;
+
+ private:
+  std::array<CollectiveEntry, kCollectiveTypeCount> entries_{};
+};
+
+}  // namespace sunbfs::sim

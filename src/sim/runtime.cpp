@@ -1,0 +1,91 @@
+#include "sim/runtime.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace sunbfs::sim {
+
+SpmdReport run_spmd(const Topology& topology,
+                    const std::function<void(RankContext&)>& body) {
+  const MeshShape mesh = topology.mesh();
+  const int nranks = mesh.ranks();
+  SUNBFS_CHECK(nranks >= 1);
+
+  // Shared collective state: one world group, one group per row and column.
+  std::vector<int> world_ranks(nranks);
+  for (int r = 0; r < nranks; ++r) world_ranks[r] = r;
+  CommShared world_shared(world_ranks, &topology);
+
+  std::vector<std::unique_ptr<CommShared>> row_shared;
+  for (int r = 0; r < mesh.rows; ++r) {
+    std::vector<int> ranks(mesh.cols);
+    for (int c = 0; c < mesh.cols; ++c) ranks[c] = mesh.rank_of(r, c);
+    row_shared.push_back(std::make_unique<CommShared>(ranks, &topology));
+  }
+  std::vector<std::unique_ptr<CommShared>> col_shared;
+  for (int c = 0; c < mesh.cols; ++c) {
+    std::vector<int> ranks(mesh.rows);
+    for (int r = 0; r < mesh.rows; ++r) ranks[r] = mesh.rank_of(r, c);
+    col_shared.push_back(std::make_unique<CommShared>(ranks, &topology));
+  }
+
+  auto abort_all = [&] {
+    world_shared.barrier.abort();
+    for (auto& s : row_shared) s->barrier.abort();
+    for (auto& s : col_shared) s->barrier.abort();
+  };
+
+  std::vector<RankContext> contexts(nranks);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](int rank) {
+    RankContext& ctx = contexts[rank];
+    ctx.rank = rank;
+    ctx.mesh = mesh;
+    ctx.topology = &topology;
+    ctx.world = Comm(&world_shared, rank, &ctx.stats);
+    ctx.row = Comm(row_shared[mesh.row_of(rank)].get(), mesh.col_of(rank),
+                   &ctx.stats);
+    ctx.col = Comm(col_shared[mesh.col_of(rank)].get(), mesh.row_of(rank),
+                   &ctx.stats);
+    try {
+      body(ctx);
+    } catch (const AbortError&) {
+      // Another rank failed first; just unwind.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort_all();
+    }
+  };
+
+  if (nranks == 1) {
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nranks);
+    for (int r = 0; r < nranks; ++r)
+      threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  SpmdReport report;
+  report.per_rank.reserve(nranks);
+  for (auto& ctx : contexts) report.per_rank.push_back(ctx.stats);
+  return report;
+}
+
+SpmdReport run_spmd(MeshShape mesh,
+                    const std::function<void(RankContext&)>& body) {
+  Topology topology(mesh);
+  return run_spmd(topology, body);
+}
+
+}  // namespace sunbfs::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/comm_stats.hpp"
+#include "sim/topology.hpp"
+
+/// SPMD runtime: runs one function body on every rank of a virtual machine,
+/// each rank on its own thread, exactly like an MPI program launched with
+/// mpirun.  The body communicates through the world / row / column
+/// communicators in its RankContext.
+namespace sunbfs::sim {
+
+/// Everything a rank can see: its coordinates, communicators and stats.
+struct RankContext {
+  int rank = 0;
+  MeshShape mesh;
+  const Topology* topology = nullptr;
+  Comm world;  ///< all ranks
+  Comm row;    ///< ranks sharing this rank's mesh row (intra-supernode)
+  Comm col;    ///< ranks sharing this rank's mesh column
+  CommStats stats;
+
+  int row_index() const { return mesh.row_of(rank); }
+  int col_index() const { return mesh.col_of(rank); }
+  int nranks() const { return mesh.ranks(); }
+};
+
+/// Result of an SPMD run: per-rank communication statistics (indexed by
+/// global rank) plus their aggregate.
+struct SpmdReport {
+  std::vector<CommStats> per_rank;
+
+  CommStats aggregate() const {
+    CommStats total;
+    for (const auto& s : per_rank) total.merge(s);
+    return total;
+  }
+
+  /// Modeled network seconds of the run (max semantics: every rank records
+  /// the same modeled time per collective, so any rank's total works; we use
+  /// rank 0).
+  double modeled_comm_s() const {
+    return per_rank.empty() ? 0.0 : per_rank[0].total_modeled_s();
+  }
+};
+
+/// Run `body` on every rank of `topology`'s mesh.  Blocks until all ranks
+/// finish.  If any rank throws, all ranks are aborted and the first
+/// non-abort exception is rethrown on the caller.
+SpmdReport run_spmd(const Topology& topology,
+                    const std::function<void(RankContext&)>& body);
+
+/// Convenience overload with default topology parameters.
+SpmdReport run_spmd(MeshShape mesh,
+                    const std::function<void(RankContext&)>& body);
+
+}  // namespace sunbfs::sim

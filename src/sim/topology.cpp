@@ -1,0 +1,48 @@
+#include "sim/topology.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace sunbfs::sim {
+
+Topology::Topology(MeshShape mesh, TopologyParams params)
+    : mesh_(mesh), params_(params) {
+  SUNBFS_CHECK(mesh.rows >= 1 && mesh.cols >= 1);
+  ranks_per_supernode_ = params.ranks_per_supernode > 0
+                             ? params.ranks_per_supernode
+                             : mesh.cols;
+  SUNBFS_CHECK(ranks_per_supernode_ >= 1);
+  SUNBFS_CHECK(params_.nic_bytes_per_s > 0);
+  SUNBFS_CHECK(params_.oversubscription >= 1.0);
+}
+
+int Topology::supernode_count() const {
+  return (mesh_.ranks() + ranks_per_supernode_ - 1) / ranks_per_supernode_;
+}
+
+double Topology::transfer_time(int participants, uint64_t max_intra_bytes,
+                               uint64_t max_inter_bytes) const {
+  SUNBFS_CHECK(participants >= 1);
+  // log2(P) latency steps (tree/ring collective schedule), plus serialized
+  // injection of the most loaded NIC.  Inter-supernode bytes contend on the
+  // oversubscribed top-level tree.
+  int steps = participants > 1 ? std::bit_width(unsigned(participants - 1)) : 0;
+  double t = params_.latency_s * double(steps + 1);
+  t += double(max_intra_bytes) / params_.nic_bytes_per_s;
+  t += double(max_inter_bytes) * params_.oversubscription /
+       params_.nic_bytes_per_s;
+  return t;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << "mesh " << mesh_.rows << "x" << mesh_.cols << ", "
+     << supernode_count() << " supernodes ("
+     << ranks_per_supernode_ << " ranks each), NIC "
+     << params_.nic_bytes_per_s / 1e9 << " GB/s, oversubscription "
+     << params_.oversubscription << "x";
+  return os.str();
+}
+
+}  // namespace sunbfs::sim

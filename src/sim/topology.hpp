@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+/// Machine topology and network cost model.
+///
+/// The paper's machine organizes processes into an R×C virtual mesh whose
+/// rows map to supernodes; intra-supernode links are unblocked while the
+/// top-level fat tree is oversubscribed (8× on New Sunway).  We reproduce
+/// those proportions in a cost model: every collective charges modeled
+/// seconds computed from the bytes each participant moves, split into
+/// intra-supernode and inter-supernode portions.
+namespace sunbfs::sim {
+
+/// Shape of the R×C process mesh.  Ranks are numbered row-major
+/// (rank = row * cols + col), matching the paper's Figure 1 numbering.
+struct MeshShape {
+  int rows = 1;
+  int cols = 1;
+
+  int ranks() const { return rows * cols; }
+  int row_of(int rank) const { return rank / cols; }
+  int col_of(int rank) const { return rank % cols; }
+  int rank_of(int row, int col) const { return row * cols + col; }
+};
+
+/// Parameters of the modeled interconnect.  Defaults mirror New Sunway
+/// proportions (200 Gbps NIC, 8× oversubscribed top-level fat tree) with
+/// supernodes equal to mesh rows, as in the paper.
+struct TopologyParams {
+  /// Ranks per supernode; 0 means "one mesh row per supernode".
+  int ranks_per_supernode = 0;
+  /// Per-NIC injection bandwidth, bytes/second (200 Gbps = 25 GB/s).
+  double nic_bytes_per_s = 25.0e9;
+  /// Effective bandwidth divisor for traffic crossing supernodes.
+  double oversubscription = 8.0;
+  /// Per-hop software+wire latency per collective step, seconds.
+  double latency_s = 2.0e-6;
+};
+
+/// Static topology: mesh shape, supernode mapping and transfer-time model.
+class Topology {
+ public:
+  Topology(MeshShape mesh, TopologyParams params = {});
+
+  const MeshShape& mesh() const { return mesh_; }
+  const TopologyParams& params() const { return params_; }
+
+  int ranks_per_supernode() const { return ranks_per_supernode_; }
+  int supernode_count() const;
+  int supernode_of(int rank) const { return rank / ranks_per_supernode_; }
+
+  bool same_supernode(int a, int b) const {
+    return supernode_of(a) == supernode_of(b);
+  }
+
+  /// Modeled seconds for a collective over `participants` ranks where the
+  /// most loaded rank moves `max_intra_bytes` within its supernode and
+  /// `max_inter_bytes` across supernodes.
+  double transfer_time(int participants, uint64_t max_intra_bytes,
+                       uint64_t max_inter_bytes) const;
+
+  std::string to_string() const;
+
+ private:
+  MeshShape mesh_;
+  TopologyParams params_;
+  int ranks_per_supernode_;
+};
+
+}  // namespace sunbfs::sim

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "sort/ocs_rma.hpp"
+#include "support/prefix.hpp"
+
+/// Baseline bucketing kernels that OCS-RMA is compared against (§6.3 /
+/// Figure 14): a sequential MPE implementation and a CPE implementation that
+/// relies on main-memory atomics instead of on-chip sorting (the approach
+/// OCS-RMA exists to avoid).
+namespace sunbfs::sort {
+
+/// Sequential bucket sort on one MPE.  Two passes (count, place), every
+/// element access charged at cache-missing main-memory cost.
+template <typename T, typename BucketFn>
+OcsResult mpe_bucket_sort(chip::Chip& chip, std::span<const T> input,
+                          std::span<T> output, uint32_t num_buckets,
+                          BucketFn bucket_of) {
+  SUNBFS_CHECK(output.size() == input.size());
+  OcsResult result;
+  std::vector<uint64_t> counts(num_buckets, 0);
+  result.report = chip.run_mpe([&](chip::MpeContext& mpe) {
+    for (const T& v : input) {
+      uint32_t b = bucket_of(mpe.load(v));
+      SUNBFS_ASSERT(b < num_buckets);
+      counts[b]++;
+      mpe.add_cycles(3);
+    }
+    std::vector<uint64_t> cursor = offsets_from_counts(counts);
+    for (const T& v : input) {
+      T val = mpe.load(v);
+      uint32_t b = bucket_of(val);
+      mpe.store(output[cursor[b]++], val);
+      mpe.add_cycles(3);
+    }
+  });
+  result.offsets = offsets_from_counts(counts);
+  return result;
+}
+
+/// CPE bucketing without on-chip sorting: every record is appended to its
+/// bucket through a main-memory atomic reservation and an uncached store.
+/// This is the "conventional parallel bucket sort requires atomic operations
+/// per message" strawman of §4.4.
+template <typename T, typename BucketFn>
+OcsResult atomic_append_bucket_sort(chip::Chip& chip, std::span<const T> input,
+                                    std::span<T> output, uint32_t num_buckets,
+                                    BucketFn bucket_of, int n_cgs = -1,
+                                    const OcsParams& params = {}) {
+  SUNBFS_CHECK(output.size() == input.size());
+  const auto& geo = chip.geometry();
+  if (n_cgs < 0) n_cgs = geo.core_groups;
+  const int total_cpes = n_cgs * geo.cpes_per_cg;
+
+  // Count phase reuses the OCS counting approach (it is not the bottleneck).
+  std::vector<uint64_t> per_cpe_counts(size_t(total_cpes) * num_buckets);
+  auto count_report = chip.run(
+      [&](chip::CpeContext& cpe) {
+        int g = cpe.cg() * geo.cpes_per_cg + cpe.cpe();
+        size_t lo = input.size() * size_t(g) / size_t(total_cpes);
+        size_t hi = input.size() * size_t(g + 1) / size_t(total_cpes);
+        cpe.ldm().reset_alloc();
+        size_t coff = cpe.ldm().alloc(num_buckets * sizeof(uint64_t));
+        uint64_t* counts = cpe.ldm().as<uint64_t>(coff);
+        std::memset(counts, 0, num_buckets * sizeof(uint64_t));
+        const size_t chunk =
+            std::max<size_t>(1, params.input_chunk_bytes / sizeof(T));
+        size_t ioff = cpe.ldm().alloc(chunk * sizeof(T));
+        T* buf = cpe.ldm().as<T>(ioff);
+        for (size_t pos = lo; pos < hi; pos += chunk) {
+          size_t n = std::min(chunk, hi - pos);
+          cpe.dma_get(buf, input.data() + pos, n * sizeof(T));
+          for (size_t i = 0; i < n; ++i) counts[bucket_of(buf[i])]++;
+          cpe.add_cycles(double(n) * params.producer_cycles_per_record);
+        }
+        cpe.dma_put(per_cpe_counts.data() + size_t(g) * num_buckets, counts,
+                    num_buckets * sizeof(uint64_t));
+      },
+      n_cgs);
+
+  std::vector<uint64_t> counts(num_buckets, 0);
+  for (int p = 0; p < total_cpes; ++p)
+    for (uint32_t b = 0; b < num_buckets; ++b)
+      counts[b] += per_cpe_counts[size_t(p) * num_buckets + b];
+  std::vector<uint64_t> offsets = offsets_from_counts(counts);
+
+  std::vector<std::atomic<uint64_t>> cursors(num_buckets);
+  for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+
+  auto place_report = chip.run(
+      [&](chip::CpeContext& cpe) {
+        int g = cpe.cg() * geo.cpes_per_cg + cpe.cpe();
+        size_t lo = input.size() * size_t(g) / size_t(total_cpes);
+        size_t hi = input.size() * size_t(g + 1) / size_t(total_cpes);
+        cpe.ldm().reset_alloc();
+        const size_t chunk =
+            std::max<size_t>(1, params.input_chunk_bytes / sizeof(T));
+        size_t ioff = cpe.ldm().alloc(chunk * sizeof(T));
+        T* buf = cpe.ldm().as<T>(ioff);
+        for (size_t pos = lo; pos < hi; pos += chunk) {
+          size_t n = std::min(chunk, hi - pos);
+          cpe.dma_get(buf, input.data() + pos, n * sizeof(T));
+          for (size_t i = 0; i < n; ++i) {
+            uint32_t b = bucket_of(buf[i]);
+            // One atomic + one uncached store per record: the inefficiency
+            // OCS-RMA eliminates.
+            uint64_t pos_in_bucket = cpe.atomic_add(cursors[b], 1);
+            cpe.gst(output[offsets[b] + pos_in_bucket], buf[i]);
+          }
+        }
+      },
+      n_cgs);
+
+  OcsResult result;
+  result.offsets = std::move(offsets);
+  result.report = detail::merge_sequential(count_report, place_report);
+  return result;
+}
+
+/// Plain host reference (no chip model), for correctness checks.
+template <typename T, typename BucketFn>
+std::vector<uint64_t> reference_bucket_sort(std::span<const T> input,
+                                            std::span<T> output,
+                                            uint32_t num_buckets,
+                                            BucketFn bucket_of) {
+  SUNBFS_CHECK(output.size() == input.size());
+  std::vector<uint64_t> counts(num_buckets, 0);
+  for (const T& v : input) counts[bucket_of(v)]++;
+  std::vector<uint64_t> offsets = offsets_from_counts(counts);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const T& v : input) output[cursor[bucket_of(v)]++] = v;
+  return offsets;
+}
+
+}  // namespace sunbfs::sort

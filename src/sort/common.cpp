@@ -1,0 +1,7 @@
+#include <cstdint>
+
+// The sort module is header-only templates; this translation unit anchors
+// the library target.
+namespace sunbfs::sort {
+const char* module_name() { return "sunbfs_sort"; }
+}  // namespace sunbfs::sort

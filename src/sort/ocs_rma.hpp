@@ -1,0 +1,303 @@
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "support/check.hpp"
+#include "support/prefix.hpp"
+
+/// On-Chip Sorting with RMA (OCS-RMA), §4.4 of the paper.
+///
+/// A generic bucket-sort meta-kernel for the SW26010-Pro model.  Within each
+/// core group the CPEs are split into producers and consumers: producers
+/// stream the input from main memory via DMA, append each record to a small
+/// per-consumer send buffer and RMA-put full buffers into the owning
+/// consumer's LDM; consumers bucket the received records into per-bucket
+/// staging blocks and DMA-put full blocks to the output region.  Bucket b is
+/// owned by consumer (b mod num_consumers) of every CG.
+///
+/// With one CG, each bucket has exactly one owner, so output cursors live in
+/// consumer LDM and no atomic instruction is executed (the paper's
+/// "exclusiveness guarantee").  With several CGs, cursor reservation uses
+/// main-memory atomics — the paper's cross-CG synchronization — making the
+/// multi-CG version slightly less efficient per CG, as in Figure 14.
+namespace sunbfs::sort {
+
+/// Tuning knobs for the OCS-RMA kernel.
+struct OcsParams {
+  /// Size of each RMA send/receive buffer and of each output staging block.
+  /// The paper uses 512-byte buffers (32 per core).
+  size_t buffer_bytes = 512;
+  /// DMA grain for streaming the input slab.
+  size_t input_chunk_bytes = 2048;
+  /// Modeled compute cycles per record on a producer (bucket computation).
+  double producer_cycles_per_record = 2.0;
+  /// Modeled compute cycles per record on a consumer (staging append).
+  double consumer_cycles_per_record = 1.2;
+};
+
+/// Result of a bucket sort: bucket layout plus the merged kernel report of
+/// the counting and distribution phases.
+struct OcsResult {
+  /// offsets[b] .. offsets[b+1] delimit bucket b in the output.
+  std::vector<uint64_t> offsets;
+  chip::KernelReport report;
+};
+
+namespace detail {
+inline constexpr uint32_t kOcsFlagEmpty = 0;
+inline constexpr uint32_t kOcsFlagDone = 0xFFFFFFFFu;
+
+inline chip::KernelReport merge_sequential(const chip::KernelReport& a,
+                                           const chip::KernelReport& b) {
+  chip::KernelReport out;
+  out.max_cycles = a.max_cycles + b.max_cycles;
+  out.modeled_seconds = a.modeled_seconds + b.modeled_seconds;
+  out.wall_seconds = a.wall_seconds + b.wall_seconds;
+  out.totals.cycles = a.totals.cycles + b.totals.cycles;
+  out.totals.dma_bytes = a.totals.dma_bytes + b.totals.dma_bytes;
+  out.totals.rma_bytes = a.totals.rma_bytes + b.totals.rma_bytes;
+  out.totals.dma_ops = a.totals.dma_ops + b.totals.dma_ops;
+  out.totals.rma_ops = a.totals.rma_ops + b.totals.rma_ops;
+  out.totals.gld_ops = a.totals.gld_ops + b.totals.gld_ops;
+  out.totals.gst_ops = a.totals.gst_ops + b.totals.gst_ops;
+  out.totals.atomic_ops = a.totals.atomic_ops + b.totals.atomic_ops;
+  return out;
+}
+}  // namespace detail
+
+/// Bucket-sort `input` into `output` (same length) on the chip model.
+/// `bucket_of(record)` must return a value in [0, num_buckets).  Records
+/// within a bucket appear in unspecified order (messages race through the
+/// on-chip network, as on hardware).  Runs on the first `n_cgs` core groups
+/// (-1 = all).
+template <typename T, typename BucketFn>
+OcsResult ocs_rma_bucket_sort(chip::Chip& chip, std::span<const T> input,
+                              std::span<T> output, uint32_t num_buckets,
+                              BucketFn bucket_of, int n_cgs = -1,
+                              const OcsParams& params = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  SUNBFS_CHECK(output.size() == input.size());
+  SUNBFS_CHECK(num_buckets >= 1);
+  const auto& geo = chip.geometry();
+  if (n_cgs < 0) n_cgs = geo.core_groups;
+  const int ncpes = geo.cpes_per_cg;
+  const int nprod = ncpes / 2;
+  const int ncons = ncpes - nprod;
+  SUNBFS_CHECK(nprod >= 1 && ncons >= 1);
+  const size_t recs_per_buf = params.buffer_bytes / sizeof(T);
+  SUNBFS_CHECK_MSG(recs_per_buf >= 1, "record larger than OCS buffer");
+  const uint32_t buckets_per_cons =
+      (num_buckets + uint32_t(ncons) - 1) / uint32_t(ncons);
+  const int total_producers = n_cgs * nprod;
+
+  // ---- Phase 1: counting.  Every CPE histograms a sub-slab (all 64 cores
+  // participate — there is no producer/consumer split before messages
+  // exist); rows are merged on the host (cheap: num_buckets entries) into
+  // global bucket offsets.
+  const int total_counters = n_cgs * ncpes;
+  std::vector<uint64_t> per_producer_counts(size_t(total_counters) *
+                                            num_buckets);
+  auto count_report = chip.run(
+      [&](chip::CpeContext& cpe) {
+        int gp = cpe.cg() * ncpes + cpe.cpe();
+        size_t lo = input.size() * size_t(gp) / size_t(total_counters);
+        size_t hi = input.size() * size_t(gp + 1) / size_t(total_counters);
+
+        cpe.ldm().reset_alloc();
+        size_t counts_off = cpe.ldm().alloc(num_buckets * sizeof(uint64_t));
+        uint64_t* counts = cpe.ldm().as<uint64_t>(counts_off);
+        std::memset(counts, 0, num_buckets * sizeof(uint64_t));
+        const size_t chunk_recs =
+            std::max<size_t>(1, params.input_chunk_bytes / sizeof(T));
+        size_t in_off = cpe.ldm().alloc(chunk_recs * sizeof(T));
+        T* in_buf = cpe.ldm().as<T>(in_off);
+
+        for (size_t pos = lo; pos < hi; pos += chunk_recs) {
+          size_t n = std::min(chunk_recs, hi - pos);
+          cpe.dma_get(in_buf, input.data() + pos, n * sizeof(T));
+          for (size_t i = 0; i < n; ++i) {
+            uint32_t b = bucket_of(in_buf[i]);
+            SUNBFS_ASSERT(b < num_buckets);
+            counts[b]++;
+          }
+          cpe.add_cycles(double(n) * params.producer_cycles_per_record);
+        }
+        cpe.dma_put(per_producer_counts.data() + size_t(gp) * num_buckets,
+                    counts, num_buckets * sizeof(uint64_t));
+      },
+      n_cgs);
+
+  std::vector<uint64_t> counts(num_buckets, 0);
+  for (int p = 0; p < total_counters; ++p)
+    for (uint32_t b = 0; b < num_buckets; ++b)
+      counts[b] += per_producer_counts[size_t(p) * num_buckets + b];
+  std::vector<uint64_t> offsets = offsets_from_counts(counts);
+
+  // ---- Phase 2: distribution through RMA producer/consumer pipes.
+  // Cross-CG output reservation (multi-CG only).
+  std::vector<std::atomic<uint64_t>> cursors(num_buckets);
+  for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+
+  auto distribute_report = chip.run(
+      [&](chip::CpeContext& cpe) {
+        const bool is_producer = cpe.cpe() < nprod;
+        cpe.ldm().reset_alloc();
+        if (is_producer) {
+          // LDM layout: per-consumer send buffers + ack flags.
+          size_t send_off =
+              cpe.ldm().alloc(size_t(ncons) * params.buffer_bytes);
+          size_t ack_off =
+              cpe.ldm().alloc(size_t(ncons) * sizeof(uint32_t), 4);
+          std::vector<size_t> fill(size_t(ncons), 0);  // records buffered
+          for (int j = 0; j < ncons; ++j)
+            cpe.ldm_atomic<uint32_t>(ack_off + size_t(j) * 4).store(1);
+          cpe.sync_cg();
+
+          auto send_buf = [&](int j) {
+            return cpe.ldm().template as<T>(send_off +
+                                            size_t(j) * params.buffer_bytes);
+          };
+          // Consumer j's LDM layout mirrors ours; its receive slot for local
+          // producer i starts at recv_base + i * buffer_bytes and its flag
+          // array at flag_base (computed identically below).
+          const size_t recv_base = 0;
+          const size_t flag_base = size_t(nprod) * params.buffer_bytes;
+          auto flush = [&](int j) {
+            if (fill[size_t(j)] == 0) return;
+            auto& ack = cpe.ldm_atomic<uint32_t>(ack_off + size_t(j) * 4);
+            cpe.wait([&] {
+              return ack.load(std::memory_order_acquire) == 1;
+            });
+            ack.store(0, std::memory_order_relaxed);
+            int cons_cpe = nprod + j;
+            cpe.rma_put(cons_cpe,
+                        recv_base + size_t(cpe.cpe()) * params.buffer_bytes,
+                        send_buf(j), fill[size_t(j)] * sizeof(T));
+            cpe.rma_post<uint32_t>(cons_cpe,
+                                   flag_base + size_t(cpe.cpe()) * 4,
+                                   uint32_t(fill[size_t(j)]));
+            fill[size_t(j)] = 0;
+          };
+
+          int gp = cpe.cg() * nprod + cpe.cpe();
+          size_t lo = input.size() * size_t(gp) / size_t(total_producers);
+          size_t hi = input.size() * size_t(gp + 1) / size_t(total_producers);
+          const size_t chunk_recs =
+              std::max<size_t>(1, params.input_chunk_bytes / sizeof(T));
+          size_t in_off = cpe.ldm().alloc(chunk_recs * sizeof(T));
+          T* in_buf = cpe.ldm().as<T>(in_off);
+          for (size_t pos = lo; pos < hi; pos += chunk_recs) {
+            size_t n = std::min(chunk_recs, hi - pos);
+            cpe.dma_get(in_buf, input.data() + pos, n * sizeof(T));
+            for (size_t i = 0; i < n; ++i) {
+              uint32_t b = bucket_of(in_buf[i]);
+              int j = int(b % uint32_t(ncons));
+              send_buf(j)[fill[size_t(j)]++] = in_buf[i];
+              if (fill[size_t(j)] == recs_per_buf) flush(j);
+            }
+            cpe.add_cycles(double(n) * params.producer_cycles_per_record);
+          }
+          for (int j = 0; j < ncons; ++j) {
+            flush(j);
+            // Raise DONE after the last payload is acknowledged.
+            auto& ack = cpe.ldm_atomic<uint32_t>(ack_off + size_t(j) * 4);
+            cpe.wait([&] {
+              return ack.load(std::memory_order_acquire) == 1;
+            });
+            cpe.rma_post<uint32_t>(nprod + j,
+                                   flag_base + size_t(cpe.cpe()) * 4,
+                                   detail::kOcsFlagDone);
+          }
+        } else {
+          const int me = cpe.cpe() - nprod;  // consumer index in CG
+          // LDM layout: per-producer receive buffers + flags, then staging
+          // blocks and (single-CG) plain cursors for owned buckets.
+          size_t recv_off =
+              cpe.ldm().alloc(size_t(nprod) * params.buffer_bytes);
+          size_t flag_off =
+              cpe.ldm().alloc(size_t(nprod) * sizeof(uint32_t), 4);
+          size_t stage_off =
+              cpe.ldm().alloc(size_t(buckets_per_cons) * params.buffer_bytes);
+          size_t sfill_off =
+              cpe.ldm().alloc(size_t(buckets_per_cons) * sizeof(uint64_t));
+          size_t lcur_off =
+              cpe.ldm().alloc(size_t(buckets_per_cons) * sizeof(uint64_t));
+          uint64_t* sfill = cpe.ldm().as<uint64_t>(sfill_off);
+          uint64_t* lcur = cpe.ldm().as<uint64_t>(lcur_off);
+          std::memset(sfill, 0, size_t(buckets_per_cons) * sizeof(uint64_t));
+          std::memset(lcur, 0, size_t(buckets_per_cons) * sizeof(uint64_t));
+          for (int i = 0; i < nprod; ++i)
+            cpe.ldm_atomic<uint32_t>(flag_off + size_t(i) * 4)
+                .store(detail::kOcsFlagEmpty);
+          cpe.sync_cg();
+
+          auto stage_buf = [&](uint32_t slot) {
+            return cpe.ldm().template as<T>(stage_off +
+                                            size_t(slot) * params.buffer_bytes);
+          };
+          auto flush_bucket = [&](uint32_t b) {
+            uint32_t slot = b / uint32_t(ncons);
+            uint64_t n = sfill[slot];
+            if (n == 0) return;
+            uint64_t pos;
+            if (n_cgs == 1) {
+              pos = lcur[slot];  // exclusive ownership: no atomics
+              lcur[slot] += n;
+              cpe.add_cycles(cpe.cost().ldm_cycles * 2);
+            } else {
+              pos = cpe.atomic_add(cursors[b], n);
+            }
+            cpe.dma_put(output.data() + offsets[b] + pos, stage_buf(slot),
+                        n * sizeof(T));
+            sfill[slot] = 0;
+          };
+
+          int done = 0;
+          while (done < nprod) {
+            bool progressed = false;
+            for (int i = 0; i < nprod; ++i) {
+              auto& flag = cpe.ldm_atomic<uint32_t>(flag_off + size_t(i) * 4);
+              uint32_t f = flag.load(std::memory_order_acquire);
+              if (f == detail::kOcsFlagEmpty) continue;
+              progressed = true;
+              if (f == detail::kOcsFlagDone) {
+                ++done;
+                flag.store(detail::kOcsFlagEmpty, std::memory_order_relaxed);
+                continue;
+              }
+              const T* recv = cpe.ldm().template as<T>(
+                  recv_off + size_t(i) * params.buffer_bytes);
+              for (uint32_t k = 0; k < f; ++k) {
+                uint32_t b = bucket_of(recv[k]);
+                SUNBFS_ASSERT(int(b % uint32_t(ncons)) == me);
+                uint32_t slot = b / uint32_t(ncons);
+                stage_buf(slot)[sfill[slot]++] = recv[k];
+                if (sfill[slot] == recs_per_buf) flush_bucket(b);
+              }
+              cpe.add_cycles(double(f) * params.consumer_cycles_per_record);
+              flag.store(detail::kOcsFlagEmpty, std::memory_order_release);
+              // Acknowledge so the producer can reuse its send buffer; the
+              // producer's ack flag array sits right after its send buffers.
+              size_t prod_ack_base = size_t(ncons) * params.buffer_bytes;
+              cpe.rma_post<uint32_t>(i, prod_ack_base + size_t(me) * 4, 1);
+            }
+            if (!progressed) std::this_thread::yield();
+          }
+          for (uint32_t b = uint32_t(me); b < num_buckets;
+               b += uint32_t(ncons))
+            flush_bucket(b);
+        }
+      },
+      n_cgs);
+
+  OcsResult result;
+  result.offsets = std::move(offsets);
+  result.report = detail::merge_sequential(count_report, distribute_report);
+  return result;
+}
+
+}  // namespace sunbfs::sort

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sort/ocs_rma.hpp"
+
+/// Two-stage sorting in destination updating (§4.4).
+///
+/// After alltoallv, a rank must apply a batch of (destination, value)
+/// messages to its vertex arrays.  GST and atomics are slow on the chip, so
+/// the paper sorts the messages into fixed-length destination ranges small
+/// enough that a range's slice of the destination array fits in LDM, and
+/// assigns each range to exactly one core — updates then happen in LDM with
+/// exclusive ownership and no atomics at all.
+///
+/// We realize the two sorting stages with one OCS-RMA pass straight to
+/// sub-range granularity (the generic kernel makes the hierarchical split
+/// unnecessary), followed by an exclusive per-sub-range apply pass.
+namespace sunbfs::sort {
+
+/// One destination update.
+template <typename V>
+struct UpdateMsg {
+  uint64_t dst;  ///< index into the destination array
+  V value;
+};
+
+struct TwoStageResult {
+  uint64_t applied = 0;        ///< messages for which apply() returned true
+  chip::KernelReport report;   ///< sort + apply, sequenced
+};
+
+/// Apply `messages` to `dest` on the chip model.  `apply(slot, value)` is
+/// called with exclusive ownership of the slot (inside the owning CPE's
+/// LDM copy) and returns whether it changed the slot.  `subrange_len` is
+/// the destination range owned by one CPE (0 = auto-size to a quarter of
+/// LDM); each sub-range slice must fit in LDM, which is checked.
+template <typename V, typename ApplyFn>
+TwoStageResult two_stage_update(chip::Chip& chip,
+                                std::span<const UpdateMsg<V>> messages,
+                                std::span<V> dest, ApplyFn apply,
+                                size_t subrange_len = 0, int n_cgs = -1,
+                                const OcsParams& params = {}) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  const auto& geo = chip.geometry();
+  if (n_cgs < 0) n_cgs = geo.core_groups;
+  if (subrange_len == 0)
+    subrange_len = std::max<size_t>(1, geo.ldm_bytes / (4 * sizeof(V)));
+  const uint32_t nsub =
+      uint32_t((dest.size() + subrange_len - 1) / subrange_len);
+
+  TwoStageResult result;
+  if (messages.empty() || dest.empty()) return result;
+
+  // Stage 1: OCS-RMA sort of the messages by destination sub-range.
+  std::vector<UpdateMsg<V>> sorted(messages.size());
+  auto bucket_of = [subrange_len](const UpdateMsg<V>& m) {
+    return uint32_t(m.dst / subrange_len);
+  };
+  auto ocs = ocs_rma_bucket_sort<UpdateMsg<V>>(
+      chip, messages, std::span(sorted), std::max(nsub, 1u), bucket_of,
+      n_cgs, params);
+
+  // Stage 2: exclusive apply — sub-ranges dealt round-robin over CPEs; each
+  // CPE stages its destination slice in LDM, applies its message run, and
+  // writes the slice back.  No atomics, no GST.
+  const int total_cpes = n_cgs * geo.cpes_per_cg;
+  std::vector<uint64_t> applied_per_cpe(size_t(total_cpes), 0);
+  auto apply_report = chip.run(
+      [&](chip::CpeContext& cpe) {
+        int g = cpe.cg() * geo.cpes_per_cg + cpe.cpe();
+        cpe.ldm().reset_alloc();
+        // No slice can be larger than the destination itself.
+        size_t slice_len = std::min(subrange_len, dest.size());
+        size_t slice_off = cpe.ldm().alloc(slice_len * sizeof(V));
+        V* slice = cpe.ldm().template as<V>(slice_off);
+        const size_t chunk =
+            std::max<size_t>(1, params.input_chunk_bytes /
+                                    sizeof(UpdateMsg<V>));
+        size_t moff = cpe.ldm().alloc(chunk * sizeof(UpdateMsg<V>));
+        UpdateMsg<V>* mbuf = cpe.ldm().template as<UpdateMsg<V>>(moff);
+        uint64_t applied = 0;
+        for (uint32_t s = uint32_t(g); s < nsub; s += uint32_t(total_cpes)) {
+          uint64_t lo = ocs.offsets[s], hi = ocs.offsets[s + 1];
+          if (lo == hi) continue;
+          size_t dst_lo = size_t(s) * subrange_len;
+          size_t dst_n = std::min(subrange_len, dest.size() - dst_lo);
+          cpe.dma_get(slice, dest.data() + dst_lo, dst_n * sizeof(V));
+          for (uint64_t pos = lo; pos < hi; pos += chunk) {
+            size_t nmsg = std::min<uint64_t>(chunk, hi - pos);
+            cpe.dma_get(mbuf, sorted.data() + pos,
+                        nmsg * sizeof(UpdateMsg<V>));
+            for (size_t i = 0; i < nmsg; ++i) {
+              SUNBFS_ASSERT(mbuf[i].dst >= dst_lo &&
+                            mbuf[i].dst < dst_lo + dst_n);
+              if (apply(slice[mbuf[i].dst - dst_lo], mbuf[i].value))
+                ++applied;
+              cpe.add_cycles(2 * cpe.cost().ldm_cycles);
+            }
+          }
+          cpe.dma_put(dest.data() + dst_lo, slice, dst_n * sizeof(V));
+        }
+        applied_per_cpe[size_t(g)] = applied;
+      },
+      n_cgs);
+
+  for (uint64_t a : applied_per_cpe) result.applied += a;
+  result.report = detail::merge_sequential(ocs.report, apply_report);
+  return result;
+}
+
+}  // namespace sunbfs::sort

@@ -1,0 +1,27 @@
+#include "support/bitvector.hpp"
+
+namespace sunbfs {
+
+size_t BitVector::count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += size_t(__builtin_popcountll(w));
+  return n;
+}
+
+bool BitVector::none() const {
+  for (uint64_t w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+void BitVector::operator|=(const BitVector& other) {
+  SUNBFS_CHECK(nbits_ == other.nbits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void BitVector::and_not(const BitVector& other) {
+  SUNBFS_CHECK(nbits_ == other.nbits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+}  // namespace sunbfs

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+/// Dense bit vectors.
+///
+/// BFS frontiers and visited sets are bit vectors over local vertex ranges
+/// (the paper's "activation bit vectors").  Two flavours are provided:
+/// BitVector for single-writer phases and AtomicBitVector for concurrent
+/// top-down updates.
+namespace sunbfs {
+
+/// Plain dense bit vector with word-level access for fast scans.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t nbits) { resize(nbits); }
+
+  void resize(size_t nbits) {
+    nbits_ = nbits;
+    words_.assign(word_count(), 0);
+  }
+
+  size_t size() const { return nbits_; }
+  size_t word_count() const { return (nbits_ + 63) / 64; }
+
+  bool get(size_t i) const {
+    SUNBFS_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    words_[i >> 6] |= uint64_t(1) << (i & 63);
+  }
+
+  void clear(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(uint64_t(1) << (i & 63));
+  }
+
+  /// Set bit i, returning whether it was previously clear.
+  bool test_and_set(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    uint64_t mask = uint64_t(1) << (i & 63);
+    uint64_t& w = words_[i >> 6];
+    bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  /// Zero all bits without changing the size.
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  size_t count() const;
+
+  /// True if no bit is set.
+  bool none() const;
+
+  /// In-place union with another vector of the same size.
+  void operator|=(const BitVector& other);
+
+  /// In-place difference: clear every bit that is set in `other`.
+  void and_not(const BitVector& other);
+
+  /// Call fn(i) for every set bit, in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int b = __builtin_ctzll(bits);
+        fn(w * 64 + size_t(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  uint64_t word(size_t w) const { return words_[w]; }
+  uint64_t* data() { return words_.data(); }
+  const uint64_t* data() const { return words_.data(); }
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Bit vector supporting concurrent set operations from multiple threads.
+class AtomicBitVector {
+ public:
+  AtomicBitVector() = default;
+  explicit AtomicBitVector(size_t nbits) { resize(nbits); }
+
+  void resize(size_t nbits) {
+    nbits_ = nbits;
+    words_ = std::vector<std::atomic<uint64_t>>((nbits + 63) / 64);
+    reset();
+  }
+
+  size_t size() const { return nbits_; }
+
+  bool get(size_t i) const {
+    SUNBFS_ASSERT(i < nbits_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1;
+  }
+
+  /// Atomically set bit i; returns true if this call changed it from 0 to 1.
+  bool test_and_set(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    uint64_t mask = uint64_t(1) << (i & 63);
+    uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  void reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Copy the current contents into a plain BitVector.
+  BitVector snapshot() const {
+    BitVector out(nbits_);
+    for (size_t w = 0; w < words_.size(); ++w)
+      out.data()[w] = words_[w].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace sunbfs

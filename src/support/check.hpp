@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+/// Runtime checking utilities.
+///
+/// SUNBFS_CHECK is always on (cheap invariants, argument validation); it
+/// throws sunbfs::CheckError so tests can assert on failures instead of
+/// aborting the process.  SUNBFS_ASSERT compiles out in NDEBUG builds and is
+/// meant for hot-loop invariants.
+namespace sunbfs {
+
+/// Exception thrown when a SUNBFS_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = std::string("check failed: ") + cond + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw CheckError(what);
+}
+}  // namespace detail
+
+}  // namespace sunbfs
+
+#define SUNBFS_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sunbfs::detail::check_failed(#cond, __FILE__, __LINE__, {});    \
+  } while (0)
+
+#define SUNBFS_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::sunbfs::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUNBFS_ASSERT(cond) ((void)0)
+#else
+#define SUNBFS_ASSERT(cond) SUNBFS_CHECK(cond)
+#endif

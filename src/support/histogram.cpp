@@ -1,0 +1,37 @@
+#include "support/histogram.hpp"
+
+#include <sstream>
+
+namespace sunbfs {
+
+Log2Histogram::Log2Histogram() : counts_(65, 0) {}
+
+void Log2Histogram::add(uint64_t value, uint64_t weight) {
+  size_t b = value < 2 ? 0 : size_t(63 - __builtin_clzll(value));
+  counts_[b] += weight;
+  total_ += weight;
+}
+
+size_t Log2Histogram::bucket_count() const {
+  size_t hi = 0;
+  for (size_t b = 0; b < counts_.size(); ++b)
+    if (counts_[b] != 0) hi = b + 1;
+  return hi;
+}
+
+uint64_t Log2Histogram::bucket_low(size_t b) {
+  return b == 0 ? 0 : (uint64_t(1) << b);
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  size_t n = bucket_count();
+  for (size_t b = 0; b < n; ++b) {
+    if (counts_[b] == 0) continue;
+    os << "  [" << bucket_low(b) << ", " << (bucket_low(b + 1)) << "): "
+       << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sunbfs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Log-scale histogram used for degree-distribution reporting (Figure 2) and
+/// summary statistics over per-partition sizes (Figure 13).
+namespace sunbfs {
+
+/// Power-of-two bucketed histogram over non-negative 64-bit values.
+/// Bucket b holds values in [2^b, 2^(b+1)) except bucket 0 which holds {0,1}.
+class Log2Histogram {
+ public:
+  Log2Histogram();
+
+  void add(uint64_t value, uint64_t weight = 1);
+
+  /// Index of the highest non-empty bucket + 1.
+  size_t bucket_count() const;
+
+  uint64_t bucket(size_t b) const { return counts_[b]; }
+
+  /// Inclusive lower bound of bucket b.
+  static uint64_t bucket_low(size_t b);
+
+  uint64_t total() const { return total_; }
+
+  /// Multi-line human readable rendering (one row per non-empty bucket).
+  std::string to_string() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Streaming min/max/mean summary for balance reporting.
+struct Summary {
+  uint64_t n = 0;
+  double min = 0, max = 0, sum = 0;
+
+  void add(double x) {
+    if (n == 0) {
+      min = max = x;
+    } else {
+      if (x < min) min = x;
+      if (x > max) max = x;
+    }
+    sum += x;
+    ++n;
+  }
+
+  double mean() const { return n ? sum / double(n) : 0.0; }
+  /// (max-min)/max, the paper's Figure 13 spread metric.
+  double spread() const { return max > 0 ? (max - min) / max : 0.0; }
+  /// max/mean - 1, the paper's "maximum against average" metric.
+  double max_over_mean() const {
+    return mean() > 0 ? max / mean() - 1.0 : 0.0;
+  }
+};
+
+}  // namespace sunbfs

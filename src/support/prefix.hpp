@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// Prefix-sum helpers used by bucket sorts, CSR construction and the
+/// edge-aware vertex-cut load balancer.
+namespace sunbfs {
+
+/// Exclusive prefix sum in place; returns the total.
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& v) {
+  T running = 0;
+  for (auto& x : v) {
+    T next = running + x;
+    x = running;
+    running = next;
+  }
+  return running;
+}
+
+/// Exclusive prefix sum into a fresh vector with one extra trailing element
+/// holding the total (CSR row-offset style).
+template <typename T>
+std::vector<T> offsets_from_counts(const std::vector<T>& counts) {
+  std::vector<T> off(counts.size() + 1);
+  T running = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    off[i] = running;
+    running += counts[i];
+  }
+  off[counts.size()] = running;
+  return off;
+}
+
+/// Largest index i in a sorted offsets array such that offsets[i] <= value.
+/// Used to split work by accumulated degree (GraphIt-style vertex cut).
+template <typename T>
+size_t upper_offset_index(const std::vector<T>& offsets, T value) {
+  size_t lo = 0, hi = offsets.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (offsets[mid] <= value)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace sunbfs

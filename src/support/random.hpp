@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+/// Deterministic, fast pseudo-random number generators.
+///
+/// All randomness in the library flows through these generators so that any
+/// run is reproducible from (seed, topology).  SplitMix64 is used to expand
+/// seeds; Xoshiro256StarStar is the workhorse stream generator.
+namespace sunbfs {
+
+/// SplitMix64: tiny generator mainly used to seed other generators and to
+/// hash integers (e.g. Graph500 vertex scrambling).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Stateless mix of a single value (useful as a hash).
+  static uint64_t mix(uint64_t x) {
+    SplitMix64 g(x);
+    return g.next();
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: all-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256StarStar {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256StarStar(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+
+  uint64_t operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t next_below(uint64_t bound) {
+    __uint128_t m = (__uint128_t)next() * bound;
+    uint64_t lo = (uint64_t)m;
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = (__uint128_t)next() * bound;
+        lo = (uint64_t)m;
+      }
+    }
+    return (uint64_t)(m >> 64);
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace sunbfs

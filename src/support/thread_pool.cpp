@@ -1,0 +1,117 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace sunbfs {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  // The caller participates in every batch, so spawn threads-1 workers.
+  for (size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    for (;;) {
+      size_t chunk;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (next_chunk_ >= job_chunks_) break;
+        chunk = next_chunk_++;
+      }
+      try {
+        (*job)(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(size_t nchunks,
+                            const std::function<void(size_t)>& fn) {
+  if (nchunks == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < nchunks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_chunks_ = nchunks;
+    next_chunk_ = 0;
+    pending_ = workers_.size();
+    error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // Caller participates.
+  for (;;) {
+    size_t chunk;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (next_chunk_ >= job_chunks_) break;
+      chunk = next_chunk_++;
+    }
+    try {
+      fn(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t begin, size_t end,
+                              const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  size_t n = end - begin;
+  size_t parts = std::min(n, size());
+  run_chunks(parts, [&](size_t p) {
+    size_t lo = begin + n * p / parts;
+    size_t hi = begin + n * (p + 1) / parts;
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace sunbfs

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Shared-memory worker pool for intra-rank parallelism.
+///
+/// On the simulated machine each rank's "CPE cluster" compute is expressed as
+/// parallel_for over local ranges; on a single-core host the pool degrades
+/// gracefully to inline execution.
+namespace sunbfs {
+
+/// Fixed-size thread pool executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers.  0 means
+  /// std::thread::hardware_concurrency().  A pool of size <= 1 executes
+  /// everything inline on the caller thread.
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.empty() ? 1 : workers_.size() + 1; }
+
+  /// Run fn(chunk_index) for chunk_index in [0, nchunks), distributing chunks
+  /// across workers (caller participates).  Blocks until all chunks finish.
+  /// Exceptions from fn propagate to the caller (first one wins).
+  void run_chunks(size_t nchunks, const std::function<void(size_t)>& fn);
+
+  /// Parallel loop over [begin, end) in contiguous blocks, one block per
+  /// participant: fn(block_begin, block_end).
+  void parallel_for(size_t begin, size_t end,
+                    const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide default pool (size = hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_chunks_ = 0;
+  size_t next_chunk_ = 0;
+  size_t pending_ = 0;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace sunbfs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+/// Wall-clock timing utilities used by the benchmark harness and by the BFS
+/// time-breakdown instrumentation (Figures 10, 11, 15).
+namespace sunbfs {
+
+/// High-resolution wall timer.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  /// Restart the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time over repeated start/stop intervals; used to attribute
+/// wall time to named phases (per subgraph, per collective type).
+class TimeAccumulator {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+
+  /// Add externally measured seconds (e.g. modeled network time).
+  void add(double seconds) { total_ += seconds; }
+
+  double seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+/// Per-thread CPU time.  Rank threads time-share host cores, so wall clocks
+/// cannot attribute compute to a rank; CLOCK_THREAD_CPUTIME_ID can.  All
+/// per-rank compute measurements in the BFS engines use this clock.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+
+  void reset() { start_ = now(); }
+
+  /// CPU seconds consumed by the calling thread since the last reset().
+  double seconds() const { return now() - start_; }
+
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  double start_ = 0;
+};
+
+/// Accumulates per-thread CPU time over start/stop intervals.
+class CpuTimeAccumulator {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  void add(double seconds) { total_ += seconds; }
+  double seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  ThreadCpuTimer timer_;
+  double total_ = 0.0;
+};
+
+/// RAII helper adding the scope's CPU time to a CpuTimeAccumulator.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(CpuTimeAccumulator& acc) : acc_(acc) {
+    acc_.start();
+  }
+  ~ScopedCpuTimer() { acc_.stop(); }
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  CpuTimeAccumulator& acc_;
+};
+
+/// RAII helper adding the scope's duration to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedTimer() { acc_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+};
+
+}  // namespace sunbfs

@@ -1,0 +1,334 @@
+// Tests for the SW26010-Pro chip model: LDM, DMA, RMA, cost accounting,
+// CG/chip synchronization and MPE execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "chip/chip.hpp"
+#include "chip/ldcache.hpp"
+#include "support/random.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::chip {
+namespace {
+
+TEST(Ldm, AllocRespectsAlignmentAndCapacity) {
+  Ldm ldm(128);
+  size_t a = ldm.alloc(10);
+  size_t b = ldm.alloc(16, 16);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  EXPECT_GE(b, 10u);
+  EXPECT_THROW(ldm.alloc(1024), CheckError);
+  ldm.reset_alloc();
+  EXPECT_EQ(ldm.alloc(64), 0u);
+}
+
+TEST(Ldm, TypedViews) {
+  Ldm ldm(64);
+  size_t off = ldm.alloc(4 * sizeof(uint32_t));
+  uint32_t* p = ldm.as<uint32_t>(off);
+  for (int i = 0; i < 4; ++i) p[i] = uint32_t(i * i);
+  EXPECT_EQ(ldm.as<uint32_t>(off)[3], 9u);
+}
+
+TEST(Geometry, Presets) {
+  Geometry full = Geometry::sw26010pro();
+  EXPECT_EQ(full.total_cpes(), 384);
+  EXPECT_EQ(full.ldm_bytes, 256u * 1024);
+  Geometry tiny = Geometry::tiny();
+  EXPECT_LT(tiny.total_cpes(), 32);
+}
+
+TEST(Chip, RunsKernelOnEveryCpe) {
+  Chip chip(Geometry::tiny());
+  std::vector<std::atomic<int>> hits(size_t(chip.geometry().total_cpes()));
+  chip.run([&](CpeContext& cpe) {
+    hits[size_t(cpe.cg() * cpe.geometry().cpes_per_cg + cpe.cpe())]
+        .fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Chip, SingleCgRunUsesOnlyThatCg) {
+  Chip chip(Geometry::tiny());
+  std::atomic<int> count{0};
+  std::atomic<int> max_cg{-1};
+  chip.run(
+      [&](CpeContext& cpe) {
+        count.fetch_add(1);
+        int prev = max_cg.load();
+        while (prev < cpe.cg() && !max_cg.compare_exchange_weak(prev, cpe.cg()))
+          ;
+      },
+      1);
+  EXPECT_EQ(count.load(), chip.geometry().cpes_per_cg);
+  EXPECT_EQ(max_cg.load(), 0);
+}
+
+TEST(Chip, DmaMovesDataAndChargesCycles) {
+  Chip chip(Geometry::tiny());
+  std::vector<uint64_t> mem(1024);
+  std::iota(mem.begin(), mem.end(), 0);
+  std::vector<uint64_t> out(1024, 0);
+  auto report = chip.run(
+      [&](CpeContext& cpe) {
+        size_t off = cpe.ldm().alloc(512 * sizeof(uint64_t));
+        uint64_t* buf = cpe.ldm().as<uint64_t>(off);
+        size_t half = size_t(cpe.cpe() % 2) * 512;
+        cpe.dma_get(buf, mem.data() + half, 512 * sizeof(uint64_t));
+        if (cpe.cpe() < 2)
+          cpe.dma_put(out.data() + half, buf, 512 * sizeof(uint64_t));
+      },
+      1);
+  EXPECT_EQ(out, mem);
+  EXPECT_GT(report.max_cycles, 0.0);
+  EXPECT_EQ(report.totals.dma_ops,
+            uint64_t(chip.geometry().cpes_per_cg) + 2);
+}
+
+TEST(Chip, RmaTransfersBetweenPeers) {
+  Chip chip(Geometry::tiny());
+  int n = chip.geometry().cpes_per_cg;
+  auto report = chip.run(
+      [&](CpeContext& cpe) {
+        size_t off = cpe.ldm().alloc(sizeof(uint64_t) * 2);
+        uint64_t* vals = cpe.ldm().as<uint64_t>(off);
+        vals[0] = uint64_t(100 + cpe.cpe());
+        cpe.sync_cg();
+        // Each CPE reads its right neighbor's value.
+        int peer = (cpe.cpe() + 1) % n;
+        uint64_t got = cpe.rma_read<uint64_t>(peer, off);
+        EXPECT_EQ(got, uint64_t(100 + peer));
+        // And RMA-puts its own id into the left neighbor's slot 1.
+        uint64_t mine = uint64_t(cpe.cpe());
+        int left = (cpe.cpe() + n - 1) % n;
+        cpe.rma_put(left, off + sizeof(uint64_t), &mine, sizeof(uint64_t));
+        cpe.sync_cg();
+        EXPECT_EQ(vals[1], uint64_t((cpe.cpe() + 1) % n));
+      },
+      1);
+  EXPECT_EQ(report.totals.rma_ops, uint64_t(2 * n));
+}
+
+TEST(Chip, RmaIsCheaperThanGld) {
+  // The architectural premise of CG-aware segmenting: reading a peer's LDM
+  // via RMA must be much cheaper than a random main-memory load.
+  Chip chip(Geometry::tiny());
+  uint64_t mem_word = 42;
+  double rma_cycles = 0, gld_cycles = 0;
+  chip.run(
+      [&](CpeContext& cpe) {
+        if (cpe.cpe() != 0) return;
+        size_t off = cpe.ldm().alloc(8);
+        double c0 = cpe.cycles();
+        (void)cpe.rma_read<uint64_t>(1, off);
+        double c1 = cpe.cycles();
+        (void)cpe.gld(mem_word);
+        double c2 = cpe.cycles();
+        rma_cycles = c1 - c0;
+        gld_cycles = c2 - c1;
+      },
+      1);
+  EXPECT_GT(gld_cycles, 4 * rma_cycles);
+}
+
+TEST(Chip, AtomicsAreExpensiveAndCorrect) {
+  Chip chip(Geometry::tiny());
+  std::atomic<uint64_t> counter{0};
+  auto report = chip.run([&](CpeContext& cpe) { cpe.atomic_add(counter, 1); });
+  EXPECT_EQ(counter.load(), uint64_t(chip.geometry().total_cpes()));
+  EXPECT_EQ(report.totals.atomic_ops, uint64_t(chip.geometry().total_cpes()));
+  EXPECT_GE(report.max_cycles, chip.cost().atomic_cycles);
+}
+
+TEST(Chip, SyncCgAlignsModeledClocks) {
+  Chip chip(Geometry::tiny());
+  chip.run(
+      [&](CpeContext& cpe) {
+        // CPE 0 does extra work; after the sync everyone's clock must be at
+        // least that much.
+        if (cpe.cpe() == 0) cpe.add_cycles(1e6);
+        cpe.sync_cg();
+        EXPECT_GE(cpe.cycles(), 1e6);
+      },
+      1);
+}
+
+TEST(Chip, SyncChipCrossesCgs) {
+  Chip chip(Geometry::tiny());
+  std::atomic<int> before{0};
+  chip.run([&](CpeContext& cpe) {
+    before.fetch_add(1);
+    cpe.sync_chip();
+    EXPECT_EQ(before.load(), chip.geometry().total_cpes());
+  });
+}
+
+TEST(Chip, FlagHandshakeViaRmaPost) {
+  Chip chip(Geometry::tiny());
+  chip.run(
+      [&](CpeContext& cpe) {
+        size_t flag_off = cpe.ldm().alloc(sizeof(uint32_t), 4);
+        size_t data_off = cpe.ldm().alloc(sizeof(uint64_t));
+        cpe.ldm_atomic<uint32_t>(flag_off).store(0);
+        cpe.sync_cg();
+        if (cpe.cpe() == 0) {
+          // Send a value to CPE 1, then raise its flag.
+          uint64_t v = 777;
+          cpe.rma_put(1, data_off, &v, sizeof(v));
+          cpe.rma_post<uint32_t>(1, flag_off, 1);
+        } else if (cpe.cpe() == 1) {
+          auto& flag = cpe.ldm_atomic<uint32_t>(flag_off);
+          cpe.wait([&] { return flag.load(std::memory_order_acquire) == 1; });
+          EXPECT_EQ(*cpe.ldm().as<uint64_t>(data_off), 777u);
+        }
+        cpe.sync_cg();
+      },
+      1);
+}
+
+TEST(Chip, KernelExceptionPropagatesWithoutDeadlock) {
+  Chip chip(Geometry::tiny());
+  EXPECT_THROW(chip.run([&](CpeContext& cpe) {
+    if (cpe.cg() == 0 && cpe.cpe() == 3) throw std::runtime_error("cpe died");
+    cpe.sync_chip();  // peers must be released, not deadlock
+  }),
+               std::runtime_error);
+}
+
+TEST(Chip, MpeRunChargesMemoryCost) {
+  Chip chip(Geometry::tiny());
+  std::vector<uint64_t> data(1000, 5);
+  uint64_t sum = 0;
+  auto report = chip.run_mpe([&](MpeContext& mpe) {
+    for (auto& d : data) sum += mpe.load(d);
+  });
+  EXPECT_EQ(sum, 5000u);
+  EXPECT_DOUBLE_EQ(report.max_cycles, 1000 * chip.cost().mpe_mem_cycles);
+  EXPECT_GT(report.modeled_seconds, 0.0);
+}
+
+TEST(Chip, LdmCapacityViolationSurfaces) {
+  Chip chip(Geometry::tiny());
+  EXPECT_THROW(
+      chip.run([&](CpeContext& cpe) { cpe.ldm().alloc(1 << 24); }, 1),
+      CheckError);
+}
+
+TEST(LdCache, TracksHitsByLine) {
+  LdCache cache(1024, 256);  // 4 lines
+  EXPECT_FALSE(cache.access(0));     // miss, installs line 0
+  EXPECT_TRUE(cache.access(8));      // same line
+  EXPECT_TRUE(cache.access(255));
+  EXPECT_FALSE(cache.access(256));   // next line
+  EXPECT_FALSE(cache.access(1024));  // conflicts with line 0 (direct-mapped)
+  EXPECT_FALSE(cache.access(0));     // evicted
+  EXPECT_EQ(cache.accesses(), 6u);
+  EXPECT_EQ(cache.hits(), 2u);
+  cache.flush();
+  EXPECT_FALSE(cache.access(8));
+}
+
+TEST(LdCache, SequentialAccessHitsMostly) {
+  LdCache cache(16 * 1024, 256);
+  for (uint64_t a = 0; a < 64 * 1024; a += 8) cache.access(a);
+  EXPECT_GT(cache.hit_rate(), 0.95);  // 1 miss per 32 accesses
+}
+
+TEST(Chip, CachedLoadHelpsSequentialNotRandomWorkingSet) {
+  // SS3.3: "With LDCache enabled, the cache size is also not large enough to
+  // hold the hot data given millions of vertices each node is responsible
+  // for."  A working set far beyond the cache keeps missing; a small one
+  // hits.  Modeled cycles must reflect it.
+  Chip chip(Geometry::tiny());
+  std::vector<uint64_t> big(1 << 20);  // 8 MB >> 8 KB cache
+  std::vector<uint64_t> small(256);    // 2 KB << cache
+  Xoshiro256StarStar rng(7);
+  double big_cycles = 0, small_cycles = 0, gld_cycles = 0;
+  chip.run(
+      [&](CpeContext& cpe) {
+        if (cpe.cpe() != 0) return;
+        cpe.ldm().reset_alloc();
+        cpe.enable_ldcache(8 * 1024);
+        double c0 = cpe.cycles();
+        for (int i = 0; i < 2000; ++i)
+          (void)cpe.cached_load(big[rng.next_below(big.size())]);
+        double c1 = cpe.cycles();
+        for (int i = 0; i < 2000; ++i)
+          (void)cpe.cached_load(small[rng.next_below(small.size())]);
+        double c2 = cpe.cycles();
+        for (int i = 0; i < 2000; ++i)
+          (void)cpe.gld(big[rng.next_below(big.size())]);
+        double c3 = cpe.cycles();
+        big_cycles = c1 - c0;
+        small_cycles = c2 - c1;
+        gld_cycles = c3 - c2;
+        EXPECT_GT(cpe.counters().cached_loads, 0u);
+      },
+      1);
+  EXPECT_LT(small_cycles * 10, big_cycles);   // hot set: order faster
+  EXPECT_GT(big_cycles, gld_cycles);          // thrashing cache <= raw GLD
+}
+
+TEST(Chip, LdCacheStealsLdmCapacity) {
+  // "LDCache shares physical space with LDM": enabling it must reduce what
+  // kernels can allocate, and over-reserving must be caught.
+  Chip chip(Geometry::tiny());
+  EXPECT_THROW(chip.run(
+                   [&](CpeContext& cpe) {
+                     cpe.ldm().reset_alloc();
+                     cpe.enable_ldcache(cpe.ldm().capacity() - 64);
+                     cpe.ldm().alloc(1024);  // no longer fits
+                   },
+                   1),
+               CheckError);
+}
+
+TEST(Chip, CachedLoadFallsBackToGldWithoutCache) {
+  Chip chip(Geometry::tiny());
+  uint64_t word = 9;
+  chip.run(
+      [&](CpeContext& cpe) {
+        if (cpe.cpe() != 0) return;
+        double c0 = cpe.cycles();
+        EXPECT_EQ(cpe.cached_load(word), 9u);  // no cache enabled
+        EXPECT_DOUBLE_EQ(cpe.cycles() - c0, cpe.cost().gld_cycles);
+        EXPECT_EQ(cpe.counters().cached_loads, 0u);
+        EXPECT_EQ(cpe.counters().gld_ops, 1u);
+      },
+      1);
+}
+
+TEST(Chip, MpeStoreWritesThrough) {
+  Chip chip(Geometry::tiny());
+  uint64_t slot = 0;
+  auto report = chip.run_mpe([&](MpeContext& mpe) {
+    mpe.store(slot, uint64_t(42));
+    mpe.add_cycles(5);
+  });
+  EXPECT_EQ(slot, 42u);
+  EXPECT_DOUBLE_EQ(report.max_cycles, chip.cost().mpe_mem_cycles + 5);
+}
+
+TEST(Chip, KernelReportThroughputHelper) {
+  KernelReport r;
+  r.modeled_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(r.modeled_bytes_per_s(10), 5.0);
+  KernelReport zero;
+  EXPECT_DOUBLE_EQ(zero.modeled_bytes_per_s(10), 0.0);
+}
+
+TEST(CostModel, DmaFavorsLargeGrains) {
+  CostModel cm;
+  Geometry g = Geometry::sw26010pro();
+  double per_byte_small = 0, per_byte_large = 0;
+  double bpc = cm.dma_bytes_per_cycle_per_cpe(g.core_groups, g.cpes_per_cg);
+  per_byte_small = (cm.dma_startup_cycles + 64.0 / bpc) / 64.0;
+  per_byte_large = (cm.dma_startup_cycles + 4096.0 / bpc) / 4096.0;
+  EXPECT_GT(per_byte_small, per_byte_large * 1.5);
+}
+
+}  // namespace
+}  // namespace sunbfs::chip

@@ -1,0 +1,288 @@
+// Tests for the SPMD runtime: topology cost model, barriers and every
+// collective, including sub-communicators, statistics and abort semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "sim/runtime.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::sim {
+namespace {
+
+TEST(Topology, SupernodeMappingFollowsRows) {
+  Topology topo(MeshShape{4, 3});
+  EXPECT_EQ(topo.ranks_per_supernode(), 3);
+  EXPECT_EQ(topo.supernode_count(), 4);
+  EXPECT_TRUE(topo.same_supernode(0, 2));
+  EXPECT_FALSE(topo.same_supernode(2, 3));
+  EXPECT_EQ(topo.supernode_of(11), 3);
+}
+
+TEST(Topology, CustomSupernodeSize) {
+  TopologyParams p;
+  p.ranks_per_supernode = 2;
+  Topology topo(MeshShape{2, 4}, p);
+  EXPECT_EQ(topo.supernode_count(), 4);
+  EXPECT_TRUE(topo.same_supernode(0, 1));
+  EXPECT_FALSE(topo.same_supernode(1, 2));
+}
+
+TEST(Topology, InterSupernodeBytesCostMore) {
+  Topology topo(MeshShape{4, 4});
+  double intra = topo.transfer_time(4, 1 << 20, 0);
+  double inter = topo.transfer_time(4, 0, 1 << 20);
+  EXPECT_GT(inter, intra * 4);  // 8x oversubscription on the default params
+}
+
+TEST(Topology, LatencyGrowsWithParticipants) {
+  Topology topo(MeshShape{16, 16});
+  EXPECT_LT(topo.transfer_time(2, 0, 0), topo.transfer_time(256, 0, 0));
+}
+
+TEST(MeshShape, RowMajorNumbering) {
+  MeshShape m{3, 5};
+  EXPECT_EQ(m.ranks(), 15);
+  EXPECT_EQ(m.row_of(7), 1);
+  EXPECT_EQ(m.col_of(7), 2);
+  EXPECT_EQ(m.rank_of(1, 2), 7);
+}
+
+TEST(Runtime, RunsEveryRankOnce) {
+  std::vector<std::atomic<int>> counts(6);
+  run_spmd(MeshShape{2, 3}, [&](RankContext& ctx) {
+    counts[ctx.rank].fetch_add(1);
+    EXPECT_EQ(ctx.world.size(), 6);
+    EXPECT_EQ(ctx.row.size(), 3);
+    EXPECT_EQ(ctx.col.size(), 2);
+    EXPECT_EQ(ctx.row.rank(), ctx.col_index());
+    EXPECT_EQ(ctx.col.rank(), ctx.row_index());
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Runtime, SingleRankWorks) {
+  int ran = 0;
+  run_spmd(MeshShape{1, 1}, [&](RankContext& ctx) {
+    ran = 1;
+    EXPECT_EQ(ctx.world.allreduce_sum(5), 5);
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Runtime, ExceptionAbortsAllRanksAndRethrows) {
+  EXPECT_THROW(run_spmd(MeshShape{2, 2},
+                        [&](RankContext& ctx) {
+                          if (ctx.rank == 2) throw std::runtime_error("rank2");
+                          // Other ranks block in a barrier; must be released.
+                          ctx.world.barrier();
+                          ctx.world.barrier();
+                        }),
+               std::runtime_error);
+}
+
+TEST(Collectives, AllreduceSumAndMax) {
+  run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    int sum = ctx.world.allreduce_sum(ctx.rank + 1);
+    EXPECT_EQ(sum, 1 + 2 + 3 + 4);
+    int mx = ctx.world.allreduce_max(ctx.rank * 10);
+    EXPECT_EQ(mx, 30);
+    EXPECT_TRUE(ctx.world.allreduce_or(ctx.rank == 3));
+    EXPECT_FALSE(ctx.world.allreduce_or(false));
+  });
+}
+
+TEST(Collectives, AllgatherOrdersByRank) {
+  run_spmd(MeshShape{1, 4}, [&](RankContext& ctx) {
+    auto got = ctx.world.allgather(100 + ctx.rank);
+    EXPECT_EQ(got, (std::vector<int>{100, 101, 102, 103}));
+  });
+}
+
+TEST(Collectives, AllgathervVariableSizes) {
+  run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    std::vector<int> mine(size_t(ctx.rank), ctx.rank);  // rank r sends r copies
+    std::vector<size_t> offsets;
+    auto got = ctx.world.allgatherv(std::span<const int>(mine), &offsets);
+    EXPECT_EQ(got.size(), 0u + 1 + 2 + 3);
+    EXPECT_EQ(offsets, (std::vector<size_t>{0, 0, 1, 3, 6}));
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+  });
+}
+
+TEST(Collectives, ReduceScatterBlockSums) {
+  // Each rank contributes [rank, rank, rank, rank] over 2 blocks of size 2;
+  // rank r receives block r summed over ranks.
+  run_spmd(MeshShape{1, 2}, [&](RankContext& ctx) {
+    std::vector<int> contrib = {ctx.rank, ctx.rank + 1, 10 * ctx.rank,
+                                10 * ctx.rank + 1};
+    auto mine = ctx.world.reduce_scatter_block(
+        std::span<const int>(contrib), 2, [](int a, int b) { return a + b; });
+    ASSERT_EQ(mine.size(), 2u);
+    if (ctx.rank == 0) {
+      EXPECT_EQ(mine[0], 0 + 1);
+      EXPECT_EQ(mine[1], 1 + 2);
+    } else {
+      EXPECT_EQ(mine[0], 0 + 10);
+      EXPECT_EQ(mine[1], 1 + 11);
+    }
+  });
+}
+
+TEST(Collectives, AllreduceInplaceUnionsWords) {
+  run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    std::vector<uint64_t> bits(8, 0);
+    bits[size_t(ctx.rank) * 2] = uint64_t(1) << ctx.rank;
+    ctx.world.allreduce_inplace(std::span<uint64_t>(bits),
+                                [](uint64_t a, uint64_t b) { return a | b; });
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(bits[size_t(r) * 2], uint64_t(1) << r) << "rank " << r;
+    EXPECT_EQ(bits[1], 0u);
+  });
+}
+
+TEST(Collectives, AlltoallvRoutesMessages) {
+  run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    int p = ctx.world.size();
+    // Rank s sends (s*10+d) repeated (s+d) times to rank d.
+    std::vector<std::vector<int>> to(p);
+    for (int d = 0; d < p; ++d)
+      to[d].assign(size_t(ctx.rank + d), ctx.rank * 10 + d);
+    std::vector<size_t> src_off;
+    auto got = ctx.world.alltoallv(to, &src_off);
+    ASSERT_EQ(src_off.size(), size_t(p) + 1);
+    for (int s = 0; s < p; ++s) {
+      size_t n = src_off[s + 1] - src_off[s];
+      EXPECT_EQ(n, size_t(s + ctx.rank));
+      for (size_t i = src_off[s]; i < src_off[s + 1]; ++i)
+        EXPECT_EQ(got[i], s * 10 + ctx.rank);
+    }
+  });
+}
+
+TEST(Collectives, AlltoallvEmptyMessagesOk) {
+  run_spmd(MeshShape{1, 3}, [&](RankContext& ctx) {
+    std::vector<std::vector<int>> to(3);
+    auto got = ctx.world.alltoallv(to);
+    EXPECT_TRUE(got.empty());
+  });
+}
+
+TEST(Collectives, BroadcastFromNonzeroRoot) {
+  run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    std::vector<double> data(5, ctx.rank == 2 ? 3.25 : 0.0);
+    ctx.world.broadcast(std::span<double>(data), 2);
+    for (double d : data) EXPECT_DOUBLE_EQ(d, 3.25);
+  });
+}
+
+TEST(Collectives, RowAndColumnCommsAreDisjoint) {
+  run_spmd(MeshShape{2, 3}, [&](RankContext& ctx) {
+    // Row sum: ranks in row r are {3r, 3r+1, 3r+2}.
+    int row_sum = ctx.row.allreduce_sum(ctx.rank);
+    int r = ctx.row_index();
+    EXPECT_EQ(row_sum, 3 * r + 3 * r + 1 + 3 * r + 2);
+    // Column gather: ranks in column c are {c, c+3}.
+    auto col = ctx.col.allgather(ctx.rank);
+    EXPECT_EQ(col, (std::vector<int>{ctx.col_index(), ctx.col_index() + 3}));
+  });
+}
+
+TEST(Stats, BytesAndModeledTimeRecorded) {
+  auto report = run_spmd(MeshShape{2, 2}, [&](RankContext& ctx) {
+    std::vector<std::vector<int>> to(4);
+    for (int d = 0; d < 4; ++d) to[d].assign(100, d);
+    ctx.world.alltoallv(to);
+  });
+  const auto& e0 = report.per_rank[0].entry(CollectiveType::Alltoallv);
+  EXPECT_EQ(e0.calls, 1u);
+  // 3 remote destinations x 100 ints.
+  EXPECT_EQ(e0.bytes_sent, 3u * 100 * sizeof(int));
+  EXPECT_GT(e0.modeled_s, 0.0);
+  // In a 2x2 mesh with rows as supernodes, half of remote traffic crosses.
+  EXPECT_EQ(e0.bytes_inter_supernode, 2u * 100 * sizeof(int));
+  // Modeled time identical on all ranks.
+  for (const auto& s : report.per_rank)
+    EXPECT_DOUBLE_EQ(s.entry(CollectiveType::Alltoallv).modeled_s,
+                     e0.modeled_s);
+  CommStats agg = report.aggregate();
+  EXPECT_EQ(agg.entry(CollectiveType::Alltoallv).calls, 4u);
+}
+
+TEST(Stats, MergeAndReset) {
+  CommStats a, b;
+  a.record(CollectiveType::Allgather, 100, 40, 0.5, 0.6);
+  b.record(CollectiveType::Allgather, 50, 0, 0.1, 0.2);
+  a.merge(b);
+  EXPECT_EQ(a.entry(CollectiveType::Allgather).bytes_sent, 150u);
+  EXPECT_EQ(a.entry(CollectiveType::Allgather).calls, 2u);
+  EXPECT_DOUBLE_EQ(a.total_modeled_s(), 0.6);
+  a.reset();
+  EXPECT_EQ(a.total_bytes_sent(), 0u);
+}
+
+TEST(Collectives, InplaceAllreduceSingleRankIsNoop) {
+  sim::run_spmd(sim::MeshShape{1, 1}, [&](sim::RankContext& ctx) {
+    std::vector<uint64_t> data = {1, 2, 3};
+    ctx.world.allreduce_inplace(std::span<uint64_t>(data),
+                                [](uint64_t a, uint64_t b) { return a | b; });
+    EXPECT_EQ(data, (std::vector<uint64_t>{1, 2, 3}));
+    // No bytes recorded for the no-op.
+    EXPECT_EQ(ctx.stats.entry(CollectiveType::Allreduce).calls, 0u);
+  });
+}
+
+TEST(Collectives, AllgathervAllEmpty) {
+  sim::run_spmd(sim::MeshShape{2, 2}, [&](sim::RankContext& ctx) {
+    std::vector<int> nothing;
+    std::vector<size_t> off;
+    auto got = ctx.world.allgatherv(std::span<const int>(nothing), &off);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(off, (std::vector<size_t>{0, 0, 0, 0, 0}));
+  });
+}
+
+TEST(Collectives, BroadcastStructPayload) {
+  struct Payload {
+    double a;
+    int b;
+  };
+  sim::run_spmd(sim::MeshShape{1, 3}, [&](sim::RankContext& ctx) {
+    std::vector<Payload> data(4);
+    if (ctx.rank == 1)
+      for (int i = 0; i < 4; ++i) data[size_t(i)] = {i * 1.5, i};
+    ctx.world.broadcast(std::span<Payload>(data), 1);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(data[size_t(i)].a, i * 1.5);
+      EXPECT_EQ(data[size_t(i)].b, i);
+    }
+  });
+}
+
+TEST(Collectives, AllreduceMinOnSigned) {
+  sim::run_spmd(sim::MeshShape{2, 2}, [&](sim::RankContext& ctx) {
+    int64_t v = ctx.rank == 2 ? -5 : ctx.rank;
+    int64_t mn = ctx.world.allreduce(
+        v, [](int64_t a, int64_t b) { return std::min(a, b); });
+    EXPECT_EQ(mn, -5);
+  });
+}
+
+TEST(Barrier, ManyIterationsStayInSync) {
+  // Stress sequencing: a counter that every rank increments between barriers
+  // must be exactly nranks * i after barrier i.
+  const int iters = 50;
+  std::atomic<int> counter{0};
+  run_spmd(MeshShape{1, 4}, [&](RankContext& ctx) {
+    for (int i = 1; i <= iters; ++i) {
+      counter.fetch_add(1);
+      ctx.world.barrier();
+      EXPECT_EQ(counter.load(), 4 * i);
+      ctx.world.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sunbfs::sim

@@ -1,0 +1,239 @@
+// Unit tests for the support module: bit vectors, RNG, prefix sums,
+// histograms, thread pool, checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/bitvector.hpp"
+#include "support/check.hpp"
+#include "support/histogram.hpp"
+#include "support/prefix.hpp"
+#include "support/random.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace sunbfs {
+namespace {
+
+TEST(Check, ThrowsCheckErrorWithLocation) {
+  try {
+    SUNBFS_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(SUNBFS_CHECK(2 + 2 == 4));
+}
+
+TEST(BitVector, SetGetClear) {
+  BitVector bv(200);
+  EXPECT_EQ(bv.size(), 200u);
+  EXPECT_FALSE(bv.get(63));
+  bv.set(63);
+  bv.set(64);
+  bv.set(199);
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(199));
+  EXPECT_EQ(bv.count(), 3u);
+  bv.clear(64);
+  EXPECT_FALSE(bv.get(64));
+  EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVector, TestAndSetReportsTransition) {
+  BitVector bv(10);
+  EXPECT_TRUE(bv.test_and_set(3));
+  EXPECT_FALSE(bv.test_and_set(3));
+  EXPECT_TRUE(bv.get(3));
+}
+
+TEST(BitVector, ForEachSetVisitsInOrder) {
+  BitVector bv(300);
+  std::vector<size_t> expected = {0, 1, 63, 64, 65, 128, 299};
+  for (size_t i : expected) bv.set(i);
+  std::vector<size_t> seen;
+  bv.for_each_set([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVector, UnionAndDifference) {
+  BitVector a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  BitVector u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.get(1) && u.get(50) && u.get(99));
+  u.and_not(b);
+  EXPECT_EQ(u.count(), 1u);
+  EXPECT_TRUE(u.get(1));
+}
+
+TEST(BitVector, NoneAndReset) {
+  BitVector bv(77);
+  EXPECT_TRUE(bv.none());
+  bv.set(76);
+  EXPECT_FALSE(bv.none());
+  bv.reset();
+  EXPECT_TRUE(bv.none());
+  EXPECT_EQ(bv.size(), 77u);
+}
+
+TEST(BitVector, SizeMismatchUnionThrows) {
+  BitVector a(10), b(20);
+  EXPECT_THROW(a |= b, CheckError);
+}
+
+TEST(AtomicBitVector, ConcurrentSetsCountOnce) {
+  AtomicBitVector bv(1 << 12);
+  std::atomic<size_t> firsts{0};
+  ThreadPool pool(4);
+  pool.run_chunks(8, [&](size_t chunk) {
+    // All chunks try to set the same bits; each bit reports "first" once.
+    for (size_t i = chunk % 2; i < bv.size(); i += 2)
+      if (bv.test_and_set(i)) firsts.fetch_add(1);
+  });
+  EXPECT_EQ(firsts.load(), bv.size());
+  BitVector snap = bv.snapshot();
+  EXPECT_EQ(snap.count(), bv.size());
+}
+
+TEST(Random, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(Random, XoshiroUniformBelow) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.next_below(17);
+    ASSERT_LT(v, 17u);
+  }
+}
+
+TEST(Random, XoshiroDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(1234);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Prefix, ExclusiveInPlace) {
+  std::vector<int> v = {3, 1, 4, 1, 5};
+  int total = exclusive_prefix_sum(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(Prefix, OffsetsFromCounts) {
+  std::vector<uint64_t> counts = {2, 0, 3};
+  auto off = offsets_from_counts(counts);
+  EXPECT_EQ(off, (std::vector<uint64_t>{0, 2, 2, 5}));
+}
+
+TEST(Prefix, UpperOffsetIndexFindsBlock) {
+  std::vector<uint64_t> off = {0, 10, 10, 25, 40};
+  EXPECT_EQ(upper_offset_index(off, uint64_t(0)), 0u);
+  EXPECT_EQ(upper_offset_index(off, uint64_t(9)), 0u);
+  EXPECT_EQ(upper_offset_index(off, uint64_t(10)), 2u);
+  EXPECT_EQ(upper_offset_index(off, uint64_t(39)), 3u);
+  EXPECT_EQ(upper_offset_index(off, uint64_t(40)), 4u);
+}
+
+TEST(Histogram, BucketsPowersOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);  // {0,1}
+  EXPECT_EQ(h.bucket(1), 2u);  // [2,4)
+  EXPECT_EQ(h.bucket(2), 1u);  // [4,8)
+  EXPECT_EQ(h.bucket(9), 1u);  // [512,1024)
+}
+
+TEST(Histogram, SummarySpreadMetrics) {
+  Summary s;
+  s.add(90);
+  s.add(100);
+  s.add(110);
+  EXPECT_DOUBLE_EQ(s.mean(), 100.0);
+  EXPECT_NEAR(s.spread(), (110.0 - 90.0) / 110.0, 1e-12);
+  EXPECT_NEAR(s.max_over_mean(), 0.10, 1e-12);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int sum = 0;
+  pool.run_chunks(10, [&](size_t c) { sum += int(c); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run_chunks(8,
+                      [&](size_t c) {
+                        if (c == 5) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> n{0};
+  pool.run_chunks(4, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Timer, AccumulatorSumsIntervals) {
+  TimeAccumulator acc;
+  acc.add(0.5);
+  acc.add(0.25);
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.75);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+  {
+    ScopedTimer t(acc);
+  }
+  EXPECT_GE(acc.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sunbfs
