@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chip_memory.dir/bench_chip_memory.cpp.o"
+  "CMakeFiles/bench_chip_memory.dir/bench_chip_memory.cpp.o.d"
+  "bench_chip_memory"
+  "bench_chip_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chip_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_activation.dir/bench_fig05_activation.cpp.o"
+  "CMakeFiles/bench_fig05_activation.dir/bench_fig05_activation.cpp.o.d"
+  "bench_fig05_activation"
+  "bench_fig05_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ocs_rma.dir/bench_fig14_ocs_rma.cpp.o"
+  "CMakeFiles/bench_fig14_ocs_rma.dir/bench_fig14_ocs_rma.cpp.o.d"
+  "bench_fig14_ocs_rma"
+  "bench_fig14_ocs_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ocs_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel3_sssp.dir/bench_kernel3_sssp.cpp.o"
+  "CMakeFiles/bench_kernel3_sssp.dir/bench_kernel3_sssp.cpp.o.d"
+  "bench_kernel3_sssp"
+  "bench_kernel3_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel3_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_sort_demo.dir/chip_sort_demo.cpp.o"
+  "CMakeFiles/chip_sort_demo.dir/chip_sort_demo.cpp.o.d"
+  "chip_sort_demo"
+  "chip_sort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_sort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_bfs.dir/file_bfs.cpp.o"
+  "CMakeFiles/file_bfs.dir/file_bfs.cpp.o.d"
+  "file_bfs"
+  "file_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/cc.cpp" "src/analytics/CMakeFiles/sunbfs_analytics.dir/cc.cpp.o" "gcc" "src/analytics/CMakeFiles/sunbfs_analytics.dir/cc.cpp.o.d"
+  "/root/repo/src/analytics/delta_stepping.cpp" "src/analytics/CMakeFiles/sunbfs_analytics.dir/delta_stepping.cpp.o" "gcc" "src/analytics/CMakeFiles/sunbfs_analytics.dir/delta_stepping.cpp.o.d"
+  "/root/repo/src/analytics/pagerank.cpp" "src/analytics/CMakeFiles/sunbfs_analytics.dir/pagerank.cpp.o" "gcc" "src/analytics/CMakeFiles/sunbfs_analytics.dir/pagerank.cpp.o.d"
+  "/root/repo/src/analytics/sssp.cpp" "src/analytics/CMakeFiles/sunbfs_analytics.dir/sssp.cpp.o" "gcc" "src/analytics/CMakeFiles/sunbfs_analytics.dir/sssp.cpp.o.d"
+  "/root/repo/src/analytics/sssp_runner.cpp" "src/analytics/CMakeFiles/sunbfs_analytics.dir/sssp_runner.cpp.o" "gcc" "src/analytics/CMakeFiles/sunbfs_analytics.dir/sssp_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunbfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sunbfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sunbfs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/sunbfs_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/sunbfs_chip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

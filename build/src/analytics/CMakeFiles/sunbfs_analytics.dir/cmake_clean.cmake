@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_analytics.dir/cc.cpp.o"
+  "CMakeFiles/sunbfs_analytics.dir/cc.cpp.o.d"
+  "CMakeFiles/sunbfs_analytics.dir/delta_stepping.cpp.o"
+  "CMakeFiles/sunbfs_analytics.dir/delta_stepping.cpp.o.d"
+  "CMakeFiles/sunbfs_analytics.dir/pagerank.cpp.o"
+  "CMakeFiles/sunbfs_analytics.dir/pagerank.cpp.o.d"
+  "CMakeFiles/sunbfs_analytics.dir/sssp.cpp.o"
+  "CMakeFiles/sunbfs_analytics.dir/sssp.cpp.o.d"
+  "CMakeFiles/sunbfs_analytics.dir/sssp_runner.cpp.o"
+  "CMakeFiles/sunbfs_analytics.dir/sssp_runner.cpp.o.d"
+  "libsunbfs_analytics.a"
+  "libsunbfs_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

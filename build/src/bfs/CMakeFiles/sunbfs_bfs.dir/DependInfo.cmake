@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfs/bfs15d.cpp" "src/bfs/CMakeFiles/sunbfs_bfs.dir/bfs15d.cpp.o" "gcc" "src/bfs/CMakeFiles/sunbfs_bfs.dir/bfs15d.cpp.o.d"
+  "/root/repo/src/bfs/bfs1d.cpp" "src/bfs/CMakeFiles/sunbfs_bfs.dir/bfs1d.cpp.o" "gcc" "src/bfs/CMakeFiles/sunbfs_bfs.dir/bfs1d.cpp.o.d"
+  "/root/repo/src/bfs/runner.cpp" "src/bfs/CMakeFiles/sunbfs_bfs.dir/runner.cpp.o" "gcc" "src/bfs/CMakeFiles/sunbfs_bfs.dir/runner.cpp.o.d"
+  "/root/repo/src/bfs/segmenting.cpp" "src/bfs/CMakeFiles/sunbfs_bfs.dir/segmenting.cpp.o" "gcc" "src/bfs/CMakeFiles/sunbfs_bfs.dir/segmenting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunbfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sunbfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sunbfs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/sunbfs_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/sunbfs_sort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

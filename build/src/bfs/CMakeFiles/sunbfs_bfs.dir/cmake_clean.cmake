@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_bfs.dir/bfs15d.cpp.o"
+  "CMakeFiles/sunbfs_bfs.dir/bfs15d.cpp.o.d"
+  "CMakeFiles/sunbfs_bfs.dir/bfs1d.cpp.o"
+  "CMakeFiles/sunbfs_bfs.dir/bfs1d.cpp.o.d"
+  "CMakeFiles/sunbfs_bfs.dir/runner.cpp.o"
+  "CMakeFiles/sunbfs_bfs.dir/runner.cpp.o.d"
+  "CMakeFiles/sunbfs_bfs.dir/segmenting.cpp.o"
+  "CMakeFiles/sunbfs_bfs.dir/segmenting.cpp.o.d"
+  "libsunbfs_bfs.a"
+  "libsunbfs_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_chip.dir/chip.cpp.o"
+  "CMakeFiles/sunbfs_chip.dir/chip.cpp.o.d"
+  "libsunbfs_chip.a"
+  "libsunbfs_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

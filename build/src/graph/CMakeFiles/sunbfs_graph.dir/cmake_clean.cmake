@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_graph.dir/csr.cpp.o"
+  "CMakeFiles/sunbfs_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/sunbfs_graph.dir/io.cpp.o"
+  "CMakeFiles/sunbfs_graph.dir/io.cpp.o.d"
+  "CMakeFiles/sunbfs_graph.dir/rmat.cpp.o"
+  "CMakeFiles/sunbfs_graph.dir/rmat.cpp.o.d"
+  "CMakeFiles/sunbfs_graph.dir/validate.cpp.o"
+  "CMakeFiles/sunbfs_graph.dir/validate.cpp.o.d"
+  "libsunbfs_graph.a"
+  "libsunbfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

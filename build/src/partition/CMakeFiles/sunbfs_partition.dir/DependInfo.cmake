@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/classify.cpp" "src/partition/CMakeFiles/sunbfs_partition.dir/classify.cpp.o" "gcc" "src/partition/CMakeFiles/sunbfs_partition.dir/classify.cpp.o.d"
+  "/root/repo/src/partition/part15d.cpp" "src/partition/CMakeFiles/sunbfs_partition.dir/part15d.cpp.o" "gcc" "src/partition/CMakeFiles/sunbfs_partition.dir/part15d.cpp.o.d"
+  "/root/repo/src/partition/part1d.cpp" "src/partition/CMakeFiles/sunbfs_partition.dir/part1d.cpp.o" "gcc" "src/partition/CMakeFiles/sunbfs_partition.dir/part1d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunbfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sunbfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/sunbfs_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/sunbfs_chip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

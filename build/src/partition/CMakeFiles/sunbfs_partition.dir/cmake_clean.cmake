@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_partition.dir/classify.cpp.o"
+  "CMakeFiles/sunbfs_partition.dir/classify.cpp.o.d"
+  "CMakeFiles/sunbfs_partition.dir/part15d.cpp.o"
+  "CMakeFiles/sunbfs_partition.dir/part15d.cpp.o.d"
+  "CMakeFiles/sunbfs_partition.dir/part1d.cpp.o"
+  "CMakeFiles/sunbfs_partition.dir/part1d.cpp.o.d"
+  "libsunbfs_partition.a"
+  "libsunbfs_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/barrier.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/barrier.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/barrier.cpp.o.d"
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/comm_stats.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/sim/runtime.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/runtime.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/runtime.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

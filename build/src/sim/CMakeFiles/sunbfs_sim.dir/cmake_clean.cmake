@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_sim.dir/barrier.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/barrier.cpp.o.d"
+  "CMakeFiles/sunbfs_sim.dir/comm.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/sunbfs_sim.dir/runtime.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/runtime.cpp.o.d"
+  "CMakeFiles/sunbfs_sim.dir/topology.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/topology.cpp.o.d"
+  "libsunbfs_sim.a"
+  "libsunbfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

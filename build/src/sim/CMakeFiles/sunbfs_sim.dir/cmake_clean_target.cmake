@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsunbfs_sim.a"
+)

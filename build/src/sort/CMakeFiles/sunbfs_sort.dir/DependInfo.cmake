@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/common.cpp" "src/sort/CMakeFiles/sunbfs_sort.dir/common.cpp.o" "gcc" "src/sort/CMakeFiles/sunbfs_sort.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunbfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/sunbfs_chip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_sort.dir/common.cpp.o"
+  "CMakeFiles/sunbfs_sort.dir/common.cpp.o.d"
+  "libsunbfs_sort.a"
+  "libsunbfs_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunbfs_support.dir/bitvector.cpp.o"
+  "CMakeFiles/sunbfs_support.dir/bitvector.cpp.o.d"
+  "CMakeFiles/sunbfs_support.dir/histogram.cpp.o"
+  "CMakeFiles/sunbfs_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/sunbfs_support.dir/log.cpp.o"
+  "CMakeFiles/sunbfs_support.dir/log.cpp.o.d"
+  "CMakeFiles/sunbfs_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/sunbfs_support.dir/thread_pool.cpp.o.d"
+  "libsunbfs_support.a"
+  "libsunbfs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunbfs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
