@@ -228,9 +228,10 @@ src/bfs/CMakeFiles/sunbfs_bfs.dir/segmenting.cpp.o: \
  /root/repo/src/partition/part15d.hpp /root/repo/src/graph/csr.hpp \
  /root/repo/src/graph/types.hpp /root/repo/src/partition/classify.hpp \
  /root/repo/src/partition/space.hpp /root/repo/src/sim/runtime.hpp \
- /root/repo/src/sim/comm.hpp /root/repo/src/sim/comm_stats.hpp \
- /root/repo/src/sim/topology.hpp /root/repo/src/support/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/sim/comm.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/comm_stats.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/topology.hpp \
+ /root/repo/src/support/log.hpp /root/repo/src/support/timer.hpp \
  /root/repo/src/support/bitvector.hpp

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/barrier.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/barrier.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/barrier.cpp.o.d"
   "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/comm.cpp.o.d"
   "/root/repo/src/sim/comm_stats.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/runtime.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/runtime.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/runtime.cpp.o.d"
   "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/sunbfs_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/sunbfs_sim.dir/topology.cpp.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sunbfs_sim.dir/comm.cpp.o.d"
   "CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o"
   "CMakeFiles/sunbfs_sim.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/sunbfs_sim.dir/fault.cpp.o"
+  "CMakeFiles/sunbfs_sim.dir/fault.cpp.o.d"
   "CMakeFiles/sunbfs_sim.dir/runtime.cpp.o"
   "CMakeFiles/sunbfs_sim.dir/runtime.cpp.o.d"
   "CMakeFiles/sunbfs_sim.dir/topology.cpp.o"

@@ -319,19 +319,20 @@ tests/CMakeFiles/test_analytics.dir/test_analytics.cpp.o: \
  /root/repo/src/graph/csr.hpp /root/repo/src/graph/types.hpp \
  /root/repo/src/partition/classify.hpp /root/repo/src/partition/space.hpp \
  /root/repo/src/support/check.hpp /root/repo/src/sim/runtime.hpp \
- /root/repo/src/sim/comm.hpp /usr/include/c++/12/cstring \
- /root/repo/src/sim/barrier.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/sim/comm.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/cstring /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/sim/comm_stats.hpp /root/repo/src/sim/topology.hpp \
- /root/repo/src/support/timer.hpp /usr/include/c++/12/chrono \
- /root/repo/src/support/bitvector.hpp \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/sim/barrier.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/sim/comm_stats.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/support/log.hpp \
+ /root/repo/src/support/timer.hpp /root/repo/src/support/bitvector.hpp \
  /root/repo/src/analytics/delta_stepping.hpp \
  /root/repo/src/analytics/sssp.hpp /root/repo/src/analytics/propagate.hpp \
  /root/repo/src/analytics/pagerank.hpp \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/sunbfs_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfs/CMakeFiles/sunbfs_bfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sunbfs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sunbfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/sunbfs_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/sunbfs_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sunbfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sunbfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

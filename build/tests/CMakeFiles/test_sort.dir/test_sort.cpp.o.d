@@ -299,20 +299,21 @@ tests/CMakeFiles/test_sort.dir/test_sort.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/sim/runtime.hpp /root/repo/src/sim/comm.hpp \
- /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/sim/barrier.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/cstring \
+ /usr/include/c++/12/span /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/sim/comm_stats.hpp /root/repo/src/sim/topology.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/support/timer.hpp \
- /usr/include/c++/12/chrono /root/repo/src/sort/bucket_baselines.hpp \
- /root/repo/src/chip/chip.hpp /usr/include/c++/12/thread \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/sim/barrier.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /root/repo/src/sim/comm_stats.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/topology.hpp /root/repo/src/support/check.hpp \
+ /root/repo/src/support/log.hpp /root/repo/src/support/timer.hpp \
+ /root/repo/src/sort/bucket_baselines.hpp /root/repo/src/chip/chip.hpp \
  /root/repo/src/chip/arch.hpp /root/repo/src/chip/ldcache.hpp \
  /root/repo/src/chip/ldm.hpp /root/repo/src/sort/ocs_rma.hpp \
  /root/repo/src/support/prefix.hpp /root/repo/src/sort/paradis.hpp \

@@ -18,9 +18,11 @@ add_test(test_partition "/root/repo/build/tests/test_partition")
 set_tests_properties(test_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_bfs "/root/repo/build/tests/test_bfs")
 set_tests_properties(test_bfs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fault "/root/repo/build/tests/test_fault")
+set_tests_properties(test_fault PROPERTIES  LABELS "faults" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_analytics "/root/repo/build/tests/test_analytics")
-set_tests_properties(test_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_properties "/root/repo/build/tests/test_properties")
-set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_stress "/root/repo/build/tests/test_stress")
-set_tests_properties(test_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;sunbfs_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -3,10 +3,16 @@
 //   ./graph500_runner [--scale N] [--rows R] [--cols C] [--roots K]
 //                     [--e-threshold D] [--h-threshold D] [--no-validate]
 //                     [--engine 1d|1.5d] [--baseline-direction]
+//                     [--faults SEED] [--fault-policy abort|report|recover]
 //
 // Runs generation -> partitioning -> K timed BFS runs -> validation and
 // prints a Graph 500-style report with the time breakdowns of Figures 10
 // and 11 for the configured machine.
+//
+// --faults SEED injects a deterministic fault schedule (one straggler, two
+// payload corruptions, one hard rank failure) into the searches; under the
+// default recover policy the engines roll back to level checkpoints and the
+// run still validates.  Fault runs are diagnostics, not benchmark numbers.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -50,6 +56,23 @@ int main(int argc, char** argv) {
                       int(arg_u64(argc, argv, "--cols", 2))};
   sim::Topology topo(mesh);
 
+  // Optional deterministic fault injection (the acceptance scenario: one
+  // straggler, two payload corruptions, one hard rank failure).
+  sim::FaultPlan plan;
+  if (has_flag(argc, argv, "--faults")) {
+    uint64_t fseed = arg_u64(argc, argv, "--faults", 1);
+    plan = sim::FaultPlan::random(fseed, mesh.ranks(), /*stragglers=*/1,
+                                  /*corruptions=*/2, /*failures=*/1);
+    cfg.faults = &plan;
+    std::string policy = arg_str(argc, argv, "--fault-policy", "recover");
+    if (policy == "abort")
+      cfg.fault_policy = sim::FaultPolicy::Abort;
+    else if (policy == "report")
+      cfg.fault_policy = sim::FaultPolicy::Report;
+    else
+      cfg.fault_policy = sim::FaultPolicy::Recover;
+  }
+
   std::printf("graph500_runner: SCALE %d, edge factor %d, %s engine\n",
               cfg.graph.scale, cfg.graph.edge_factor,
               cfg.engine == bfs::EngineKind::OneFiveD ? "1.5D" : "1D");
@@ -60,7 +83,30 @@ int main(int argc, char** argv) {
               (unsigned long long)cfg.thresholds.h, cfg.num_roots,
               cfg.validate ? "on" : "off");
 
-  auto result = bfs::run_graph500(topo, cfg);
+  if (cfg.faults) std::printf("fault plan:\n%s\n", plan.to_string().c_str());
+
+  bfs::RunnerResult result;
+  try {
+    result = bfs::run_graph500(topo, cfg);
+  } catch (const std::exception& e) {
+    // Abort policy: the first detection / rank failure is rethrown here.
+    std::printf("aborted: %s\n", e.what());
+    return 1;
+  }
+
+  if (cfg.faults) {
+    auto f = result.spmd.fault_totals();
+    std::printf("faults: %s\n", f.to_string().c_str());
+    for (const auto& e : result.spmd.errors)
+      std::printf("  error: %s\n", e.c_str());
+    std::printf("\n");
+    if (!result.spmd.ok()) {
+      std::printf("run failed under the %s fault policy\n",
+                  cfg.fault_policy == sim::FaultPolicy::Report ? "report"
+                                                               : "recover");
+      return 1;
+    }
+  }
 
   std::printf("%6s %14s %14s %12s %7s\n", "key", "root", "trav. edges",
               "modeled s", "valid");

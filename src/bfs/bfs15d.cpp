@@ -1,11 +1,14 @@
 #include "bfs/bfs15d.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "bfs/gathered_frontier.hpp"
 #include "bfs/segmenting.hpp"
 #include "bfs/vertex_cut.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::bfs {
@@ -100,10 +103,29 @@ class Engine {
     ThreadCpuTimer run_cpu;
     const double comm_start = ctx_.stats.total_modeled_s();
 
+    resilient_ = ctx_.faults.recovering();
+    if (resilient_) {
+      SUNBFS_CHECK(opts_.recovery.checkpoint_interval >= 1);
+      fired_failures_.assign(ctx_.faults.plan->rank_failures().size(), false);
+    }
+
     seed_root();
+    if (resilient_) save_checkpoint(0);
     int iteration = 0;
     for (;;) {
       ++iteration;
+      // A scheduled hard failure is in the (replicated) plan, so every rank
+      // sees it fire at the same level without an agreement round: the
+      // victim's volatile state is wiped and everyone rolls back together.
+      if (resilient_ && take_rank_failure(iteration)) {
+        rollback(iteration);
+        continue;
+      }
+      // Without the recover policy a scheduled failure simply kills the rank.
+      if (!resilient_ && ctx_.faults.active())
+        for (const auto& f : ctx_.faults.plan->rank_failures())
+          if (f.rank == ctx_.rank && f.level == iteration)
+            throw sim::RankFailure(f.rank, f.level);
       IterationRecord rec;
       rec.iteration = iteration;
       rec.active_e = count_range(eh_curr_, 0, num_e_);  // E bits are global
@@ -112,32 +134,52 @@ class Engine {
       refresh_counts(l_curr_.count());
       rec.active_h = act_h_;
       rec.active_l = act_l_;
-      if (rec.active_e + rec.active_h + rec.active_l == 0) break;
+      const bool frontier_empty =
+          rec.active_e + rec.active_h + rec.active_l == 0;
 
-      rec.bottom_up[int(Subgraph::EH2EH)] = decide(Subgraph::EH2EH, rec);
-      sub_eh2eh(rec.bottom_up[int(Subgraph::EH2EH)]);
+      if (!frontier_empty) {
+        rec.bottom_up[int(Subgraph::EH2EH)] = decide(Subgraph::EH2EH, rec);
+        sub_eh2eh(rec.bottom_up[int(Subgraph::EH2EH)]);
 
-      rec.bottom_up[int(Subgraph::E2L)] = decide(Subgraph::E2L, rec);
-      sub_e2l(rec.bottom_up[int(Subgraph::E2L)]);
+        rec.bottom_up[int(Subgraph::E2L)] = decide(Subgraph::E2L, rec);
+        sub_e2l(rec.bottom_up[int(Subgraph::E2L)]);
 
-      // L2E only updates E bits, which no later sub-iteration of this
-      // iteration reads; its sync is folded into L2H's (one fewer mesh-wide
-      // union per iteration).
-      rec.bottom_up[int(Subgraph::L2E)] = decide(Subgraph::L2E, rec);
-      sub_l2e(rec.bottom_up[int(Subgraph::L2E)]);
+        // L2E only updates E bits, which no later sub-iteration of this
+        // iteration reads; its sync is folded into L2H's (one fewer
+        // mesh-wide union per iteration).
+        rec.bottom_up[int(Subgraph::L2E)] = decide(Subgraph::L2E, rec);
+        sub_l2e(rec.bottom_up[int(Subgraph::L2E)]);
 
-      // Latest-unvisited refresh (§4.2) before the direction-sensitive
-      // remote sub-iterations; earlier sub-iterations changed the unvisited
-      // counts (l_curr_ is immutable within the iteration, so act is stable).
-      refresh_counts(l_curr_.count());
-      rec.bottom_up[int(Subgraph::H2L)] = decide(Subgraph::H2L, rec);
-      sub_h2l(rec.bottom_up[int(Subgraph::H2L)]);
+        // Latest-unvisited refresh (§4.2) before the direction-sensitive
+        // remote sub-iterations; earlier sub-iterations changed the
+        // unvisited counts (l_curr_ is immutable within the iteration, so
+        // act is stable).
+        refresh_counts(l_curr_.count());
+        rec.bottom_up[int(Subgraph::H2L)] = decide(Subgraph::H2L, rec);
+        sub_h2l(rec.bottom_up[int(Subgraph::H2L)]);
 
-      rec.bottom_up[int(Subgraph::L2H)] = decide(Subgraph::L2H, rec);
-      sub_l2h(rec.bottom_up[int(Subgraph::L2H)]);
+        rec.bottom_up[int(Subgraph::L2H)] = decide(Subgraph::L2H, rec);
+        sub_l2h(rec.bottom_up[int(Subgraph::L2H)]);
 
-      rec.bottom_up[int(Subgraph::L2L)] = decide(Subgraph::L2L, rec);
-      sub_l2l(rec.bottom_up[int(Subgraph::L2L)]);
+        rec.bottom_up[int(Subgraph::L2L)] = decide(Subgraph::L2L, rec);
+        sub_l2l(rec.bottom_up[int(Subgraph::L2L)]);
+      }
+
+      // Globally consistent detection point: any rank that dropped a
+      // corrupted contribution this iteration forces everyone back to the
+      // last checkpoint before the broken state is committed.  A corruption
+      // of this agreement collective itself is dropped identically on every
+      // rank, so the local re-check stays replicated too.
+      if (resilient_) {
+        bool faulty = ctx_.world.allreduce_or(ctx_.faults.take_pending());
+        faulty = ctx_.faults.take_pending() || faulty;
+        if (faulty) {
+          rollback(iteration);
+          continue;
+        }
+        note_clean_pass();
+      }
+      if (frontier_empty) break;
 
       stats_.iterations.push_back(rec);
       // Advance the frontier.
@@ -145,11 +187,13 @@ class Engine {
       eh_next_.reset();
       std::swap(l_curr_, l_next_);
       l_next_.reset();
-      if (!opts_.delayed_parent_reduction) reduce_parents();
+      if (!opts_.delayed_parent_reduction) reduce_parents_checked();
+      if (resilient_ && iteration % opts_.recovery.checkpoint_interval == 0)
+        save_checkpoint(iteration);
     }
     stats_.num_iterations = iteration - 1;
 
-    if (opts_.delayed_parent_reduction) reduce_parents();
+    if (opts_.delayed_parent_reduction) reduce_parents_checked();
 
     // "Other" is everything not attributed to a sub-iteration or to the
     // parent reduction: heuristics, frontier swaps, termination checks.
@@ -630,6 +674,119 @@ class Engine {
     stats_.reduce_comm_modeled_s += ctx_.stats.total_modeled_s() - comm0;
   }
 
+  /// reduce_parents under the recover policy.  The reduction is idempotent —
+  /// contributions are rebuilt from cand_ on every call — so a corrupted
+  /// exchange is simply re-run (with backoff), no checkpoint rollback needed.
+  void reduce_parents_checked() {
+    for (;;) {
+      reduce_parents();
+      if (!resilient_) return;
+      bool faulty = ctx_.world.allreduce_or(ctx_.faults.take_pending());
+      faulty = ctx_.faults.take_pending() || faulty;
+      if (!faulty) {
+        note_clean_pass();
+        return;
+      }
+      backoff_or_give_up("parent reduction");
+      log_debug("bfs15d rank ", ctx_.rank,
+                ": corrupted parent reduction, re-running (retry ",
+                consecutive_retries_, ")");
+    }
+  }
+
+  // ---- checkpoint / rollback recovery (fault plans, sim/fault.hpp) ----------
+  /// True when a scheduled hard failure fires at this level.  The plan is
+  /// replicated, so every rank returns the same answer without
+  /// communication; each failure fires exactly once even across replays.
+  bool take_rank_failure(int iteration) {
+    const auto& failures = ctx_.faults.plan->rank_failures();
+    bool fired = false;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (fired_failures_[i] || failures[i].level != iteration) continue;
+      fired_failures_[i] = true;
+      fired = true;
+      if (failures[i].rank == ctx_.rank) {
+        ++ctx_.faults.stats.injected_failures;
+        log_debug("bfs15d rank ", ctx_.rank,
+                  ": injected hard failure at level ", iteration);
+        // Model the crash: everything not in the checkpoint is lost.
+        eh_curr_.reset();
+        eh_visited_.reset();
+        eh_next_.reset();
+        eh_next_local_.reset();
+        cand_.assign(k_, kNoVertex);
+        parent_.assign(local_count_, kNoVertex);
+        l_visited_.reset();
+        l_curr_.reset();
+        l_next_.reset();
+        l_unvisited_ = 0;
+      }
+    }
+    return fired;
+  }
+
+  void save_checkpoint(int iteration) {
+    ckpt_.iteration = iteration;
+    ckpt_.eh_curr = eh_curr_;
+    ckpt_.eh_visited = eh_visited_;
+    ckpt_.cand = cand_;
+    ckpt_.parent = parent_;
+    ckpt_.l_visited = l_visited_;
+    ckpt_.l_curr = l_curr_;
+    ckpt_.l_unvisited = l_unvisited_;
+    ckpt_.iterations_recorded = stats_.iterations.size();
+    ckpt_.bytes_sent = ctx_.stats.total_bytes_sent();
+  }
+
+  /// Roll back to the last checkpoint.  Collectively consistent: every rank
+  /// takes this path in the same iteration (the pending flags were agreed on
+  /// or the failure came from the replicated plan).
+  void rollback(int& iteration) {
+    backoff_or_give_up("recovery");
+    ctx_.faults.stats.resent_bytes +=
+        ctx_.stats.total_bytes_sent() - ckpt_.bytes_sent;
+    eh_curr_ = ckpt_.eh_curr;
+    eh_visited_ = ckpt_.eh_visited;
+    eh_next_.reset();
+    eh_next_local_.reset();
+    cand_ = ckpt_.cand;
+    parent_ = ckpt_.parent;
+    l_visited_ = ckpt_.l_visited;
+    l_curr_ = ckpt_.l_curr;
+    l_next_.reset();
+    l_unvisited_ = ckpt_.l_unvisited;
+    stats_.iterations.resize(ckpt_.iterations_recorded);
+    iteration = ckpt_.iteration;
+    log_debug("bfs15d rank ", ctx_.rank, ": rolled back to level checkpoint ",
+              ckpt_.iteration, " (retry ", consecutive_retries_, ")");
+  }
+
+  /// Account one retry, sleep the capped exponential backoff, and throw
+  /// FaultDetected once the retry budget is exhausted.
+  void backoff_or_give_up(const char* what) {
+    auto& fs = ctx_.faults.stats;
+    ++consecutive_retries_;
+    if (consecutive_retries_ > opts_.recovery.max_retries)
+      throw sim::FaultDetected(std::string("fault: ") + what +
+                               " retries exhausted after " +
+                               std::to_string(opts_.recovery.max_retries) +
+                               " attempts");
+    ++fs.retries;
+    in_recovery_ = true;
+    double delay = sim::backoff_delay_s(opts_.recovery, consecutive_retries_);
+    fs.backoff_s += delay;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+
+  /// A clean agreement round: if a recovery was in flight, the replay
+  /// succeeded — count it and reset the consecutive-retry budget.
+  void note_clean_pass() {
+    if (!in_recovery_) return;
+    ++ctx_.faults.stats.recovered;
+    in_recovery_ = false;
+    consecutive_retries_ = 0;
+  }
+
   // ---- members --------------------------------------------------------------
   sim::RankContext& ctx_;
   const partition::Part15d& part_;
@@ -657,6 +814,25 @@ class Engine {
   double attributed_host_cpu_ = 0.0;
   ThreadPool pool_{1};  // intra-rank workers (serial on the 1-core harness)
   BfsStats stats_;
+
+  // ---- fault recovery state -------------------------------------------------
+  /// In-memory per-rank level checkpoint: everything rollback() restores.
+  /// eh_next_ / eh_next_local_ / l_next_ / dedup bitmaps are always empty at
+  /// checkpoint boundaries, so they are reset rather than saved.
+  struct Checkpoint {
+    int iteration = 0;
+    BitVector eh_curr, eh_visited;
+    std::vector<Vertex> cand, parent;
+    BitVector l_visited, l_curr;
+    uint64_t l_unvisited = 0;
+    size_t iterations_recorded = 0;
+    uint64_t bytes_sent = 0;
+  };
+  bool resilient_ = false;  ///< recover policy + plan installed
+  Checkpoint ckpt_;
+  std::vector<bool> fired_failures_;  ///< one-shot latch per planned failure
+  int consecutive_retries_ = 0;
+  bool in_recovery_ = false;
 };
 
 }  // namespace

@@ -61,6 +61,15 @@ struct Bfs15dOptions {
   double remote_pull_factor = 0.2;
   /// Whole-iteration threshold used when sub_iteration_direction is false.
   double global_pull_ratio = 0.04;
+
+  // --- fault recovery ------------------------------------------------------
+  /// Checkpoint/retry knobs used when the runtime runs under
+  /// FaultPolicy::Recover with a FaultPlan installed: the engine snapshots
+  /// its frontier bitmaps and parent array every `recovery.checkpoint_interval`
+  /// levels and rolls every rank back to the last snapshot (with capped
+  /// exponential backoff) when a dropped corruption or scheduled rank failure
+  /// is agreed on at the end of an iteration.
+  sim::RecoveryOptions recovery;
 };
 
 struct Bfs15dResult {

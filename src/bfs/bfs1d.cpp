@@ -1,8 +1,12 @@
 #include "bfs/bfs1d.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "bfs/gathered_frontier.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::bfs {
@@ -36,16 +40,74 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
   if (space.owner(root) == ctx.rank)
     visit(space.to_local(ctx.rank, root), root);
 
-  Bfs1dResult result;
-  ThreadCpuTimer cpu;
-  const double comm0 = ctx.stats.total_modeled_s();
-  int iteration = 0;
-  for (;;) {
-    std::swap(curr, next);
+  // Checkpoint/rollback recovery, as in the 1.5D engine (see bfs15d.cpp):
+  // snapshot {visited, frontier, parent} every checkpoint_interval levels;
+  // when a corruption was dropped (agreed collectively) or a planned rank
+  // failure fires (replicated plan — no agreement needed), every rank rolls
+  // back together after a capped exponential backoff.
+  const bool resilient = ctx.faults.recovering();
+  const sim::RecoveryOptions& rec = options.recovery;
+  std::vector<bool> fired_failures;
+  if (resilient) {
+    SUNBFS_CHECK(rec.checkpoint_interval >= 1);
+    fired_failures.assign(ctx.faults.plan->rank_failures().size(), false);
+  }
+  struct Checkpoint {
+    int iteration = 0;
+    BitVector visited, curr;
+    std::vector<Vertex> parent;
+    uint64_t bytes_sent = 0;
+  } ckpt;
+  int consecutive_retries = 0;
+  bool in_recovery = false;
+  auto save_checkpoint = [&](int it) {
+    ckpt.iteration = it;
+    ckpt.visited = visited;
+    ckpt.curr = curr;
+    ckpt.parent = parent;
+    ckpt.bytes_sent = ctx.stats.total_bytes_sent();
+  };
+  auto rollback = [&](int& it) {
+    ++consecutive_retries;
+    if (consecutive_retries > rec.max_retries)
+      throw sim::FaultDetected("fault: recovery retries exhausted after " +
+                               std::to_string(rec.max_retries) + " attempts");
+    auto& fs = ctx.faults.stats;
+    ++fs.retries;
+    in_recovery = true;
+    double delay = sim::backoff_delay_s(rec, consecutive_retries);
+    fs.backoff_s += delay;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    fs.resent_bytes += ctx.stats.total_bytes_sent() - ckpt.bytes_sent;
+    visited = ckpt.visited;
+    curr = ckpt.curr;
     next.reset();
-    uint64_t active = ctx.world.allreduce_sum(curr.count());
-    if (active == 0) break;
-    ++iteration;
+    parent = ckpt.parent;
+    it = ckpt.iteration;
+    log_debug("bfs1d rank ", ctx.rank, ": rolled back to level checkpoint ",
+              ckpt.iteration, " (retry ", consecutive_retries, ")");
+  };
+  auto take_rank_failure = [&](int it) {
+    const auto& failures = ctx.faults.plan->rank_failures();
+    bool fired = false;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (fired_failures[i] || failures[i].level != it) continue;
+      fired_failures[i] = true;
+      fired = true;
+      if (failures[i].rank == ctx.rank) {
+        ++ctx.faults.stats.injected_failures;
+        log_debug("bfs1d rank ", ctx.rank,
+                  ": injected hard failure at level ", it);
+        visited.reset();
+        curr.reset();
+        next.reset();
+        parent.assign(local_count, kNoVertex);
+      }
+    }
+    return fired;
+  };
+
+  auto run_level = [&](uint64_t active) {
     bool bottom_up =
         double(active) / double(space.total) > options.pull_ratio;
     if (!bottom_up) {
@@ -82,10 +144,52 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
         }
       }
     }
+  };
+
+  Bfs1dResult result;
+  ThreadCpuTimer cpu;
+  const double comm0 = ctx.stats.total_modeled_s();
+  // Seed frontier: the root visit above landed in `next`.
+  std::swap(curr, next);
+  next.reset();
+  if (resilient) save_checkpoint(0);
+  int iteration = 0;
+  for (;;) {
+    ++iteration;
+    if (resilient && take_rank_failure(iteration)) {
+      rollback(iteration);
+      continue;
+    }
+    // Without the recover policy a scheduled failure simply kills the rank.
+    if (!resilient && ctx.faults.active())
+      for (const auto& f : ctx.faults.plan->rank_failures())
+        if (f.rank == ctx.rank && f.level == iteration)
+          throw sim::RankFailure(f.rank, f.level);
+    uint64_t active = ctx.world.allreduce_sum(curr.count());
+    const bool frontier_empty = active == 0;
+    if (!frontier_empty) run_level(active);
+    if (resilient) {
+      bool faulty = ctx.world.allreduce_or(ctx.faults.take_pending());
+      faulty = ctx.faults.take_pending() || faulty;
+      if (faulty) {
+        rollback(iteration);
+        continue;
+      }
+      if (in_recovery) {
+        ++ctx.faults.stats.recovered;
+        in_recovery = false;
+        consecutive_retries = 0;
+      }
+    }
+    if (frontier_empty) break;
+    std::swap(curr, next);
+    next.reset();
+    if (resilient && iteration % rec.checkpoint_interval == 0)
+      save_checkpoint(iteration);
   }
+  result.num_iterations = iteration - 1;
 
   result.parent = std::move(parent);
-  result.num_iterations = iteration;
   result.cpu_s = cpu.seconds();
   result.comm_modeled_s = ctx.stats.total_modeled_s() - comm0;
   return result;

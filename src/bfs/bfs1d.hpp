@@ -13,6 +13,8 @@ namespace sunbfs::bfs {
 struct Bfs1dOptions {
   /// Switch to bottom-up when the active fraction exceeds this.
   double pull_ratio = 0.04;
+  /// Checkpoint/retry knobs under FaultPolicy::Recover (see bfs15d.hpp).
+  sim::RecoveryOptions recovery;
 };
 
 struct Bfs1dResult {

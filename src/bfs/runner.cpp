@@ -58,7 +58,14 @@ RunnerResult run_graph500(const sim::Topology& topology,
   uint64_t num_eh = 0, num_e = 0;
   double partition_wall = 0;
 
+  sim::SpmdOptions spmd_options;
+  spmd_options.policy = config.fault_policy;
+  spmd_options.faults = config.faults;
+
   result.spmd = sim::run_spmd(topology, [&](sim::RankContext& ctx) {
+    // Setup (generation, partitioning, root selection) runs fault-free;
+    // plans fire only while armed, around the searches below.
+    ctx.faults.armed = false;
     WallTimer setup_wall;
     uint64_t m = g.num_edges();
     auto slice = graph::generate_rmat_range(
@@ -106,6 +113,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
       ctx.world.barrier();
       WallTimer run_wall;
       std::vector<Vertex> local_parent;
+      ctx.faults.armed = true;
       if (config.engine == EngineKind::OneFiveD) {
         auto r = bfs15d_run(ctx, *part15, chosen[size_t(i)], opts);
         stats[size_t(i)][size_t(ctx.rank)] = std::move(r.stats);
@@ -120,6 +128,9 @@ RunnerResult run_graph500(const sim::Topology& topology,
         comm_s[size_t(i)][size_t(ctx.rank)] = r.comm_modeled_s;
         local_parent = std::move(r.parent);
       }
+      // Disarm for the TEPS reduction and parent gather below: faults
+      // target the search itself.
+      ctx.faults.armed = false;
       if (ctx.rank == 0) wall_s[size_t(i)] = run_wall.seconds();
       // Degree-sum TEPS numerator (exact validation count replaces it when
       // validation is enabled): each in-component edge contributes twice.
@@ -133,12 +144,21 @@ RunnerResult run_graph500(const sim::Topology& topology,
           ctx.world.allgatherv(std::span<const Vertex>(local_parent));
       if (ctx.rank == 0) parents[size_t(i)] = std::move(global_parent);
     }
-  });
+  }, spmd_options);
 
   result.balance = std::move(balance);
   result.num_eh = num_eh;
   result.num_e = num_e;
   result.partition_wall_s = partition_wall;
+
+  if (!result.spmd.ok()) {
+    // At least one rank's body threw (report / recover policy): per-root
+    // outputs are incomplete, so skip validation and surface the rank
+    // errors instead of touching half-filled arrays.
+    result.all_valid = false;
+    for (const auto& e : result.spmd.errors) log_warn("graph500: ", e);
+    return result;
+  }
 
   // Host-side validation against the full edge list.
   std::vector<graph::Edge> all_edges;

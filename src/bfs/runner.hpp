@@ -34,6 +34,12 @@ struct RunnerConfig {
   bool validate = true;
   /// Per-rank chip used when bfs.pull_kernel is chip-executed.
   chip::Geometry chip_geometry = chip::Geometry::tiny();
+  /// Optional deterministic fault schedule (see sim/fault.hpp).  Faults are
+  /// armed only around the BFS runs themselves — generation, partitioning
+  /// and the final parent gather run fault-free, so a plan's call indices
+  /// are relative to the start of the search phase.
+  const sim::FaultPlan* faults = nullptr;
+  sim::FaultPolicy fault_policy = sim::FaultPolicy::Recover;
 };
 
 /// Result of one search key.

@@ -8,8 +8,10 @@ CommShared::CommShared(std::vector<int> ranks, const Topology* topo)
       barrier(int(global_ranks.size())),
       ptrs(global_ranks.size(), nullptr),
       nbytes(global_ranks.size(), 0),
+      sums(global_ranks.size(), 0),
       a2a_ptrs(global_ranks.size() * global_ranks.size(), nullptr),
-      a2a_nbytes(global_ranks.size() * global_ranks.size(), 0) {
+      a2a_nbytes(global_ranks.size() * global_ranks.size(), 0),
+      a2a_sums(global_ranks.size() * global_ranks.size(), 0) {
   SUNBFS_CHECK(!global_ranks.empty());
   SUNBFS_CHECK(topology != nullptr);
 }

@@ -1,14 +1,18 @@
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "sim/barrier.hpp"
 #include "sim/comm_stats.hpp"
+#include "sim/fault.hpp"
 #include "sim/topology.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
 
 /// MPI-style collectives for the in-process SPMD runtime.
@@ -18,6 +22,14 @@
 /// the same order, exactly as in MPI.  Payload types must be trivially
 /// copyable.  Every collective records bytes moved, modeled network time (from
 /// the Topology cost model) and measured wall time into the rank's CommStats.
+///
+/// When a FaultPlan is installed the collectives become the fault surface:
+/// stragglers sleep before publishing, scheduled payload faults corrupt the
+/// published bytes (never the caller's buffer), and — when checksums are on —
+/// every received contribution is verified against the sender's xxhash-style
+/// checksum of the original payload.  A mismatch raises FaultDetected naming
+/// both ranks, or, under the recover policy, drops the corrupted contribution
+/// and records a pending fault for the engines' checkpoint/rollback loop.
 namespace sunbfs::sim {
 
 /// Shared state backing one communicator group; owned by the runtime.
@@ -27,12 +39,15 @@ struct CommShared {
   std::vector<int> global_ranks;  // participant global ranks, by index
   const Topology* topology;
   Barrier barrier;
-  // Publication slots, one per participant (pointer + byte count).
+  // Publication slots, one per participant (pointer + byte count + checksum
+  // of the original payload).
   std::vector<const void*> ptrs;
   std::vector<uint64_t> nbytes;
+  std::vector<uint64_t> sums;
   // Alltoallv publication matrix: slot [src * P + dst].
   std::vector<const void*> a2a_ptrs;
   std::vector<uint64_t> a2a_nbytes;
+  std::vector<uint64_t> a2a_sums;
   // Scratch used by segment-parallel reductions.
   std::vector<unsigned char> scratch;
 };
@@ -41,8 +56,9 @@ struct CommShared {
 class Comm {
  public:
   Comm() = default;
-  Comm(CommShared* shared, int index, CommStats* stats)
-      : shared_(shared), index_(index), stats_(stats) {}
+  Comm(CommShared* shared, int index, CommStats* stats,
+       FaultState* faults = nullptr)
+      : shared_(shared), index_(index), stats_(stats), faults_(faults) {}
 
   bool valid() const { return shared_ != nullptr; }
   /// Rank of the caller within this communicator.
@@ -55,6 +71,7 @@ class Comm {
   /// Synchronize all participants.
   void barrier() {
     WallTimer t;
+    begin_collective(CollectiveType::Barrier);
     shared_->barrier.wait();
     record(CollectiveType::Barrier, 0, 0,
            topo().transfer_time(size(), 0, 0), t.seconds());
@@ -66,11 +83,25 @@ class Comm {
   T allreduce(const T& value, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
-    publish(&value, sizeof(T));
+    uint64_t call = begin_collective(CollectiveType::Allreduce);
+    publish_checked(CollectiveType::Allreduce, call, &value, sizeof(T));
     shared_->barrier.wait();
-    T acc = *static_cast<const T*>(shared_->ptrs[0]);
-    for (int j = 1; j < size(); ++j)
-      acc = op(acc, *static_cast<const T*>(shared_->ptrs[j]));
+    // Fold the verified contributions; every rank reads the same shared
+    // slots and checksums, so dropped sources are dropped identically
+    // everywhere and replicated decisions stay replicated.
+    T acc = value;
+    bool seeded = false;
+    for (int j = 0; j < size(); ++j) {
+      if (!verify_source(CollectiveType::Allreduce, j, shared_->ptrs[j],
+                         shared_->nbytes[j], shared_->sums[j]))
+        continue;
+      check_source_size(CollectiveType::Allreduce, j, shared_->nbytes[j],
+                        sizeof(T));
+      T v;
+      std::memcpy(&v, shared_->ptrs[j], sizeof(T));
+      acc = seeded ? op(acc, v) : v;
+      seeded = true;
+    }
     auto [intra, inter] = symmetric_bytes(sizeof(T));
     shared_->barrier.wait();
     record(CollectiveType::Allreduce, sizeof(T), inter,
@@ -96,15 +127,23 @@ class Comm {
   }
 
   /// Gather one value from each participant; result indexed by rank.
+  /// Dropped (corrupted) contributions come back value-initialized.
   template <typename T>
   std::vector<T> allgather(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
-    publish(&value, sizeof(T));
+    uint64_t call = begin_collective(CollectiveType::Allgather);
+    publish_checked(CollectiveType::Allgather, call, &value, sizeof(T));
     shared_->barrier.wait();
     std::vector<T> out(size());
-    for (int j = 0; j < size(); ++j)
+    for (int j = 0; j < size(); ++j) {
+      if (!verify_source(CollectiveType::Allgather, j, shared_->ptrs[j],
+                         shared_->nbytes[j], shared_->sums[j]))
+        continue;
+      check_source_size(CollectiveType::Allgather, j, shared_->nbytes[j],
+                        sizeof(T));
       std::memcpy(&out[j], shared_->ptrs[j], sizeof(T));
+    }
     auto [intra, inter] = symmetric_bytes(sizeof(T));
     shared_->barrier.wait();
     record(CollectiveType::Allgather, sizeof(T), inter,
@@ -114,25 +153,41 @@ class Comm {
 
   /// Variable-size gather: concatenation of every participant's span in rank
   /// order.  If `offsets` is non-null it receives size()+1 entries delimiting
-  /// each rank's contribution in the result.
+  /// each rank's contribution in the result.  Dropped contributions appear
+  /// empty.
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> mine,
                             std::vector<size_t>* offsets = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
-    publish(mine.data(), mine.size_bytes());
+    uint64_t call = begin_collective(CollectiveType::Allgather);
+    publish_checked(CollectiveType::Allgather, call, mine.data(),
+                    mine.size_bytes());
     shared_->barrier.wait();
+    // Effective per-source sizes: published sizes minus dropped corruptions.
+    // Never trust a sender-published byte count blindly — a count that is not
+    // a multiple of the element size would silently truncate and shift every
+    // later rank's data.
+    std::vector<uint64_t> eff(static_cast<size_t>(size()));
     size_t total_bytes = 0;
-    for (int j = 0; j < size(); ++j) total_bytes += shared_->nbytes[j];
+    for (int j = 0; j < size(); ++j) {
+      uint64_t nb = shared_->nbytes[j];
+      if (!verify_source(CollectiveType::Allgather, j, shared_->ptrs[j], nb,
+                         shared_->sums[j]))
+        nb = 0;
+      check_source_multiple(CollectiveType::Allgather, j, nb, sizeof(T));
+      eff[size_t(j)] = nb;
+      total_bytes += nb;
+    }
     std::vector<T> out(total_bytes / sizeof(T));
     if (offsets) offsets->assign(size_t(size()) + 1, 0);
     size_t pos = 0;
     for (int j = 0; j < size(); ++j) {
       if (offsets) (*offsets)[j] = pos / sizeof(T);
-      if (shared_->nbytes[j] > 0)
+      if (eff[size_t(j)] > 0)
         std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
-                    shared_->ptrs[j], shared_->nbytes[j]);
-      pos += shared_->nbytes[j];
+                    shared_->ptrs[j], eff[size_t(j)]);
+      pos += eff[size_t(j)];
     }
     if (offsets) (*offsets)[size()] = pos / sizeof(T);
     // Each rank's NIC receives everyone else's contribution.
@@ -151,14 +206,24 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     SUNBFS_CHECK(contrib.size() == block * size_t(size()));
     WallTimer t;
-    publish(contrib.data(), contrib.size_bytes());
+    uint64_t call = begin_collective(CollectiveType::ReduceScatter);
+    publish_checked(CollectiveType::ReduceScatter, call, contrib.data(),
+                    contrib.size_bytes());
     shared_->barrier.wait();
     std::vector<T> out(block);
-    const T* base0 = static_cast<const T*>(shared_->ptrs[0]);
-    std::memcpy(out.data(), base0 + size_t(index_) * block, block * sizeof(T));
-    for (int j = 1; j < size(); ++j) {
-      const T* base = static_cast<const T*>(shared_->ptrs[j]);
-      const T* blk = base + size_t(index_) * block;
+    // Seed from the caller's own (uncorrupted) contribution so a dropped
+    // source never leaves the result unseeded.
+    std::memcpy(out.data(), contrib.data() + size_t(index_) * block,
+                block * sizeof(T));
+    for (int j = 0; j < size(); ++j) {
+      if (j == index_) continue;
+      if (!verify_source(CollectiveType::ReduceScatter, j, shared_->ptrs[j],
+                         shared_->nbytes[j], shared_->sums[j]))
+        continue;
+      check_source_size(CollectiveType::ReduceScatter, j, shared_->nbytes[j],
+                        contrib.size_bytes());
+      const T* blk = static_cast<const T*>(shared_->ptrs[j]) +
+                     size_t(index_) * block;
       for (size_t i = 0; i < block; ++i) out[i] = op(out[i], blk[i]);
     }
     auto [intra, inter] = symmetric_bytes(block * sizeof(T));
@@ -176,19 +241,41 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     if (size() == 1) return;  // nothing to exchange
     WallTimer t;
-    publish(data.data(), data.size_bytes());
+    uint64_t call = begin_collective(CollectiveType::Allreduce);
+    publish_checked(CollectiveType::Allreduce, call, data.data(),
+                    data.size_bytes());
     if (index_ == 0) shared_->scratch.resize(data.size_bytes());
     shared_->barrier.wait();
-    SUNBFS_CHECK(shared_->nbytes[0] == data.size_bytes());
-    // Each participant reduces its own contiguous segment into scratch.
+    // Verify every contribution once; all ranks read the same shared
+    // checksums, so the set of honest sources is identical everywhere.
+    const bool sums = checksums_on();
+    std::vector<bool> use;
+    if (sums) {
+      use.resize(size_t(size()));
+      for (int j = 0; j < size(); ++j) {
+        use[size_t(j)] =
+            verify_source(CollectiveType::Allreduce, j, shared_->ptrs[j],
+                          shared_->nbytes[j], shared_->sums[j]);
+        if (use[size_t(j)])
+          check_source_size(CollectiveType::Allreduce, j, shared_->nbytes[j],
+                            data.size_bytes());
+      }
+    } else {
+      check_source_size(CollectiveType::Allreduce, 0, shared_->nbytes[0],
+                        data.size_bytes());
+    }
+    // Each participant reduces its own contiguous segment into scratch,
+    // seeding from its own original buffer (immune to publish corruption).
     size_t n = data.size();
     size_t lo = n * size_t(index_) / size_t(size());
     size_t hi = n * size_t(index_ + 1) / size_t(size());
     T* scratch = reinterpret_cast<T*>(shared_->scratch.data());
     for (size_t i = lo; i < hi; ++i) {
-      T acc = static_cast<const T*>(shared_->ptrs[0])[i];
-      for (int j = 1; j < size(); ++j)
+      T acc = data[i];
+      for (int j = 0; j < size(); ++j) {
+        if (j == index_ || (sums && !use[size_t(j)])) continue;
         acc = op(acc, static_cast<const T*>(shared_->ptrs[j])[i]);
+      }
       scratch[i] = acc;
     }
     shared_->barrier.wait();
@@ -202,28 +289,62 @@ class Comm {
   /// Personalized all-to-all: `to[d]` is the message for participant d; the
   /// result is the concatenation of messages addressed to the caller in
   /// source-rank order.  If `src_offsets` is non-null it receives size()+1
-  /// entries delimiting each source's data in the result.
+  /// entries delimiting each source's data in the result.  Dropped messages
+  /// appear empty.
   template <typename T>
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& to,
                            std::vector<size_t>* src_offsets = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     SUNBFS_CHECK(int(to.size()) == size());
     WallTimer t;
+    uint64_t call = begin_collective(CollectiveType::Alltoallv);
     int p = size();
+    const PayloadFault* fault = pending_payload(CollectiveType::Alltoallv,
+                                                call);
+    int corrupt_dst = -1;
+    if (fault) {
+      // Corrupt the message to the scheduled peer (or the first non-empty).
+      corrupt_dst = fault->peer >= 0 ? fault->peer % p : -1;
+      if (corrupt_dst >= 0 && to[size_t(corrupt_dst)].empty()) corrupt_dst = -1;
+      if (corrupt_dst < 0)
+        for (int d = 0; d < p && corrupt_dst < 0; ++d)
+          if (!to[size_t(d)].empty()) corrupt_dst = d;
+      if (corrupt_dst < 0) {  // nothing to corrupt this call; stay pending
+        defer_payload(CollectiveType::Alltoallv, fault);
+        fault = nullptr;
+      }
+    }
     for (int d = 0; d < p; ++d) {
-      shared_->a2a_ptrs[size_t(index_) * p + d] = to[d].data();
-      shared_->a2a_nbytes[size_t(index_) * p + d] = to[d].size() * sizeof(T);
+      const void* ptr = to[size_t(d)].data();
+      uint64_t nb = to[size_t(d)].size() * sizeof(T);
+      if (checksums_on())
+        shared_->a2a_sums[size_t(index_) * p + d] = checksum64(ptr, nb);
+      if (fault && d == corrupt_dst) corrupt(*fault, ptr, nb);
+      shared_->a2a_ptrs[size_t(index_) * p + d] = ptr;
+      shared_->a2a_nbytes[size_t(index_) * p + d] = nb;
     }
     shared_->barrier.wait();
+    std::vector<uint64_t> eff(static_cast<size_t>(p));
     size_t total_bytes = 0;
-    for (int s = 0; s < p; ++s)
-      total_bytes += shared_->a2a_nbytes[size_t(s) * p + index_];
+    for (int s = 0; s < p; ++s) {
+      size_t slot = size_t(s) * p + index_;
+      uint64_t nb = shared_->a2a_nbytes[slot];
+      if (!verify_source(CollectiveType::Alltoallv, s,
+                         shared_->a2a_ptrs[slot], nb,
+                         checksums_on() ? shared_->a2a_sums[slot] : 0))
+        nb = 0;
+      // A sender-published byte count must always cover whole elements;
+      // trusting it blindly would desync the receiver's message framing.
+      check_source_multiple(CollectiveType::Alltoallv, s, nb, sizeof(T));
+      eff[size_t(s)] = nb;
+      total_bytes += nb;
+    }
     std::vector<T> out(total_bytes / sizeof(T));
     if (src_offsets) src_offsets->assign(size_t(p) + 1, 0);
     size_t pos = 0;
     for (int s = 0; s < p; ++s) {
       if (src_offsets) (*src_offsets)[s] = pos / sizeof(T);
-      uint64_t nb = shared_->a2a_nbytes[size_t(s) * p + index_];
+      uint64_t nb = eff[size_t(s)];
       if (nb > 0)
         std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
                     shared_->a2a_ptrs[size_t(s) * p + index_], nb);
@@ -238,16 +359,23 @@ class Comm {
   }
 
   /// Broadcast `data` from participant `root` into every rank's buffer.
+  /// A dropped (corrupted) broadcast leaves the receivers' buffers untouched.
   template <typename T>
   void broadcast(std::span<T> data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     SUNBFS_CHECK(root >= 0 && root < size());
     WallTimer t;
-    publish(data.data(), data.size_bytes());
+    uint64_t call = begin_collective(CollectiveType::Broadcast);
+    publish_checked(CollectiveType::Broadcast, call, data.data(),
+                    data.size_bytes());
     shared_->barrier.wait();
-    SUNBFS_CHECK(shared_->nbytes[root] == data.size_bytes());
-    if (index_ != root)
-      std::memcpy(data.data(), shared_->ptrs[root], data.size_bytes());
+    if (verify_source(CollectiveType::Broadcast, root, shared_->ptrs[root],
+                      shared_->nbytes[root], shared_->sums[root])) {
+      check_source_size(CollectiveType::Broadcast, root,
+                        shared_->nbytes[root], data.size_bytes());
+      if (index_ != root)
+        std::memcpy(data.data(), shared_->ptrs[root], data.size_bytes());
+    }
     auto [intra, inter] = symmetric_bytes(data.size_bytes());
     shared_->barrier.wait();
     record(CollectiveType::Broadcast, index_ == root ? data.size_bytes() : 0,
@@ -258,9 +386,129 @@ class Comm {
  private:
   const Topology& topo() const { return *shared_->topology; }
 
-  void publish(const void* ptr, uint64_t bytes) {
+  int my_global_rank() const { return shared_->global_ranks[index_]; }
+
+  bool checksums_on() const { return faults_ != nullptr && faults_->checksums; }
+
+  /// Count this armed collective call, fire any scheduled straggler delay,
+  /// and return the call index the fault plan is keyed on.
+  uint64_t begin_collective(CollectiveType type) {
+    if (faults_ == nullptr || !faults_->active()) return ~uint64_t(0);
+    uint64_t call = faults_->calls[int(type)]++;
+    if (const StragglerFault* s =
+            faults_->plan->straggler(my_global_rank(), type, call)) {
+      faults_->stats.injected_stragglers += 1;
+      faults_->stats.straggler_delay_s += s->delay_s;
+      log_debug("fault: injected straggler on rank ", my_global_rank(), ", ",
+                collective_type_name(type), " call ", call, ", ",
+                s->delay_s * 1e3, " ms");
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(s->delay_s));
+    }
+    return call;
+  }
+
+  /// Payload fault scheduled for this exact call — or one deferred from an
+  /// earlier call of this type that carried no payload to corrupt.  Callers
+  /// must re-stash via defer_payload if this call has no payload either.
+  const PayloadFault* pending_payload(CollectiveType type, uint64_t call) {
+    if (faults_ == nullptr || !faults_->active()) return nullptr;
+    if (const PayloadFault* f =
+            faults_->plan->payload(my_global_rank(), type, call))
+      return f;
+    const PayloadFault* f = faults_->deferred[size_t(type)];
+    faults_->deferred[size_t(type)] = nullptr;
+    return f;
+  }
+
+  /// Keep `fault` pending for this rank's next call of `type`: its scheduled
+  /// call had nothing to corrupt (every message empty).
+  void defer_payload(CollectiveType type, const PayloadFault* fault) {
+    faults_->deferred[size_t(type)] = fault;
+    log_debug("fault: deferring ", fault_kind_name(fault->kind), " on rank ",
+              my_global_rank(), " — ", collective_type_name(type),
+              " call had no payload");
+  }
+
+  /// Apply `fault` to the payload about to be published: the original bytes
+  /// are copied into rank-local scratch and the copy is corrupted, so the
+  /// caller's buffer stays intact and the pre-computed checksum still covers
+  /// the true payload.
+  void corrupt(const PayloadFault& fault, const void*& ptr, uint64_t& nbytes) {
+    if (nbytes == 0) return;  // nothing to corrupt
+    corrupt_buf_.assign(static_cast<const unsigned char*>(ptr),
+                        static_cast<const unsigned char*>(ptr) + nbytes);
+    if (fault.kind == FaultKind::BitFlip)
+      corrupt_buf_[nbytes / 2] ^= 0x10;
+    else
+      nbytes -= 1;  // truncate: drop the trailing byte
+    ptr = corrupt_buf_.data();
+    faults_->stats.injected_corruptions += 1;
+    log_debug("fault: injected ", fault_kind_name(fault.kind), " on rank ",
+              my_global_rank(), ", ", collective_type_name(fault.collective),
+              " call ", fault.call_index);
+  }
+
+  /// Publish `(ptr, bytes)` with its checksum, applying any payload fault
+  /// scheduled for this call.
+  void publish_checked(CollectiveType type, uint64_t call, const void* ptr,
+                       uint64_t bytes) {
+    if (checksums_on()) shared_->sums[index_] = checksum64(ptr, bytes);
+    if (const PayloadFault* fault = pending_payload(type, call)) {
+      if (bytes == 0)
+        defer_payload(type, fault);  // nothing to corrupt this call
+      else
+        corrupt(*fault, ptr, bytes);
+    }
     shared_->ptrs[index_] = ptr;
     shared_->nbytes[index_] = bytes;
+  }
+
+  /// Verify participant `src`'s published payload against its checksum.
+  /// Returns true when the contribution is usable.  On mismatch: records the
+  /// detection and either throws FaultDetected (abort / report policies) or
+  /// marks a pending fault and returns false so the caller drops the
+  /// contribution (recover policy).
+  bool verify_source(CollectiveType type, int src, const void* ptr,
+                     uint64_t nbytes, uint64_t sum) {
+    if (!checksums_on()) return true;
+    bool ok = checksum64(ptr, nbytes) == sum;
+    if (stats_) stats_->note_checksum(ok);
+    if (ok) return true;
+    faults_->stats.detected += 1;
+    std::string msg = detail::log_format(
+        "fault: checksum mismatch in ", collective_type_name(type),
+        " — payload from rank ", global_rank_of(src), " corrupt at rank ",
+        my_global_rank());
+    log_debug(msg);
+    if (faults_->policy == FaultPolicy::Recover) {
+      faults_->pending = true;
+      return false;
+    }
+    throw FaultDetected(msg, type, global_rank_of(src), my_global_rank());
+  }
+
+  /// Matched-size assertion for fixed-size contributions.
+  void check_source_size(CollectiveType type, int src, uint64_t nbytes,
+                         uint64_t expected) const {
+    SUNBFS_CHECK_MSG(
+        nbytes == expected,
+        detail::log_format(collective_type_name(type), ": rank ",
+                           global_rank_of(src), " published ", nbytes,
+                           " bytes where receiver rank ", my_global_rank(),
+                           " expected ", expected));
+  }
+
+  /// Element-size divisibility assertion for variable-size contributions.
+  void check_source_multiple(CollectiveType type, int src, uint64_t nbytes,
+                             uint64_t elem) const {
+    SUNBFS_CHECK_MSG(
+        nbytes % elem == 0,
+        detail::log_format(collective_type_name(type), ": rank ",
+                           global_rank_of(src), " published ", nbytes,
+                           " bytes, not a multiple of the ", elem,
+                           "-byte element size expected by receiver rank ",
+                           my_global_rank()));
   }
 
   void record(CollectiveType type, uint64_t bytes_sent, uint64_t inter,
@@ -330,6 +578,10 @@ class Comm {
   CommShared* shared_ = nullptr;
   int index_ = 0;
   CommStats* stats_ = nullptr;
+  FaultState* faults_ = nullptr;
+  /// Scratch holding the corrupted copy of a published payload until the
+  /// collective completes.
+  std::vector<unsigned char> corrupt_buf_;
 };
 
 }  // namespace sunbfs::sim

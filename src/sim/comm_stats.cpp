@@ -59,9 +59,15 @@ void CommStats::merge(const CommStats& other) {
     entries_[i].modeled_s += other.entries_[i].modeled_s;
     entries_[i].wall_s += other.entries_[i].wall_s;
   }
+  checksums_verified_ += other.checksums_verified_;
+  checksum_mismatches_ += other.checksum_mismatches_;
 }
 
-void CommStats::reset() { entries_ = {}; }
+void CommStats::reset() {
+  entries_ = {};
+  checksums_verified_ = 0;
+  checksum_mismatches_ = 0;
+}
 
 std::string CommStats::to_string() const {
   std::ostringstream os;
@@ -73,6 +79,9 @@ std::string CommStats::to_string() const {
        << " B inter-supernode), modeled " << e.modeled_s << " s, wall "
        << e.wall_s << " s\n";
   }
+  if (checksums_verified_ > 0)
+    os << "  checksums: " << checksums_verified_ << " verified, "
+       << checksum_mismatches_ << " mismatched\n";
   return os.str();
 }
 

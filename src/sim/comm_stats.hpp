@@ -46,6 +46,14 @@ class CommStats {
               uint64_t bytes_inter_supernode, double modeled_s,
               double wall_s);
 
+  /// Record one payload-checksum verification (ok or mismatched).
+  void note_checksum(bool ok) {
+    ++checksums_verified_;
+    if (!ok) ++checksum_mismatches_;
+  }
+  uint64_t checksums_verified() const { return checksums_verified_; }
+  uint64_t checksum_mismatches() const { return checksum_mismatches_; }
+
   const CollectiveEntry& entry(CollectiveType type) const {
     return entries_[int(type)];
   }
@@ -66,6 +74,8 @@ class CommStats {
 
  private:
   std::array<CollectiveEntry, kCollectiveTypeCount> entries_{};
+  uint64_t checksums_verified_ = 0;
+  uint64_t checksum_mismatches_ = 0;
 };
 
 }  // namespace sunbfs::sim

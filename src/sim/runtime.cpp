@@ -4,11 +4,13 @@
 #include <thread>
 
 #include "support/check.hpp"
+#include "support/log.hpp"
 
 namespace sunbfs::sim {
 
 SpmdReport run_spmd(const Topology& topology,
-                    const std::function<void(RankContext&)>& body) {
+                    const std::function<void(RankContext&)>& body,
+                    const SpmdOptions& options) {
   const MeshShape mesh = topology.mesh();
   const int nranks = mesh.ranks();
   SUNBFS_CHECK(nranks >= 1);
@@ -40,25 +42,42 @@ SpmdReport run_spmd(const Topology& topology,
   std::vector<RankContext> contexts(nranks);
   std::mutex err_mu;
   std::exception_ptr first_error;
+  // Every rank's exception message (not just the first): multi-rank failures
+  // must stay diagnosable.
+  std::vector<std::string> rank_errors(static_cast<size_t>(nranks));
+  std::vector<bool> rank_failed(size_t(nranks), false);
 
   auto rank_main = [&](int rank) {
     RankContext& ctx = contexts[rank];
     ctx.rank = rank;
     ctx.mesh = mesh;
     ctx.topology = &topology;
-    ctx.world = Comm(&world_shared, rank, &ctx.stats);
+    ctx.faults.plan = options.faults;
+    ctx.faults.policy = options.policy;
+    ctx.faults.checksums = options.checksums_enabled();
+    ctx.world = Comm(&world_shared, rank, &ctx.stats, &ctx.faults);
     ctx.row = Comm(row_shared[mesh.row_of(rank)].get(), mesh.col_of(rank),
-                   &ctx.stats);
+                   &ctx.stats, &ctx.faults);
     ctx.col = Comm(col_shared[mesh.col_of(rank)].get(), mesh.row_of(rank),
-                   &ctx.stats);
+                   &ctx.stats, &ctx.faults);
     try {
       body(ctx);
     } catch (const AbortError&) {
       // Another rank failed first; just unwind.
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        rank_errors[size_t(rank)] = e.what();
+        rank_failed[size_t(rank)] = true;
+      }
+      abort_all();
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(err_mu);
         if (!first_error) first_error = std::current_exception();
+        rank_errors[size_t(rank)] = "unknown exception";
+        rank_failed[size_t(rank)] = true;
       }
       abort_all();
     }
@@ -74,18 +93,34 @@ SpmdReport run_spmd(const Topology& topology,
     for (auto& t : threads) t.join();
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error && options.policy == FaultPolicy::Abort)
+    std::rethrow_exception(first_error);
 
   SpmdReport report;
   report.per_rank.reserve(nranks);
-  for (auto& ctx : contexts) report.per_rank.push_back(ctx.stats);
+  report.fault_per_rank.reserve(nranks);
+  for (auto& ctx : contexts) {
+    report.per_rank.push_back(ctx.stats);
+    report.fault_per_rank.push_back(ctx.faults.stats);
+  }
+  for (int r = 0; r < nranks; ++r)
+    if (rank_failed[size_t(r)]) {
+      report.errors.push_back("rank " + std::to_string(r) + ": " +
+                              rank_errors[size_t(r)]);
+      log_debug("spmd: ", report.errors.back());
+    }
   return report;
+}
+
+SpmdReport run_spmd(const Topology& topology,
+                    const std::function<void(RankContext&)>& body) {
+  return run_spmd(topology, body, SpmdOptions{});
 }
 
 SpmdReport run_spmd(MeshShape mesh,
                     const std::function<void(RankContext&)>& body) {
   Topology topology(mesh);
-  return run_spmd(topology, body);
+  return run_spmd(topology, body, SpmdOptions{});
 }
 
 }  // namespace sunbfs::sim

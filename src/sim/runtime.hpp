@@ -2,10 +2,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/comm.hpp"
 #include "sim/comm_stats.hpp"
+#include "sim/fault.hpp"
 #include "sim/topology.hpp"
 
 /// SPMD runtime: runs one function body on every rank of a virtual machine,
@@ -23,20 +25,55 @@ struct RankContext {
   Comm row;    ///< ranks sharing this rank's mesh row (intra-supernode)
   Comm col;    ///< ranks sharing this rank's mesh column
   CommStats stats;
+  FaultState faults;  ///< fault plan, policy, counters (see sim/fault.hpp)
 
   int row_index() const { return mesh.row_of(rank); }
   int col_index() const { return mesh.col_of(rank); }
   int nranks() const { return mesh.ranks(); }
 };
 
+/// How run_spmd reacts to faults and rank exceptions.
+struct SpmdOptions {
+  /// Abort rethrows the first non-abort exception on the caller (the
+  /// historical behaviour); Report collects every rank's exception message
+  /// into SpmdReport::errors and returns; Recover additionally defers
+  /// checksum mismatches so the BFS engines can roll back and replay.
+  FaultPolicy policy = FaultPolicy::Abort;
+  /// Deterministic fault schedule consulted at every collective (optional).
+  const FaultPlan* faults = nullptr;
+  /// Payload checksum verification; Auto enables it exactly when a plan is
+  /// installed, so fault-free runs pay nothing.
+  ChecksumMode checksums = ChecksumMode::Auto;
+
+  bool checksums_enabled() const {
+    return checksums == ChecksumMode::On ||
+           (checksums == ChecksumMode::Auto && faults != nullptr);
+  }
+};
+
 /// Result of an SPMD run: per-rank communication statistics (indexed by
-/// global rank) plus their aggregate.
+/// global rank), their aggregate, per-rank fault accounting and — under the
+/// report / recover policies — every failed rank's exception message.
 struct SpmdReport {
   std::vector<CommStats> per_rank;
+  std::vector<FaultStats> fault_per_rank;
+  /// One "rank N: message" entry per rank whose body threw (all of them, not
+  /// just the first — multi-rank failures stay diagnosable).  Empty on a
+  /// clean run; always empty under the abort policy, which rethrows instead.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
 
   CommStats aggregate() const {
     CommStats total;
     for (const auto& s : per_rank) total.merge(s);
+    return total;
+  }
+
+  /// Cross-rank roll-up of fault injection/detection/recovery counters.
+  FaultStats fault_totals() const {
+    FaultStats total;
+    for (const auto& f : fault_per_rank) total.merge(f);
     return total;
   }
 
@@ -49,12 +86,16 @@ struct SpmdReport {
 };
 
 /// Run `body` on every rank of `topology`'s mesh.  Blocks until all ranks
-/// finish.  If any rank throws, all ranks are aborted and the first
-/// non-abort exception is rethrown on the caller.
+/// finish.  Under the default (abort) policy, if any rank throws, all ranks
+/// are aborted and the first non-abort exception is rethrown on the caller;
+/// the other policies are described on SpmdOptions.
+SpmdReport run_spmd(const Topology& topology,
+                    const std::function<void(RankContext&)>& body,
+                    const SpmdOptions& options);
+
+/// Abort-policy overloads (the historical interface).
 SpmdReport run_spmd(const Topology& topology,
                     const std::function<void(RankContext&)>& body);
-
-/// Convenience overload with default topology parameters.
 SpmdReport run_spmd(MeshShape mesh,
                     const std::function<void(RankContext&)>& body);
 
