@@ -10,7 +10,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_ablation_engine");
   bench::header("Engine ablation",
                 "delayed reduction / vertex cut / L2L forwarding");
   bench::paper_line(
@@ -28,15 +29,16 @@ int main() {
 
   struct Row {
     const char* name;
+    const char* slug;  ///< metrics key: "ablation.<slug>.*"
     void (*tweak)(bfs::Bfs15dOptions&);
   };
   std::vector<Row> rows = {
-      {"full configuration", [](bfs::Bfs15dOptions&) {}},
-      {"- delayed reduction (reduce every iteration)",
+      {"full configuration", "full", [](bfs::Bfs15dOptions&) {}},
+      {"- delayed reduction (reduce every iteration)", "no_delayed_reduction",
        [](bfs::Bfs15dOptions& o) { o.delayed_parent_reduction = false; }},
-      {"- edge-aware vertex cut",
+      {"- edge-aware vertex cut", "no_edge_aware_cut",
        [](bfs::Bfs15dOptions& o) { o.edge_aware_vertex_cut = false; }},
-      {"+ L2L hierarchical forwarding",
+      {"+ L2L hierarchical forwarding", "l2l_forwarding",
        [](bfs::Bfs15dOptions& o) { o.l2l_forwarding = true; }},
   };
 
@@ -58,10 +60,14 @@ int main() {
     std::printf("%-46s %10.3f %12.4fms %16llu\n", row.name,
                 result.harmonic_gteps, reduce_s * 1e3,
                 (unsigned long long)rs_bytes);
+    const std::string key = std::string("ablation.") + row.slug + ".";
+    bench::report().gauge(key + "gteps", result.harmonic_gteps);
+    bench::report().gauge(key + "reduce_ms", reduce_s * 1e3);
+    bench::report().add_counter(key + "reduce_scatter_bytes", rs_bytes);
   }
 
   bench::shape_line(
       "delayed reduction cuts reduce-scatter volume by ~the iteration "
       "count; the other toggles are second-order at simulation scale");
-  return 0;
+  return bench::finish();
 }

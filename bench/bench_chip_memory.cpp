@@ -10,7 +10,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_chip_memory");
   bench::header("Chip memory characterization",
                 "modeled cost of each access mechanism");
   bench::paper_line(
@@ -70,12 +71,17 @@ int main() {
       1);
 
   std::printf("%-30s %14s\n", "mechanism", "cycles/op");
-  for (const auto& p : probes)
+  for (const auto& p : probes) {
     std::printf("%-30s %14.2f\n", p.name, p.cycles_per_op);
+    std::string slug = "chipmem.";
+    for (const char* c = p.name; *c; ++c)
+      slug += std::isalnum((unsigned char)*c) ? char(std::tolower(*c)) : '_';
+    bench::report().gauge(slug + ".cycles_per_op", p.cycles_per_op);
+  }
 
   bench::shape_line(
       "LDM ~ 1 cycle << RMA ~ tens << GLD/atomics ~ hundreds; LDCache only "
       "helps when the working set fits — the premise of CG-aware "
       "segmenting");
-  return 0;
+  return bench::finish();
 }

@@ -14,7 +14,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig02_degree_distribution");
   bench::header("Figure 2", "degree distribution of an R-MAT graph");
   bench::paper_line(
       "SCALE 40: multi-peak heavy-tailed distribution, max degree ~1e7, "
@@ -65,8 +66,14 @@ int main() {
               (unsigned long long)distinct_tail,
               (unsigned long long)(max_degree - tail_lo));
 
+  bench::report().add_counter("fig02.max_degree", max_degree);
+  bench::report().add_counter("fig02.isolated_vertices", isolated);
+  bench::report().add_counter("fig02.distinct_tail_degrees", distinct_tail);
+  bench::report().gauge(
+      "fig02.skew", double(max_degree) / (2.0 * double(cfg.num_edges()) /
+                                          double(cfg.num_vertices())));
   bench::shape_line(
       "heavy tail with max degree orders of magnitude above the mean; "
       "sparse, clustered degree values in the tail");
-  return 0;
+  return bench::finish();
 }

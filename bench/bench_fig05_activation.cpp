@@ -11,7 +11,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig05_activation");
   bench::header("Figure 5", "active vertices percentage per iteration (E/H/L)");
   bench::paper_line(
       "E and H activate nearly 100% of their class by iteration 2-3; "
@@ -47,6 +48,15 @@ int main() {
                 (unsigned long long)it.active_l);
   }
 
+  for (const auto& it : stats.iterations) {
+    const std::string row = "fig05.iter" + std::to_string(it.iteration) + ".";
+    bench::report().add_counter(row + "active_e", it.active_e);
+    bench::report().add_counter(row + "active_h", it.active_h);
+    bench::report().add_counter(row + "active_l", it.active_l);
+  }
+  bench::report().add_counter("fig05.num_e", num_e);
+  bench::report().add_counter("fig05.num_h", num_h);
+  bench::report().add_counter("fig05.num_l", num_l);
   bench::shape_line("E/H peak at an earlier iteration than L");
-  return 0;
+  return bench::finish();
 }

@@ -11,7 +11,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig10_subgraph_breakdown");
   bench::header("Figure 10", "time breakdown by subgraph");
   bench::paper_line(
       "L2L large despite being the smallest subgraph; EH2EH share shrinks "
@@ -48,14 +49,22 @@ int main() {
     for (double x : t) total += x;
     total += reduce + other;
     std::printf("%6d |", meshes[i].ranks());
-    for (int s = 0; s < partition::kSubgraphCount; ++s)
+    const std::string row =
+        "fig10.ranks" + std::to_string(meshes[i].ranks()) + ".";
+    for (int s = 0; s < partition::kSubgraphCount; ++s) {
       std::printf(" %5.1f%%", 100.0 * t[s] / total);
+      bench::report().gauge(
+          row + partition::subgraph_name(partition::Subgraph(s)) + "_pct",
+          100.0 * t[s] / total);
+    }
     std::printf(" %5.1f%% %5.1f%%\n", 100.0 * reduce / total,
                 100.0 * other / total);
+    bench::report().gauge(row + "reduce_pct", 100.0 * reduce / total);
+    bench::report().gauge(row + "other_pct", 100.0 * other / total);
   }
 
   bench::shape_line(
       "L2L's time share far exceeds its ~10-15% edge share; EH2EH stays "
       "moderate despite holding the majority of edges");
-  return 0;
+  return bench::finish();
 }

@@ -11,7 +11,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig11_comm_breakdown");
   bench::header("Figure 11", "time breakdown by communication type");
   bench::paper_line(
       "communication share grows with scale, led by alltoallv and "
@@ -34,21 +35,20 @@ int main() {
     sim::Topology topo(meshes[i]);
     auto result = bfs::run_graph500(topo, cfg);
 
-    // compute = mean per-rank CPU; imbalance = max - mean (the spread the
-    // slowest rank imposes through collectives); comm = modeled per type.
+    // compute = mean per-rank CPU; imbalance = mean per-rank wait-for-peers
+    // measured at every collective as the thread-CPU arrival spread
+    // (CommStats::imbalance_s — a first-class measurement, not a
+    // max-minus-mean subtraction); comm = modeled per type.
     int p = meshes[i].ranks();
     double comm_by_type[sim::kCollectiveTypeCount] = {};
-    double cpu_sum = 0, cpu_max = 0;
+    double cpu_sum = 0, imbalance = 0;
     for (const auto& run : result.runs) {
-      double run_cpu_sum = run.stats.total_cpu_s();  // summed over ranks
-      cpu_sum += run_cpu_sum / p;
-      cpu_max += run.modeled_s - run.stats.total_comm_modeled_s() /
-                                     double(p);  // max-rank compute portion
+      cpu_sum += run.stats.total_cpu_s() / p;  // stats are summed over ranks
+      imbalance += run.stats.comm.total_imbalance_s() / p;
       for (int t = 0; t < sim::kCollectiveTypeCount; ++t)
         comm_by_type[t] +=
             run.stats.comm.entry(sim::CollectiveType(t)).modeled_s / p;
     }
-    double imbalance = std::max(0.0, cpu_max - cpu_sum);
     double total = cpu_sum + imbalance;
     for (double c : comm_by_type) total += c;
     std::printf("%6d | %7.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
@@ -58,6 +58,21 @@ int main() {
                 100 * comm_by_type[int(sim::CollectiveType::ReduceScatter)] / total,
                 100 * comm_by_type[int(sim::CollectiveType::Allreduce)] / total,
                 100 * comm_by_type[int(sim::CollectiveType::Barrier)] / total);
+    // Machine-readable Figure 11 row (percent shares, keyed by rank count).
+    const std::string row = "fig11.ranks" + std::to_string(p) + ".";
+    auto& rep = bench::report();
+    rep.gauge(row + "compute_pct", 100 * cpu_sum / total);
+    rep.gauge(row + "imbalance_pct", 100 * imbalance / total);
+    rep.gauge(row + "alltoallv_pct",
+              100 * comm_by_type[int(sim::CollectiveType::Alltoallv)] / total);
+    rep.gauge(row + "allgather_pct",
+              100 * comm_by_type[int(sim::CollectiveType::Allgather)] / total);
+    rep.gauge(row + "reduce_scatter_pct",
+              100 * comm_by_type[int(sim::CollectiveType::ReduceScatter)] /
+                  total);
+    rep.gauge(row + "allreduce_pct",
+              100 * comm_by_type[int(sim::CollectiveType::Allreduce)] / total);
+    rep.gauge(row + "imbalance_s", imbalance);
   }
   std::printf("\nnote: EH frontier unions run as allreduce on this "
               "implementation; the paper's reduce-scatter+allgather pair is "
@@ -66,5 +81,5 @@ int main() {
   bench::shape_line(
       "collective share grows with rank count; point-to-point alltoallv and "
       "the frontier-union reductions dominate the communication time");
-  return 0;
+  return bench::finish();
 }

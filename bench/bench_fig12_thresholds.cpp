@@ -12,7 +12,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig12_thresholds");
   bench::header("Figure 12", "GTEPS over (E, H) degree thresholds");
   bench::paper_line(
       "SCALE 35 / 256 nodes: best 848.1 GTEPS at (E=4096, H=128); "
@@ -51,6 +52,9 @@ int main() {
       bfs::RunnerConfig cfg = base;
       cfg.thresholds = {e, h};
       grid[e][h] = bfs::run_graph500(topo, cfg).harmonic_gteps;
+      bench::report().gauge("fig12.e" + std::to_string(e) + ".h" +
+                                std::to_string(h) + ".gteps",
+                            grid[e][h]);
       std::printf(" %9.3f", grid[e][h]);
     }
     std::printf("\n");
@@ -80,5 +84,5 @@ int main() {
       "the E threshold shifts GTEPS substantially and only interior "
       "threshold choices stay feasible at paper scale; the H-vs-L gain "
       "itself needs a machine larger than this simulation to appear");
-  return 0;
+  return bench::finish();
 }

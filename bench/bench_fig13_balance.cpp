@@ -14,7 +14,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig13_balance");
   bench::header("Figure 13", "distribution of partitioned subgraph sizes");
   bench::paper_line(
       "SCALE 44 over 103,912 nodes: min-max spread 4.2% (EH2EH), "
@@ -50,11 +51,16 @@ int main() {
                 partition::subgraph_name(partition::Subgraph(s)), sm.min,
                 sm.mean(), sm.max, sm.spread() * 100,
                 sm.max_over_mean() * 100);
+    const std::string row =
+        std::string("fig13.") +
+        partition::subgraph_name(partition::Subgraph(s)) + ".";
+    bench::report().gauge(row + "spread_pct", sm.spread() * 100);
+    bench::report().gauge(row + "max_over_mean_pct", sm.max_over_mean() * 100);
   }
 
   bench::shape_line(
       "every subgraph spreads only a few percent across ranks without any "
       "explicit rebalancing (vertices distributed evenly, edges follow the "
       "1.5D placement rules)");
-  return 0;
+  return bench::finish();
 }

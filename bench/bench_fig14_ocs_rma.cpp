@@ -16,7 +16,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig14_ocs_rma");
   bench::header("Figure 14", "throughput of bucketing implementations");
   bench::paper_line(
       "MPE 0.0406 GB/s | 1 CG 12.5 GB/s | 6 CGs 58.6 GB/s "
@@ -70,5 +71,10 @@ int main() {
   bench::shape_line(
       "1 CG >> MPE; 6 CGs ~4-6x of 1 CG (cross-CG atomics tax); "
       "utilization in the tens of percent; OCS-RMA beats atomic bucketing");
-  return 0;
+  bench::report().gauge("fig14.mpe_gbps", mpe_gbps);
+  bench::report().gauge("fig14.ocs_1cg_gbps", one_gbps);
+  bench::report().gauge("fig14.ocs_6cg_gbps", six_gbps);
+  bench::report().gauge("fig14.atomic_6cg_gbps", atomic_gbps);
+  bench::report().gauge("fig14.utilization_pct", util);
+  return bench::finish();
 }

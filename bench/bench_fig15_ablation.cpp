@@ -16,7 +16,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_fig15_ablation");
   bench::header("Figure 15", "ablation: sub-iteration direction + segmenting");
   bench::paper_line(
       "sub-iteration moves expensive EH pushes into cheap pulls; segmenting "
@@ -74,6 +75,10 @@ int main() {
                 configs[i].name, 100 * eh2eh_pull / total,
                 100 * others_pull / total, 100 * eh2eh_push / total,
                 100 * others_push / total, 100 * other / total, total * 1e3);
+    const std::string row = "fig15.config" + std::to_string(i) + ".";
+    bench::report().gauge(row + "eh2eh_pull_pct", 100 * eh2eh_pull / total);
+    bench::report().gauge(row + "eh2eh_push_pct", 100 * eh2eh_push / total);
+    bench::report().gauge(row + "total_ms", total * 1e3);
     eh_pull[i] = eh2eh_pull;
   }
   (void)eh_pull;
@@ -101,11 +106,14 @@ int main() {
                   (unsigned long long)k, gld.report.modeled_seconds * 1e3,
                   rma.report.modeled_seconds * 1e3,
                   gld.report.modeled_seconds / rma.report.modeled_seconds);
+      bench::report().gauge(
+          "fig15.segmenting_speedup",
+          gld.report.modeled_seconds / rma.report.modeled_seconds);
     });
   }
 
   bench::shape_line(
       "(a)->(b): EH-related push time drops, replaced by cheaper pulls; "
       "(b)->(c): the EH2EH pull bar shrinks by a large factor");
-  return 0;
+  return bench::finish();
 }

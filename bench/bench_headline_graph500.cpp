@@ -14,7 +14,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_headline_graph500");
   bench::header("Headline (§6.1)", "full Graph 500 BFS benchmark");
   bench::paper_line(
       "SCALE 44, 103,912 nodes, 40.5M cores: 180,792 GTEPS over 64 roots, "
@@ -77,8 +78,11 @@ int main() {
               result.harmonic_gteps);
   std::printf("all runs validated: %s\n", result.all_valid ? "YES" : "NO");
 
+  // Full machine-readable run report (graph500.* / bfs.* / comm.* keys).
+  result.to_report(bench::report());
+  bench::report().info("headline.scale", int64_t(cfg.graph.scale));
   bench::shape_line(
       "every search key passes Graph 500 validation; harmonic-mean GTEPS "
       "reported on the modeled machine clock");
-  return result.all_valid ? 0 : 1;
+  return bench::finish(result.all_valid ? 0 : 1);
 }

@@ -13,7 +13,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_kernel3_sssp");
   bench::header("Graph 500 kernel 3", "SSSP over the 1.5D partition");
   bench::paper_line(
       "SS8: 'the push-pull selection ... works on many graph algorithms, "
@@ -76,5 +77,8 @@ int main() {
       "the partition built for BFS serves SSSP unchanged; every run passes "
       "the reference-free distance validation; delta-stepping buckets the "
       "relaxations exactly as the kernel-3 reference codes do");
-  return result.all_valid ? 0 : 1;
+  bench::report().gauge("kernel3.harmonic_gteps", result.harmonic_gteps);
+  bench::report().info("kernel3.all_valid",
+                       result.all_valid ? "true" : "false");
+  return bench::finish(result.all_valid ? 0 : 1);
 }

@@ -3,6 +3,8 @@
 // bit-vector scans.  These are engineering benchmarks, not paper exhibits.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hpp"
+
 #include <algorithm>
 #include <vector>
 
@@ -96,3 +98,26 @@ void BM_VertexScramble(benchmark::State& state) {
 BENCHMARK(BM_VertexScramble);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: google-benchmark's default main
+// rejects unknown flags, so strip the observability flags (--metrics-out /
+// --trace-out, handled by bench::init/finish) before Initialize sees them.
+int main(int argc, char** argv) {
+  sunbfs::bench::init(argc, argv, "bench_micro_kernels");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 ||
+        std::strcmp(argv[i], "--trace-out") == 0) {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = int(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return sunbfs::bench::finish();
+}

@@ -13,7 +13,8 @@
 
 using namespace sunbfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_table1_partitioning");
   bench::header("Table 1", "BFS by partitioning method, same machine & graph");
   bench::paper_line(
       "1D+delegates 15.4/23.8 TTEPS-class records; 2D 38.6/103 kGTEPS; "
@@ -28,28 +29,29 @@ int main() {
 
   struct Row {
     const char* name;
+    const char* slug;  ///< metrics key: "table1.<slug>.*"
     bfs::RunnerConfig cfg;
   };
   std::vector<Row> rows;
   {
     bfs::RunnerConfig c = base;
     c.engine = bfs::EngineKind::OneD;
-    rows.push_back({"vanilla 1D", c});
+    rows.push_back({"vanilla 1D", "vanilla_1d", c});
   }
   {
     bfs::RunnerConfig c = base;  // |H| = 0: heavy delegates only
     c.thresholds = {512, 512};
-    rows.push_back({"1D + heavy delegates", c});
+    rows.push_back({"1D + heavy delegates", "1d_heavy_delegates", c});
   }
   {
     bfs::RunnerConfig c = base;  // |L| = 0: every connected vertex delegated
     c.thresholds = {4096, 0};
-    rows.push_back({"2D (all delegated)", c});
+    rows.push_back({"2D (all delegated)", "2d_all_delegated", c});
   }
   {
     bfs::RunnerConfig c = base;
     c.thresholds = {4096, 512};
-    rows.push_back({"degree-aware 1.5D", c});
+    rows.push_back({"degree-aware 1.5D", "degree_aware_15d", c});
   }
 
   std::printf("scale %d, %d ranks, %d roots; modeled clock\n\n",
@@ -64,12 +66,22 @@ int main() {
                 result.harmonic_gteps,
                 (unsigned long long)agg.total_bytes_sent(),
                 (unsigned long long)agg.total_bytes_inter_supernode());
+    const std::string key = std::string("table1.") + row.slug + ".";
+    bench::report().gauge(key + "gteps", result.harmonic_gteps);
+    bench::report().add_counter(key + "bytes_sent", agg.total_bytes_sent());
+    bench::report().add_counter(key + "bytes_inter_supernode",
+                                agg.total_bytes_inter_supernode());
     if (std::string(row.name) == "degree-aware 1.5D")
       gteps_15d = result.harmonic_gteps;
     else
       gteps_best_baseline = std::max(gteps_best_baseline,
                                      result.harmonic_gteps);
   }
+  bench::report().gauge("table1.speedup_vs_best_baseline",
+                        gteps_15d / gteps_best_baseline);
+  bench::report().info("table1.scale", int64_t(base.graph.scale));
+  bench::report().info("table1.ranks", int64_t(topo.mesh().ranks()));
+  bench::report().info("table1.roots", int64_t(base.num_roots));
   std::printf("\n1.5D / best delegation baseline = %.2fx (paper: 1.75x over "
               "the 2021 2D record)\n", gteps_15d / gteps_best_baseline);
 
@@ -98,5 +110,5 @@ int main() {
       "only method whose per-rank state stays feasible at SCALE 44; vanilla "
       "1D stays competitive only while the whole frontier fits in memory "
       "(it cannot beyond simulation scale)");
-  return 0;
+  return bench::finish();
 }

@@ -2,7 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 /// Shared helpers for the figure/table reproduction benches.
 ///
@@ -12,6 +16,14 @@
 ///  - a `shape:` line stating the qualitative claim that must hold.
 /// Scales default to sizes that run in seconds on one host core; set
 /// SUNBFS_BENCH_SCALE_DELTA=+k to enlarge every experiment by k scales.
+///
+/// Every bench also speaks the observability protocol of
+/// docs/OBSERVABILITY.md: call init(argc, argv) first and return through
+/// finish().  `--metrics-out PATH` then writes every number the bench
+/// printed (deposited via report()) as a sunbfs.metrics/1 JSON file —
+/// the machine-readable side tools/regen_experiments.py folds back into
+/// EXPERIMENTS.md — and `--trace-out PATH` writes a Chrome trace of the
+/// run for Perfetto.
 namespace sunbfs::bench {
 
 /// Integer knob from the environment with a default.
@@ -31,5 +43,63 @@ inline void header(const char* exhibit, const char* what) {
 
 inline void paper_line(const char* text) { std::printf("paper: %s\n", text); }
 inline void shape_line(const char* text) { std::printf("shape: %s\n\n", text); }
+
+namespace detail {
+inline std::string& metrics_path() {
+  static std::string p;
+  return p;
+}
+inline std::string& trace_path() {
+  static std::string p;
+  return p;
+}
+}  // namespace detail
+
+/// The bench's metrics report.  Benches deposit the same numbers they print
+/// (keys are documented per exhibit in EXPERIMENTS.md); finish() serializes
+/// it when --metrics-out was given.
+inline obs::Report& report() {
+  static obs::Report r;
+  return r;
+}
+
+/// Parse the observability flags (--metrics-out PATH, --trace-out PATH).
+/// Call first in main; enables the tracer when a trace is requested.
+inline void init(int argc, char** argv, const char* tool) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0)
+      detail::metrics_path() = argv[i + 1];
+    else if (std::strcmp(argv[i], "--trace-out") == 0)
+      detail::trace_path() = argv[i + 1];
+  }
+  if (!detail::trace_path().empty()) obs::Tracer::instance().enable();
+  report().info("tool", tool);
+  report().info("scale_delta", int64_t(scale_delta()));
+}
+
+/// Write the requested JSON artifacts and pass `code` through (so benches
+/// can `return bench::finish(code);`).
+inline int finish(int code = 0) {
+  if (!detail::metrics_path().empty()) {
+    if (report().write_file(detail::metrics_path()))
+      std::printf("metrics: wrote %s\n", detail::metrics_path().c_str());
+    else {
+      std::printf("metrics: FAILED writing %s\n",
+                  detail::metrics_path().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!detail::trace_path().empty()) {
+    if (obs::Tracer::instance().write_chrome_trace_file(detail::trace_path()))
+      std::printf("trace: wrote %zu events to %s\n",
+                  obs::Tracer::instance().event_count(),
+                  detail::trace_path().c_str());
+    else {
+      std::printf("trace: FAILED writing %s\n", detail::trace_path().c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
+}
 
 }  // namespace sunbfs::bench

@@ -4,6 +4,13 @@
 //                     [--e-threshold D] [--h-threshold D] [--no-validate]
 //                     [--engine 1d|1.5d] [--baseline-direction]
 //                     [--faults SEED] [--fault-policy abort|report|recover]
+//                     [--trace-out PATH] [--metrics-out PATH]
+//
+// --trace-out writes the run as Chrome trace_event JSON (open in Perfetto:
+// per-rank BFS levels, collectives, and — under --faults — rollback/replay
+// spans on the modeled clock).  --metrics-out writes the machine-readable
+// sunbfs.metrics/1 report that tools/regen_experiments.py consumes; see
+// docs/OBSERVABILITY.md.
 //
 // Runs generation -> partitioning -> K timed BFS runs -> validation and
 // prints a Graph 500-style report with the time breakdowns of Figures 10
@@ -18,6 +25,8 @@
 #include <string>
 
 #include "bfs/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sunbfs;
 
@@ -55,6 +64,10 @@ int main(int argc, char** argv) {
   sim::MeshShape mesh{int(arg_u64(argc, argv, "--rows", 2)),
                       int(arg_u64(argc, argv, "--cols", 2))};
   sim::Topology topo(mesh);
+
+  const char* trace_out = arg_str(argc, argv, "--trace-out", nullptr);
+  const char* metrics_out = arg_str(argc, argv, "--metrics-out", nullptr);
+  if (trace_out) obs::Tracer::instance().enable();
 
   // Optional deterministic fault injection (the acceptance scenario: one
   // straggler, two payload corruptions, one hard rank failure).
@@ -144,5 +157,29 @@ int main(int argc, char** argv) {
               result.harmonic_gteps);
   if (cfg.validate)
     std::printf("validation: %s\n", result.all_valid ? "ALL PASSED" : "FAILED");
+
+  if (trace_out) {
+    if (obs::Tracer::instance().write_chrome_trace_file(trace_out))
+      std::printf("trace: wrote %zu events to %s\n",
+                  obs::Tracer::instance().event_count(), trace_out);
+    else
+      std::printf("trace: FAILED writing %s\n", trace_out);
+  }
+  if (metrics_out) {
+    obs::Report report;
+    report.info("tool", "graph500_runner");
+    report.info("scale", int64_t(cfg.graph.scale));
+    report.info("edge_factor", int64_t(cfg.graph.edge_factor));
+    report.info("mesh", std::to_string(mesh.rows) + "x" +
+                            std::to_string(mesh.cols));
+    report.info("engine",
+                cfg.engine == bfs::EngineKind::OneFiveD ? "1.5d" : "1d");
+    report.info("faults", cfg.faults ? "on" : "off");
+    result.to_report(report);
+    if (report.write_file(metrics_out))
+      std::printf("metrics: wrote %s\n", metrics_out);
+    else
+      std::printf("metrics: FAILED writing %s\n", metrics_out);
+  }
   return cfg.validate && !result.all_valid ? 1 : 0;
 }

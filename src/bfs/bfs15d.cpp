@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "bfs/gathered_frontier.hpp"
+#include "obs/trace.hpp"
 #include "bfs/segmenting.hpp"
 #include "bfs/vertex_cut.hpp"
 #include "support/check.hpp"
@@ -100,6 +101,7 @@ class Engine {
   }
 
   Bfs15dResult run() {
+    obs::Span run_span("bfs", "bfs15d");
     ThreadCpuTimer run_cpu;
     const double comm_start = ctx_.stats.total_modeled_s();
 
@@ -114,6 +116,7 @@ class Engine {
     int iteration = 0;
     for (;;) {
       ++iteration;
+      obs::Span level_span("bfs", "level", iteration);
       // A scheduled hard failure is in the (replicated) plan, so every rank
       // sees it fire at the same level without an agreement round: the
       // victim's volatile state is wiped and everyone rolls back together.
@@ -293,12 +296,17 @@ class Engine {
   /// time_override_ >= 0 (chip kernels), that value replaces measured CPU.
   template <typename Fn>
   void timed_sub(Subgraph s, bool bottom_up, Fn&& fn) {
+    obs::Span span("bfs", partition::subgraph_name(s), bottom_up ? 1 : 0);
     double comm0 = ctx_.stats.total_modeled_s();
     time_override_ = -1.0;
     ThreadCpuTimer cpu;
     fn();
     attributed_host_cpu_ += cpu.seconds();
     double t = time_override_ >= 0 ? time_override_ : cpu.seconds();
+    // The attributed compute is modeled time too: the collectives inside
+    // fn() advanced the rank's modeled clock themselves, compute does it
+    // here, so the span covers both on the modeled timeline.
+    obs::Tracer::advance_modeled(t);
     auto& arr = bottom_up ? stats_.pull_cpu_s : stats_.push_cpu_s;
     arr[size_t(int(s))] += t;
     stats_.comm_modeled_s[size_t(int(s))] +=
@@ -645,6 +653,7 @@ class Engine {
 
   // ---- delayed reduction of delegated parents (§5) --------------------------
   void reduce_parents() {
+    obs::Span span("bfs", "reduce_parents");
     double comm0 = ctx_.stats.total_modeled_s();
     ThreadCpuTimer cpu;
     uint64_t block = part_.eh_space.max_count();
@@ -671,6 +680,7 @@ class Engine {
       parent_[part_.space.to_local(ctx_.rank, m.dst)] = m.parent;
     stats_.reduce_cpu_s += cpu.seconds();
     attributed_host_cpu_ += cpu.seconds();
+    obs::Tracer::advance_modeled(cpu.seconds());
     stats_.reduce_comm_modeled_s += ctx_.stats.total_modeled_s() - comm0;
   }
 
@@ -742,6 +752,8 @@ class Engine {
   /// takes this path in the same iteration (the pending flags were agreed on
   /// or the failure came from the replicated plan).
   void rollback(int& iteration) {
+    obs::Span span("fault", "rollback", ckpt_.iteration);
+    obs::instant("fault", "rollback_from", iteration);
     backoff_or_give_up("recovery");
     ctx_.faults.stats.resent_bytes +=
         ctx_.stats.total_bytes_sent() - ckpt_.bytes_sent;
@@ -775,7 +787,11 @@ class Engine {
     in_recovery_ = true;
     double delay = sim::backoff_delay_s(opts_.recovery, consecutive_retries_);
     fs.backoff_s += delay;
-    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    {
+      obs::Span span("fault", "backoff", consecutive_retries_);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      obs::Tracer::advance_modeled(delay);
+    }
   }
 
   /// A clean agreement round: if a recovery was in flight, the replay

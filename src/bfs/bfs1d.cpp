@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "bfs/gathered_frontier.hpp"
+#include "obs/trace.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -68,6 +69,8 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
     ckpt.bytes_sent = ctx.stats.total_bytes_sent();
   };
   auto rollback = [&](int& it) {
+    obs::Span span("fault", "rollback", ckpt.iteration);
+    obs::instant("fault", "rollback_from", it);
     ++consecutive_retries;
     if (consecutive_retries > rec.max_retries)
       throw sim::FaultDetected("fault: recovery retries exhausted after " +
@@ -78,6 +81,7 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
     double delay = sim::backoff_delay_s(rec, consecutive_retries);
     fs.backoff_s += delay;
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    obs::Tracer::advance_modeled(delay);
     fs.resent_bytes += ctx.stats.total_bytes_sent() - ckpt.bytes_sent;
     visited = ckpt.visited;
     curr = ckpt.curr;
@@ -110,6 +114,9 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
   auto run_level = [&](uint64_t active) {
     bool bottom_up =
         double(active) / double(space.total) > options.pull_ratio;
+    obs::Span span("bfs", bottom_up ? "level_pull" : "level_push",
+                   int64_t(active));
+    ThreadCpuTimer level_cpu;
     if (!bottom_up) {
       // Per-destination dedup, as in the 1.5D engine: one message per
       // target vertex per rank.
@@ -144,9 +151,13 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
         }
       }
     }
+    // As in the 1.5D engine, per-level compute is modeled time too; the
+    // collectives above advanced the clock by their own modeled seconds.
+    obs::Tracer::advance_modeled(level_cpu.seconds());
   };
 
   Bfs1dResult result;
+  obs::Span run_span("bfs", "bfs1d");
   ThreadCpuTimer cpu;
   const double comm0 = ctx.stats.total_modeled_s();
   // Seed frontier: the root visit above landed in `next`.
@@ -156,6 +167,7 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
   int iteration = 0;
   for (;;) {
     ++iteration;
+    obs::Span level_span("bfs", "level", iteration);
     if (resilient && take_rank_failure(iteration)) {
       rollback(iteration);
       continue;

@@ -204,4 +204,58 @@ RunnerResult run_graph500(const sim::Topology& topology,
   return result;
 }
 
+void BfsStats::to_report(obs::Report& report,
+                         const std::string& prefix) const {
+  for (int i = 0; i < partition::kSubgraphCount; ++i) {
+    const std::string sub =
+        prefix + partition::subgraph_name(partition::Subgraph(i)) + ".";
+    if (push_cpu_s[size_t(i)] > 0)
+      report.gauge(sub + "push_cpu_s", push_cpu_s[size_t(i)]);
+    if (pull_cpu_s[size_t(i)] > 0)
+      report.gauge(sub + "pull_cpu_s", pull_cpu_s[size_t(i)]);
+    if (comm_modeled_s[size_t(i)] > 0)
+      report.gauge(sub + "comm_modeled_s", comm_modeled_s[size_t(i)]);
+  }
+  report.gauge(prefix + "reduce_cpu_s", reduce_cpu_s);
+  report.gauge(prefix + "reduce_comm_modeled_s", reduce_comm_modeled_s);
+  report.gauge(prefix + "other_cpu_s", other_cpu_s);
+  report.gauge(prefix + "other_comm_modeled_s", other_comm_modeled_s);
+  report.add_counter(prefix + "iterations", uint64_t(num_iterations));
+  Log2Histogram& frontier = report.histogram(prefix + "frontier_active");
+  for (const IterationRecord& rec : iterations)
+    frontier.add(rec.active_e + rec.active_h + rec.active_l);
+}
+
+void RunnerResult::to_report(obs::Report& report) const {
+  report.gauge("graph500.harmonic_gteps", harmonic_gteps);
+  report.add_counter("graph500.roots", uint64_t(runs.size()));
+  report.add_counter("graph500.valid_roots", [&] {
+    uint64_t n = 0;
+    for (const auto& r : runs)
+      if (r.valid) ++n;
+    return n;
+  }());
+  report.info("graph500.all_valid", all_valid ? "true" : "false");
+  report.add_counter("graph500.num_eh", num_eh);
+  report.add_counter("graph500.num_e", num_e);
+  report.gauge("graph500.partition_wall_s", partition_wall_s);
+  double modeled = 0, wall = 0;
+  uint64_t edges = 0;
+  for (const auto& r : runs) {
+    modeled += r.modeled_s;
+    wall += r.wall_s;
+    edges += r.traversed_edges;
+  }
+  report.gauge("graph500.total_modeled_s", modeled);
+  report.gauge("graph500.total_wall_s", wall);
+  report.add_counter("graph500.traversed_edges", edges);
+  // Per-subgraph breakdown summed over roots (composition shares are what
+  // the figures report).
+  std::vector<BfsStats> per_root;
+  per_root.reserve(runs.size());
+  for (const auto& r : runs) per_root.push_back(r.stats);
+  if (!per_root.empty()) sum_stats(per_root).to_report(report, "bfs.");
+  spmd.to_report(report);
+}
+
 }  // namespace sunbfs::bfs

@@ -66,6 +66,12 @@ struct RunnerResult {
   uint64_t num_eh = 0, num_e = 0;         ///< classification sizes
   sim::SpmdReport spmd;                   ///< whole-pipeline comm stats
   double partition_wall_s = 0;            ///< generation + partitioning
+
+  /// Fold the whole benchmark into a metrics report: headline GTEPS and
+  /// validation under "graph500.", summed per-subgraph BFS breakdown under
+  /// "bfs.", comm/fault/spmd aggregates via SpmdReport::to_report.  This is
+  /// the object --metrics-out serializes (see docs/OBSERVABILITY.md).
+  void to_report(obs::Report& report) const;
 };
 
 /// Run the full benchmark on `topology`'s mesh.  Validation runs on the

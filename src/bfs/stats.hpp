@@ -57,6 +57,14 @@ struct BfsStats {
       t += comm_modeled_s[size_t(s)];
     return t;
   }
+
+  /// Fold into a metrics report: per-subgraph "<prefix><sub>.push_cpu_s" /
+  /// ".pull_cpu_s" / ".comm_modeled_s" gauges, reduce/other components, the
+  /// iteration count and a log2 histogram of per-iteration frontier sizes
+  /// ("<prefix>frontier_active").  The embedded CommStats is *not* folded
+  /// here (callers usually want the whole-pipeline SpmdReport instead).
+  void to_report(obs::Report& report,
+                 const std::string& prefix = "bfs.") const;
 };
 
 /// Cross-rank roll-up of one run, computed by the harness.

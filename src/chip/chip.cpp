@@ -3,6 +3,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::chip {
@@ -174,6 +175,8 @@ KernelReport Chip::run(const Kernel& kernel, int n_cgs) {
     report.totals.cached_hits += c.cached_hits;
   }
   report.modeled_seconds = cost_.seconds(report.max_cycles);
+  obs::complete_span("chip", "kernel", int64_t(report.totals.cycles),
+                     report.wall_seconds, report.modeled_seconds);
   return report;
 }
 
@@ -186,6 +189,8 @@ KernelReport Chip::run_mpe(const std::function<void(MpeContext&)>& fn) {
   report.max_cycles = ctx.cycles();
   report.totals.cycles = ctx.cycles();
   report.modeled_seconds = ctx.cycles() / cost_.mpe_hz;
+  obs::complete_span("chip", "mpe_kernel", int64_t(ctx.cycles()),
+                     report.wall_seconds, report.modeled_seconds);
   return report;
 }
 

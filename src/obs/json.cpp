@@ -1,0 +1,344 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sunbfs::obs {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::Number) throw std::runtime_error("json: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+bool Json::has(const std::string& key) const {
+  return kind_ == Kind::Object && object_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (kind_ != Kind::Object) throw std::runtime_error("json: not an object");
+  auto it = object_.find(key);
+  if (it == object_.end())
+    throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t index) const {
+  if (kind_ != Kind::Array) throw std::runtime_error("json: not an array");
+  if (index >= array_.size()) throw std::runtime_error("json: index range");
+  return array_[index];
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) throw std::runtime_error("json: not an object");
+  object_[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) throw std::runtime_error("json: not an array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void json_escape(std::string_view in, std::string& out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; clamp to null
+    out += "null";
+    return;
+  }
+  // Integers print exactly (metric counters); everything else with enough
+  // digits to round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string(what) + " at byte " +
+                             std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= unsigned(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Our own writer only emits \u00XX; decode the BMP code point as
+          // UTF-8 so foreign files survive too.
+          if (v < 0x80) {
+            out += char(v);
+          } else if (v < 0x800) {
+            out += char(0xC0 | (v >> 6));
+            out += char(0x80 | (v & 0x3F));
+          } else {
+            out += char(0xE0 | (v >> 12));
+            out += char(0x80 | ((v >> 6) & 0x3F));
+            out += char(0x80 | (v & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json j = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return j;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        j.set(key, parse_value());
+        skip_ws();
+        char d = peek();
+        ++pos;
+        if (d == '}') return j;
+        if (d != ',') fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json j = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return j;
+      }
+      for (;;) {
+        j.push_back(parse_value());
+        skip_ws();
+        char d = peek();
+        ++pos;
+        if (d == ']') return j;
+        if (d != ',') fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return Json::string(parse_string());
+    if (consume_literal("true")) return Json::boolean(true);
+    if (consume_literal("false")) return Json::boolean(false);
+    if (consume_literal("null")) return Json::null();
+    // Number.
+    size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) fail("unexpected character");
+    std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) fail("malformed number");
+    return Json::number(v);
+  }
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  Parser p{text};
+  Json j = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing garbage");
+  return j;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(size_t(indent) * size_t(d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: dump_number(number_, out); break;
+    case Kind::String:
+      out += '"';
+      json_escape(string_, out);
+      out += '"';
+      break;
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : array_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        e.dump_to(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        json_escape(k, out);
+        out += "\": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sunbfs::obs

@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace sunbfs::obs {
+
+std::string Report::schema_id() {
+  return "sunbfs.metrics/" + std::to_string(kSchemaVersion);
+}
+
+void Report::info(const std::string& key, const std::string& value) {
+  info_[key] = value;
+}
+
+void Report::info(const std::string& key, int64_t value) {
+  info_[key] = std::to_string(value);
+}
+
+void Report::add_counter(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void Report::gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+Log2Histogram& Report::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+bool Report::has_counter(const std::string& name) const {
+  return counters_.count(name) > 0;
+}
+
+bool Report::has_gauge(const std::string& name) const {
+  return gauges_.count(name) > 0;
+}
+
+uint64_t Report::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Report::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const std::string& Report::info(const std::string& key) const {
+  static const std::string empty;
+  auto it = info_.find(key);
+  return it == info_.end() ? empty : it->second;
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& [k, v] : other.info_) info_[k] = v;
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  for (const auto& [k, v] : other.gauges_) gauges_[k] = v;
+  for (const auto& [k, h] : other.histograms_) {
+    Log2Histogram& mine = histograms_[k];
+    for (size_t b = 0; b < h.bucket_count(); ++b)
+      if (h.bucket(b) > 0) mine.add(Log2Histogram::bucket_low(b), h.bucket(b));
+  }
+}
+
+bool Report::empty() const {
+  return info_.empty() && counters_.empty() && gauges_.empty() &&
+         histograms_.empty();
+}
+
+std::string Report::to_json(int indent) const {
+  Json doc = Json::object();
+  doc.set("schema", Json::string(schema_id()));
+  Json info = Json::object();
+  for (const auto& [k, v] : info_) info.set(k, Json::string(v));
+  doc.set("info", std::move(info));
+  Json counters = Json::object();
+  for (const auto& [k, v] : counters_) counters.set(k, Json::number(double(v)));
+  doc.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [k, v] : gauges_) gauges.set(k, Json::number(v));
+  doc.set("gauges", std::move(gauges));
+  Json hists = Json::object();
+  for (const auto& [k, h] : histograms_) {
+    Json hj = Json::object();
+    hj.set("total", Json::number(double(h.total())));
+    Json buckets = Json::array();
+    for (size_t b = 0; b < h.bucket_count(); ++b) {
+      if (h.bucket(b) == 0) continue;
+      Json pair = Json::array();
+      pair.push_back(Json::number(double(Log2Histogram::bucket_low(b))));
+      pair.push_back(Json::number(double(h.bucket(b))));
+      buckets.push_back(std::move(pair));
+    }
+    hj.set("buckets", std::move(buckets));
+    hists.set(k, std::move(hj));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc.dump(indent) + "\n";
+}
+
+Report Report::from_json(const std::string& text) {
+  Json doc = Json::parse(text);
+  const std::string& schema = doc.at("schema").as_string();
+  const std::string prefix = "sunbfs.metrics/";
+  if (schema.rfind(prefix, 0) != 0)
+    throw std::runtime_error("metrics: unknown schema '" + schema + "'");
+  int version = std::atoi(schema.c_str() + prefix.size());
+  if (version < 1 || version > kSchemaVersion)
+    throw std::runtime_error("metrics: unsupported schema version '" +
+                             schema + "'");
+  Report r;
+  for (const auto& [k, v] : doc.at("info").items())
+    r.info_[k] = v.as_string();
+  for (const auto& [k, v] : doc.at("counters").items())
+    r.counters_[k] = uint64_t(v.as_double());
+  for (const auto& [k, v] : doc.at("gauges").items())
+    r.gauges_[k] = v.as_double();
+  for (const auto& [k, hj] : doc.at("histograms").items()) {
+    Log2Histogram& h = r.histograms_[k];
+    const Json& buckets = hj.at("buckets");
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      const Json& pair = buckets.at(i);
+      h.add(uint64_t(pair.at(size_t(0)).as_double()),
+            uint64_t(pair.at(size_t(1)).as_double()));
+    }
+  }
+  return r;
+}
+
+bool Report::write_file(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json(indent);
+  return bool(os);
+}
+
+}  // namespace sunbfs::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/histogram.hpp"
+
+/// Metrics registry: the machine-readable side of the observability layer.
+///
+/// A Report is a flat, named collection of counters (monotonic uint64),
+/// gauges (double samples) and log2 histograms (support/histogram), plus
+/// string-valued run metadata.  The ad-hoc stats surfaces — sim::CommStats,
+/// sim::FaultStats, bfs::BfsStats, bfs::RunnerResult — all know how to fold
+/// themselves into a Report (see their to_report methods), so every runner
+/// and bench binary emits one uniform JSON document that
+/// tools/regen_experiments.py turns back into EXPERIMENTS.md rows.
+///
+/// Naming convention: dot-separated lowercase paths, most-general first —
+/// "comm.alltoallv.bytes_sent", "bfs.level_count", "fault.recovered",
+/// "table1.degree_aware_15d.gteps".  See docs/OBSERVABILITY.md.
+///
+/// Schema: the JSON document carries "schema": "sunbfs.metrics/1".  Any
+/// backwards-incompatible change (renamed keys, changed units) bumps the
+/// version; from_json refuses documents from a newer major version.
+namespace sunbfs::obs {
+
+class Report {
+ public:
+  static constexpr int kSchemaVersion = 1;
+  /// "sunbfs.metrics/<version>"
+  static std::string schema_id();
+
+  // ---- writers -----------------------------------------------------------
+  /// Free-form run metadata ("bench", "scale", "ranks", ...).
+  void info(const std::string& key, const std::string& value);
+  void info(const std::string& key, int64_t value);
+  /// Add to a monotonic counter (created at 0).
+  void add_counter(const std::string& name, uint64_t delta);
+  /// Set a gauge sample (last write wins).
+  void gauge(const std::string& name, double value);
+  /// Histogram by name (created empty).
+  Log2Histogram& histogram(const std::string& name);
+
+  // ---- readers -----------------------------------------------------------
+  bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  uint64_t counter(const std::string& name) const;  ///< 0 when absent
+  double gauge(const std::string& name) const;      ///< 0.0 when absent
+  const std::string& info(const std::string& key) const;  ///< "" when absent
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, std::string>& infos() const { return info_; }
+  const std::map<std::string, Log2Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Cross-rank / cross-run aggregation: counters and histograms add,
+  /// gauges take the other's value when set (aggregated gauges should be
+  /// written post-merge), info keys are unioned (other wins on conflict).
+  void merge(const Report& other);
+
+  bool empty() const;
+
+  // ---- serialization -----------------------------------------------------
+  std::string to_json(int indent = 2) const;
+  /// Parse a document produced by to_json; throws std::runtime_error on
+  /// malformed input or an unsupported schema version.
+  static Report from_json(const std::string& text);
+  /// Write to_json to `path`; false on I/O failure.
+  bool write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  std::map<std::string, std::string> info_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Log2Histogram> histograms_;
+};
+
+}  // namespace sunbfs::obs

@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+#if SUNBFS_OBS_TRACE_ENABLED
+
+namespace sunbfs::obs {
+
+namespace {
+thread_local TraceBuffer* tls_buffer = nullptr;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.clear();
+  enabled_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::disable() {
+  std::lock_guard<std::mutex> lk(mu_);
+  enabled_ = false;
+}
+
+TraceBuffer* Tracer::attach_thread(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!enabled_) {
+    tls_buffer = nullptr;
+    return nullptr;
+  }
+  for (auto& b : buffers_)
+    if (b->rank() == rank) {
+      tls_buffer = b.get();
+      return tls_buffer;
+    }
+  buffers_.push_back(std::make_unique<TraceBuffer>(rank));
+  tls_buffer = buffers_.back().get();
+  return tls_buffer;
+}
+
+void Tracer::detach_thread() { tls_buffer = nullptr; }
+
+TraceBuffer* Tracer::current() { return tls_buffer; }
+
+void Tracer::advance_modeled(double seconds) {
+  if (tls_buffer) tls_buffer->advance_modeled(seconds);
+}
+
+double Tracer::wall_now() const {
+  if (!enabled_) return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) n += b->events().size();
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffers_.clear();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Hand-rolled streaming writer: traces can hold hundreds of thousands of
+  // events, so we never build the document in memory.  All names/categories
+  // are static identifier-like strings — nothing needs escaping — but keep
+  // the output honest anyway.
+  os << "{\"displayTimeUnit\": \"ms\",\n \"otherData\": "
+        "{\"clock\": \"modeled\", \"wall_unit\": \"s\"},\n"
+        " \"traceEvents\": [\n";
+  bool first = true;
+  char buf[512];
+  std::string esc_name, esc_cat;
+  for (const auto& b : buffers_) {
+    // Per-rank thread naming metadata so Perfetto shows "rank N" lanes.
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"name\": "
+                  "\"thread_name\", \"args\": {\"name\": \"rank %d\"}}",
+                  b->rank(), b->rank());
+    os << (first ? "" : ",\n") << buf;
+    first = false;
+    for (const TraceEvent& e : b->events()) {
+      esc_name.clear();
+      esc_cat.clear();
+      json_escape(e.name, esc_name);
+      json_escape(e.category, esc_cat);
+      const bool is_instant = e.wall_dur_s < 0;
+      // ts/dur on the modeled clock, in microseconds (the trace_event unit).
+      if (is_instant) {
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"ph\": \"i\", \"pid\": 0, \"tid\": %d, "
+                      "\"ts\": %.3f, \"s\": \"t\", \"cat\": \"%s\", "
+                      "\"name\": \"%s\", \"args\": {\"arg\": %lld, "
+                      "\"wall_begin_s\": %.9f}}",
+                      b->rank(), e.modeled_begin_s * 1e6, esc_cat.c_str(),
+                      esc_name.c_str(), (long long)e.arg, e.wall_begin_s);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
+                      "\"ts\": %.3f, \"dur\": %.3f, \"cat\": \"%s\", "
+                      "\"name\": \"%s\", \"args\": {\"arg\": %lld, "
+                      "\"wall_begin_s\": %.9f, \"wall_dur_s\": %.9f}}",
+                      b->rank(), e.modeled_begin_s * 1e6,
+                      e.modeled_dur_s * 1e6, esc_cat.c_str(),
+                      esc_name.c_str(), (long long)e.arg, e.wall_begin_s,
+                      e.wall_dur_s);
+      }
+      os << ",\n" << buf;
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return bool(os);
+}
+
+}  // namespace sunbfs::obs
+
+#endif  // SUNBFS_OBS_TRACE_ENABLED

@@ -1,0 +1,257 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Structured span tracing on the runtime's two clocks.
+///
+/// Every instrumented component — the SPMD collectives, both BFS engines,
+/// the chip model and the sorters — emits RAII spans into a per-rank
+/// TraceBuffer.  Each span carries two timestamps:
+///
+///  * the **wall clock**: host seconds since Tracer::enable(), i.e. what the
+///    simulation actually cost;
+///  * the **modeled clock**: the rank's accumulated modeled seconds (modeled
+///    network time from the topology cost model + attributed compute), i.e.
+///    what the simulated machine would have experienced.  This is the clock
+///    the paper's figures and all GTEPS numbers are reported on, and the
+///    default clock of the exported timeline.
+///
+/// The whole run exports as Chrome trace_event JSON (one ph:"X" event per
+/// span, tid = global rank), loadable in chrome://tracing or Perfetto, so a
+/// fault-recovery rollback is visible next to the collectives that caused
+/// it.  See docs/OBSERVABILITY.md for the span taxonomy.
+///
+/// Cost discipline: tracing is off by default.  While disabled (or on an
+/// unattached thread) constructing a Span touches one thread-local pointer
+/// and allocates nothing; event payloads are POD (static-string name +
+/// integer arg — never a formatted std::string), so even enabled tracing
+/// costs one amortized vector push.  Compiling with SUNBFS_TRACE=OFF
+/// replaces the whole surface with an inert no-op sink of identical shape,
+/// making the zero-overhead claim compile-time checkable.
+namespace sunbfs::obs {
+
+#if SUNBFS_OBS_TRACE_ENABLED
+
+/// One completed span (or instant marker when both durations are < 0).
+struct TraceEvent {
+  const char* category = "";  ///< static string: "comm", "bfs", "fault", ...
+  const char* name = "";      ///< static string; dynamic part goes in `arg`
+  int64_t arg = -1;           ///< level index, bytes, ... (-1 = none)
+  double wall_begin_s = 0, wall_dur_s = 0;
+  double modeled_begin_s = 0, modeled_dur_s = 0;
+};
+
+/// Per-rank event sink plus the rank's modeled clock.  Created by
+/// Tracer::attach_thread; all writes are thread-local (no locking).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(int rank) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+  double modeled_now() const { return modeled_now_; }
+  void advance_modeled(double seconds) { modeled_now_ += seconds; }
+
+  void push(const TraceEvent& event) { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  int rank_;
+  double modeled_now_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Process-wide trace collector.  Threads (rank bodies) attach to per-rank
+/// buffers; spans write through a thread-local pointer.  Export runs after
+/// the SPMD threads have joined.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Drop previous events and start collecting.
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  /// Bind the calling thread to global rank `rank`'s buffer (creating or
+  /// reusing it — repeated runs extend one per-rank timeline).  Returns
+  /// nullptr and stays unbound while disabled.
+  TraceBuffer* attach_thread(int rank);
+  void detach_thread();
+
+  /// The calling thread's buffer, or nullptr when unbound/disabled.
+  static TraceBuffer* current();
+
+  /// Advance the calling rank's modeled clock; no-op when unbound.  Every
+  /// component that charges modeled seconds (collectives, attributed BFS
+  /// compute, chip kernels) calls this so span timestamps line up.
+  static void advance_modeled(double seconds);
+
+  /// Host seconds since enable() (0 when disabled).
+  double wall_now() const;
+
+  size_t event_count() const;
+  void clear();
+
+  /// Write the collected spans as Chrome trace_event JSON ("traceEvents"
+  /// array of ph:"X"/"i" events).  ts/dur come from the modeled clock in
+  /// microseconds; the wall timestamps ride along in args.  tid = rank.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write_chrome_trace to `path`; false on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;  // one per rank seen
+};
+
+/// RAII span.  Inert (no allocation, no clock read) when the calling thread
+/// is not attached to an enabled tracer.
+class Span {
+ public:
+  Span(const char* category, const char* name, int64_t arg = -1)
+      : buf_(Tracer::current()) {
+    if (!buf_) return;
+    event_.category = category;
+    event_.name = name;
+    event_.arg = arg;
+    event_.wall_begin_s = Tracer::instance().wall_now();
+    event_.modeled_begin_s = buf_->modeled_now();
+  }
+
+  ~Span() {
+    if (!buf_) return;
+    event_.wall_dur_s =
+        Tracer::instance().wall_now() - event_.wall_begin_s;
+    event_.modeled_dur_s = buf_->modeled_now() - event_.modeled_begin_s;
+    buf_->push(event_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Whether this span actually records (tracing enabled + thread attached).
+  bool active() const { return buf_ != nullptr; }
+  /// Update the arg after construction (e.g. bytes known only at the end).
+  void set_arg(int64_t arg) {
+    if (buf_) event_.arg = arg;
+  }
+
+ private:
+  TraceBuffer* buf_;
+  TraceEvent event_{};
+};
+
+/// Record an already-timed span ending "now" — for call sites that measure
+/// their own durations (the collectives, chip kernels).  When
+/// `advance_modeled` is set the rank's modeled clock advances by
+/// `modeled_dur_s` and the span ends at the new clock value; otherwise the
+/// span is laid down at the current clock without moving it (used by
+/// components whose modeled time a caller attributes, e.g. chip kernels
+/// under the BFS pull path).
+inline void complete_span(const char* category, const char* name, int64_t arg,
+                          double wall_dur_s, double modeled_dur_s,
+                          bool advance_modeled = false) {
+  TraceBuffer* buf = Tracer::current();
+  if (!buf) return;
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.arg = arg;
+  e.modeled_begin_s = buf->modeled_now();
+  e.modeled_dur_s = modeled_dur_s;
+  if (advance_modeled) buf->advance_modeled(modeled_dur_s);
+  double now = Tracer::instance().wall_now();
+  e.wall_begin_s = now - wall_dur_s;
+  e.wall_dur_s = wall_dur_s;
+  buf->push(e);
+}
+
+/// Zero-duration instant marker (rendered as an arrow in Perfetto).
+inline void instant(const char* category, const char* name,
+                    int64_t arg = -1) {
+  TraceBuffer* buf = Tracer::current();
+  if (!buf) return;
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.arg = arg;
+  e.wall_begin_s = Tracer::instance().wall_now();
+  e.modeled_begin_s = buf->modeled_now();
+  e.wall_dur_s = e.modeled_dur_s = -1;  // instant
+  buf->push(e);
+}
+
+/// RAII attach/detach for threads outside run_spmd (benches, demos).
+class AttachThread {
+ public:
+  explicit AttachThread(int rank) {
+    Tracer::instance().attach_thread(rank);
+  }
+  ~AttachThread() { Tracer::instance().detach_thread(); }
+  AttachThread(const AttachThread&) = delete;
+  AttachThread& operator=(const AttachThread&) = delete;
+};
+
+#else  // SUNBFS_OBS_TRACE_ENABLED — compile-time no-op sink.
+
+struct TraceEvent {};
+
+class TraceBuffer {
+ public:
+  int rank() const { return 0; }
+  double modeled_now() const { return 0; }
+  void advance_modeled(double) {}
+};
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+  void enable() {}
+  void disable() {}
+  bool enabled() const { return false; }
+  TraceBuffer* attach_thread(int) { return nullptr; }
+  void detach_thread() {}
+  static TraceBuffer* current() { return nullptr; }
+  static void advance_modeled(double) {}
+  double wall_now() const { return 0; }
+  size_t event_count() const { return 0; }
+  void clear() {}
+  void write_chrome_trace(std::ostream& os) const {
+    os << "{\"traceEvents\": []}\n";  // valid, empty timeline
+  }
+  bool write_chrome_trace_file(const std::string&) const { return false; }
+};
+
+class Span {
+ public:
+  Span(const char*, const char*, int64_t = -1) {}
+  bool active() const { return false; }
+  void set_arg(int64_t) {}
+};
+
+inline void complete_span(const char*, const char*, int64_t, double, double,
+                          bool = false) {}
+
+inline void instant(const char*, const char*, int64_t = -1) {}
+
+class AttachThread {
+ public:
+  explicit AttachThread(int) {}
+};
+
+#endif  // SUNBFS_OBS_TRACE_ENABLED
+
+}  // namespace sunbfs::obs

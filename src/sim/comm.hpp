@@ -7,6 +7,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/barrier.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/fault.hpp"
@@ -18,10 +19,33 @@
 /// MPI-style collectives for the in-process SPMD runtime.
 ///
 /// A Comm is a lightweight per-rank handle onto shared state owned by the
-/// runtime.  Collectives must be entered by every rank of the communicator in
-/// the same order, exactly as in MPI.  Payload types must be trivially
-/// copyable.  Every collective records bytes moved, modeled network time (from
-/// the Topology cost model) and measured wall time into the rank's CommStats.
+/// runtime.  The contract every caller relies on:
+///
+///  * **Ordering.**  Collectives must be entered by every rank of the
+///    communicator in the same program order, exactly as in MPI; there is no
+///    tag matching, so a reordered call pairs with the wrong publication
+///    slots.  The engines guarantee this by deriving every branch that picks
+///    a collective from replicated or allreduced state.
+///  * **Payloads** must be trivially copyable; publication passes raw
+///    pointers through shared slots, and receivers memcpy out of them.
+///    Buffers must stay live and unmodified until the collective returns on
+///    every rank (the trailing barrier enforces this).
+///  * **Accounting.**  Every collective records into the rank's CommStats:
+///    payload bytes (split intra/inter-supernode), modeled network seconds
+///    from the Topology cost model (identical on every participating rank —
+///    max-semantics), measured wall seconds, and the rank's wait-for-peers
+///    imbalance: the thread-CPU arrival spread at the collective (how much
+///    longer the slowest peer computed since the previous collective).  The
+///    CPU clock makes that split meaningful even when the host
+///    oversubscribes rank threads onto fewer cores, where a wall-clock wait
+///    would mostly measure scheduler serialization.  When tracing is
+///    attached it also emits an obs span on both
+///    clocks and advances the rank's modeled clock.
+///  * **Fault surface** (PR 1).  Faults fire only while the rank's
+///    FaultState is armed, and a plan's call indices count armed calls of
+///    each collective type per global rank — arming is therefore part of
+///    the reproducibility contract: the same plan over the same program
+///    replays identically.
 ///
 /// When a FaultPlan is installed the collectives become the fault surface:
 /// stragglers sleep before publishing, scheduled payload faults corrupt the
@@ -50,6 +74,9 @@ struct CommShared {
   std::vector<uint64_t> a2a_sums;
   // Scratch used by segment-parallel reductions.
   std::vector<unsigned char> scratch;
+  // Per-rank thread-CPU seconds since the previous collective,
+  // double-buffered by collective parity (see Comm::arrival_base).
+  std::vector<double> cpu_arrival;
 };
 
 /// Per-rank communicator handle.
@@ -72,9 +99,10 @@ class Comm {
   void barrier() {
     WallTimer t;
     begin_collective(CollectiveType::Barrier);
+    double cpu = deposit_cpu_arrival();
     shared_->barrier.wait();
     record(CollectiveType::Barrier, 0, 0,
-           topo().transfer_time(size(), 0, 0), t.seconds());
+           topo().transfer_time(size(), 0, 0), t.seconds(), cpu);
   }
 
   /// Element-wise reduction of a single value across all participants;
@@ -84,6 +112,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Allreduce);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::Allreduce, call, &value, sizeof(T));
     shared_->barrier.wait();
     // Fold the verified contributions; every rank reads the same shared
@@ -105,7 +134,7 @@ class Comm {
     auto [intra, inter] = symmetric_bytes(sizeof(T));
     shared_->barrier.wait();
     record(CollectiveType::Allreduce, sizeof(T), inter,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
     return acc;
   }
 
@@ -133,6 +162,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Allgather);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::Allgather, call, &value, sizeof(T));
     shared_->barrier.wait();
     std::vector<T> out(size());
@@ -147,7 +177,7 @@ class Comm {
     auto [intra, inter] = symmetric_bytes(sizeof(T));
     shared_->barrier.wait();
     record(CollectiveType::Allgather, sizeof(T), inter,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
     return out;
   }
 
@@ -161,6 +191,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Allgather);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::Allgather, call, mine.data(),
                     mine.size_bytes());
     shared_->barrier.wait();
@@ -194,7 +225,7 @@ class Comm {
     auto [intra, inter] = gatherv_bytes();
     shared_->barrier.wait();
     record(CollectiveType::Allgather, mine.size_bytes(), inter,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
     return out;
   }
 
@@ -207,6 +238,7 @@ class Comm {
     SUNBFS_CHECK(contrib.size() == block * size_t(size()));
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::ReduceScatter);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::ReduceScatter, call, contrib.data(),
                     contrib.size_bytes());
     shared_->barrier.wait();
@@ -229,7 +261,7 @@ class Comm {
     auto [intra, inter] = symmetric_bytes(block * sizeof(T));
     shared_->barrier.wait();
     record(CollectiveType::ReduceScatter, contrib.size_bytes(), inter,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
     return out;
   }
 
@@ -242,6 +274,7 @@ class Comm {
     if (size() == 1) return;  // nothing to exchange
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Allreduce);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::Allreduce, call, data.data(),
                     data.size_bytes());
     if (index_ == 0) shared_->scratch.resize(data.size_bytes());
@@ -283,7 +316,7 @@ class Comm {
     auto [intra, inter] = symmetric_bytes(data.size_bytes());
     shared_->barrier.wait();
     record(CollectiveType::Allreduce, data.size_bytes(), inter,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
   }
 
   /// Personalized all-to-all: `to[d]` is the message for participant d; the
@@ -298,6 +331,7 @@ class Comm {
     SUNBFS_CHECK(int(to.size()) == size());
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Alltoallv);
+    double cpu = deposit_cpu_arrival();
     int p = size();
     const PayloadFault* fault = pending_payload(CollectiveType::Alltoallv,
                                                 call);
@@ -354,7 +388,7 @@ class Comm {
     auto [sent, intra, inter, max_intra, max_inter] = a2a_bytes();
     shared_->barrier.wait();
     record(CollectiveType::Alltoallv, sent, inter,
-           topo().transfer_time(p, max_intra, max_inter), t.seconds());
+           topo().transfer_time(p, max_intra, max_inter), t.seconds(), cpu);
     return out;
   }
 
@@ -366,6 +400,7 @@ class Comm {
     SUNBFS_CHECK(root >= 0 && root < size());
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Broadcast);
+    double cpu = deposit_cpu_arrival();
     publish_checked(CollectiveType::Broadcast, call, data.data(),
                     data.size_bytes());
     shared_->barrier.wait();
@@ -380,7 +415,7 @@ class Comm {
     shared_->barrier.wait();
     record(CollectiveType::Broadcast, index_ == root ? data.size_bytes() : 0,
            index_ == root ? inter : 0,
-           topo().transfer_time(size(), intra, inter), t.seconds());
+           topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
   }
 
  private:
@@ -404,6 +439,7 @@ class Comm {
                 s->delay_s * 1e3, " ms");
       std::this_thread::sleep_for(
           std::chrono::duration<double>(s->delay_s));
+      straggle_pending_s_ += s->delay_s;  // sleep is off the CPU clock
     }
     return call;
   }
@@ -511,9 +547,48 @@ class Comm {
                            my_global_rank()));
   }
 
+  /// Deposit this rank's thread-CPU seconds consumed since its previous
+  /// collective on this communicator (plus any injected straggler delay,
+  /// whose sleep is invisible to the CPU clock).  Must run before the
+  /// collective's first barrier; the spread of these deposits across ranks
+  /// is the wait-for-peers measurement behind CollectiveEntry::imbalance_s.
+  /// The thread-CPU clock (not wall) keeps it meaningful when the host
+  /// oversubscribes rank threads onto fewer cores.
+  double deposit_cpu_arrival() {
+    double now = ThreadCpuTimer::now();
+    double delta = last_cpu_ >= 0 ? now - last_cpu_ : 0.0;
+    delta += straggle_pending_s_;
+    straggle_pending_s_ = 0;
+    shared_->cpu_arrival[arrival_base() + size_t(index_)] = delta;
+    return delta;
+  }
+
+  /// Base slot of the current collective's arrival buffer.  Double-buffered
+  /// by parity: a rank racing into collective k+1 deposits into the other
+  /// half, and it cannot reach k+2 (which overwrites half k) before every
+  /// peer passed a barrier of k+1 — i.e. after they finished reading half k.
+  size_t arrival_base() const {
+    return size_t(collective_seq_ & 1) * size_t(size());
+  }
+
   void record(CollectiveType type, uint64_t bytes_sent, uint64_t inter,
-              double modeled_s, double wall_s) {
-    if (stats_) stats_->record(type, bytes_sent, inter, modeled_s, wall_s);
+              double modeled_s, double wall_s, double my_cpu_delta) {
+    // Arrival spread: how much longer the slowest peer computed before this
+    // collective — the wait this rank would incur on a dedicated machine.
+    double max_delta = my_cpu_delta;
+    size_t base = arrival_base();
+    for (int j = 0; j < size(); ++j)
+      max_delta = std::max(max_delta, shared_->cpu_arrival[base + size_t(j)]);
+    double imbalance_s = max_delta - my_cpu_delta;
+    last_cpu_ = ThreadCpuTimer::now();
+    ++collective_seq_;
+    if (stats_)
+      stats_->record(type, bytes_sent, inter, modeled_s, wall_s, imbalance_s);
+    // One span per collective on both clocks; advances this rank's modeled
+    // clock so BFS/chip spans recorded later line up after it.
+    obs::complete_span("comm", collective_type_name(type),
+                       int64_t(bytes_sent), wall_s, modeled_s,
+                       /*advance_modeled=*/true);
   }
 
   /// For symmetric collectives where each rank effectively exchanges
@@ -577,6 +652,9 @@ class Comm {
 
   CommShared* shared_ = nullptr;
   int index_ = 0;
+  double last_cpu_ = -1;           ///< thread-CPU reading at last record()
+  double straggle_pending_s_ = 0;  ///< injected delay folded into next deposit
+  uint64_t collective_seq_ = 0;    ///< parity for the arrival double-buffer
   CommStats* stats_ = nullptr;
   FaultState* faults_ = nullptr;
   /// Scratch holding the corrupted copy of a published payload until the

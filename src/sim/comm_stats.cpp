@@ -18,13 +18,14 @@ const char* collective_type_name(CollectiveType type) {
 
 void CommStats::record(CollectiveType type, uint64_t bytes_sent,
                        uint64_t bytes_inter_supernode, double modeled_s,
-                       double wall_s) {
+                       double wall_s, double imbalance_s) {
   auto& e = entries_[int(type)];
   e.calls += 1;
   e.bytes_sent += bytes_sent;
   e.bytes_inter_supernode += bytes_inter_supernode;
   e.modeled_s += modeled_s;
   e.wall_s += wall_s;
+  e.imbalance_s += imbalance_s;
 }
 
 double CommStats::total_modeled_s() const {
@@ -36,6 +37,12 @@ double CommStats::total_modeled_s() const {
 double CommStats::total_wall_s() const {
   double t = 0;
   for (const auto& e : entries_) t += e.wall_s;
+  return t;
+}
+
+double CommStats::total_imbalance_s() const {
+  double t = 0;
+  for (const auto& e : entries_) t += e.imbalance_s;
   return t;
 }
 
@@ -58,6 +65,7 @@ void CommStats::merge(const CommStats& other) {
     entries_[i].bytes_inter_supernode += other.entries_[i].bytes_inter_supernode;
     entries_[i].modeled_s += other.entries_[i].modeled_s;
     entries_[i].wall_s += other.entries_[i].wall_s;
+    entries_[i].imbalance_s += other.entries_[i].imbalance_s;
   }
   checksums_verified_ += other.checksums_verified_;
   checksum_mismatches_ += other.checksum_mismatches_;
@@ -77,12 +85,37 @@ std::string CommStats::to_string() const {
     os << "  " << collective_type_name(CollectiveType(i)) << ": " << e.calls
        << " calls, " << e.bytes_sent << " B sent (" << e.bytes_inter_supernode
        << " B inter-supernode), modeled " << e.modeled_s << " s, wall "
-       << e.wall_s << " s\n";
+       << e.wall_s << " s (" << e.imbalance_s << " s waiting)\n";
   }
   if (checksums_verified_ > 0)
     os << "  checksums: " << checksums_verified_ << " verified, "
        << checksum_mismatches_ << " mismatched\n";
   return os.str();
+}
+
+void CommStats::to_report(obs::Report& report,
+                          const std::string& prefix) const {
+  for (int i = 0; i < kCollectiveTypeCount; ++i) {
+    const auto& e = entries_[i];
+    if (e.calls == 0) continue;
+    std::string p = prefix + collective_type_name(CollectiveType(i)) + ".";
+    report.add_counter(p + "calls", e.calls);
+    report.add_counter(p + "bytes_sent", e.bytes_sent);
+    report.add_counter(p + "bytes_inter_supernode", e.bytes_inter_supernode);
+    report.gauge(p + "modeled_s", e.modeled_s);
+    report.gauge(p + "wall_s", e.wall_s);
+    report.gauge(p + "imbalance_s", e.imbalance_s);
+  }
+  report.gauge(prefix + "total_modeled_s", total_modeled_s());
+  report.gauge(prefix + "total_wall_s", total_wall_s());
+  report.gauge(prefix + "total_imbalance_s", total_imbalance_s());
+  report.add_counter(prefix + "total_bytes_sent", total_bytes_sent());
+  report.add_counter(prefix + "total_bytes_inter_supernode",
+                     total_bytes_inter_supernode());
+  if (checksums_verified_ > 0) {
+    report.add_counter(prefix + "checksums_verified", checksums_verified_);
+    report.add_counter(prefix + "checksum_mismatches", checksum_mismatches_);
+  }
 }
 
 }  // namespace sunbfs::sim

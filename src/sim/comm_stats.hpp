@@ -4,11 +4,17 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 /// Per-rank accounting of communication by collective type.
 ///
 /// Figure 11 of the paper breaks BFS time into alltoallv / allgather /
 /// reduce-scatter / compute / imbalance; this structure captures the
-/// communication side of that breakdown for every run.
+/// communication side of that breakdown for every run.  Each collective
+/// records on two clocks (modeled network seconds from the topology cost
+/// model; measured host wall seconds) plus a first-class wait-for-peers
+/// measurement — the thread-CPU arrival spread at the collective — so the
+/// imbalance bar is measured, not derived by subtraction.
 namespace sunbfs::sim {
 
 enum class CollectiveType : int {
@@ -34,9 +40,14 @@ struct CollectiveEntry {
   uint64_t bytes_inter_supernode = 0;
   /// Modeled network seconds (identical on every participating rank).
   double modeled_s = 0.0;
-  /// Measured wall seconds spent inside the collective on this rank
-  /// (includes wait-for-peers time, i.e. imbalance).
+  /// Measured wall seconds spent inside the collective on this rank.
   double wall_s = 0.0;
+  /// Wait-for-peers this rank would incur on a dedicated machine: how much
+  /// longer the slowest participant computed (thread-CPU clock, plus any
+  /// injected straggler delay) since the previous collective — the
+  /// Figure 11 "imbalance" component, measured at every collective by
+  /// Comm::deposit_cpu_arrival rather than derived by subtraction.
+  double imbalance_s = 0.0;
 };
 
 /// Per-rank communication statistics.
@@ -44,7 +55,7 @@ class CommStats {
  public:
   void record(CollectiveType type, uint64_t bytes_sent,
               uint64_t bytes_inter_supernode, double modeled_s,
-              double wall_s);
+              double wall_s, double imbalance_s);
 
   /// Record one payload-checksum verification (ok or mismatched).
   void note_checksum(bool ok) {
@@ -62,6 +73,8 @@ class CommStats {
   double total_modeled_s() const;
   /// Sum of measured wall seconds over all collective types.
   double total_wall_s() const;
+  /// Sum of wait-for-peers (arrival spread) seconds over all types.
+  double total_imbalance_s() const;
   uint64_t total_bytes_sent() const;
   uint64_t total_bytes_inter_supernode() const;
 
@@ -71,6 +84,13 @@ class CommStats {
   void reset();
 
   std::string to_string() const;
+
+  /// Fold into a metrics report: per-type counters/gauges under
+  /// "<prefix><type>." plus "<prefix>checksums_*" (see
+  /// docs/OBSERVABILITY.md for the schema).  Empty collective types are
+  /// skipped.
+  void to_report(obs::Report& report,
+                 const std::string& prefix = "comm.") const;
 
  private:
   std::array<CollectiveEntry, kCollectiveTypeCount> entries_{};

@@ -218,6 +218,22 @@ std::string FaultStats::to_string() const {
   return os.str();
 }
 
+void FaultStats::to_report(obs::Report& report,
+                           const std::string& prefix) const {
+  report.add_counter(prefix + "injected_stragglers", injected_stragglers);
+  report.add_counter(prefix + "injected_corruptions", injected_corruptions);
+  report.add_counter(prefix + "injected_failures", injected_failures);
+  report.add_counter(prefix + "detected", detected);
+  report.add_counter(prefix + "recovered", recovered);
+  report.add_counter(prefix + "retries", retries);
+  report.add_counter(prefix + "resent_bytes", resent_bytes);
+  report.gauge(prefix + "backoff_s",
+               report.gauge(prefix + "backoff_s") + backoff_s);
+  report.gauge(prefix + "straggler_delay_s",
+               report.gauge(prefix + "straggler_delay_s") +
+                   straggler_delay_s);
+}
+
 double backoff_delay_s(const RecoveryOptions& opts, int retry) {
   SUNBFS_CHECK(retry >= 1);
   double d = opts.backoff_base_s;

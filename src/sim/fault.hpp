@@ -25,6 +25,15 @@
 /// the `recover` policy, drops the corrupted contribution and records a
 /// pending fault so the BFS engines can roll back to their last checkpoint
 /// at a globally consistent point and replay.
+///
+/// Contract with the engines (PR 1): faults fire only while
+/// FaultState::armed, and call indices in a plan count *armed* calls of
+/// each collective type per global rank — arm/disarm placement is part of
+/// the reproducibility contract.  After a detection under `recover`, every
+/// rank must reach the same rollback decision collectively (the engines
+/// allreduce the pending flag) before any rank replays.  All accounting
+/// lands in FaultStats, aggregated through SpmdReport and exportable into
+/// an obs::Report via to_report().
 namespace sunbfs::sim {
 
 /// Categories of injectable faults.
@@ -172,6 +181,11 @@ struct FaultStats {
 
   void merge(const FaultStats& other);
   std::string to_string() const;
+
+  /// Fold into a metrics report as "<prefix>injected_stragglers",
+  /// "<prefix>detected", ... (see docs/OBSERVABILITY.md).
+  void to_report(obs::Report& report,
+                 const std::string& prefix = "fault.") const;
 };
 
 /// Per-rank mutable fault state: the installed plan, policy, call counters

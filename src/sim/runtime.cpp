@@ -3,6 +3,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 
@@ -60,6 +61,11 @@ SpmdReport run_spmd(const Topology& topology,
                    &ctx.stats, &ctx.faults);
     ctx.col = Comm(col_shared[mesh.col_of(rank)].get(), mesh.row_of(rank),
                    &ctx.stats, &ctx.faults);
+    // Bind this thread to rank `rank`'s trace buffer for the body's
+    // lifetime.  Buffers are keyed by global rank, so sequential run_spmd
+    // calls extend one per-rank timeline.
+    obs::AttachThread trace_attach(rank);
+    obs::Span span("spmd", "rank_body", rank);
     try {
       body(ctx);
     } catch (const AbortError&) {
@@ -110,6 +116,14 @@ SpmdReport run_spmd(const Topology& topology,
       log_debug("spmd: ", report.errors.back());
     }
   return report;
+}
+
+void SpmdReport::to_report(obs::Report& report) const {
+  aggregate().to_report(report, "comm.");
+  fault_totals().to_report(report, "fault.");
+  report.add_counter("spmd.ranks", uint64_t(per_rank.size()));
+  report.add_counter("spmd.rank_errors", uint64_t(errors.size()));
+  report.gauge("spmd.modeled_comm_s", modeled_comm_s());
 }
 
 SpmdReport run_spmd(const Topology& topology,

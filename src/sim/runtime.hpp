@@ -14,6 +14,25 @@
 /// each rank on its own thread, exactly like an MPI program launched with
 /// mpirun.  The body communicates through the world / row / column
 /// communicators in its RankContext.
+///
+/// The contract between the runtime and rank bodies:
+///
+///  * **Ranks.**  Global rank r lives at mesh coordinates
+///    (mesh.row_of(r), mesh.col_of(r)); the row/col communicators renumber
+///    it to its coordinate within the group.  A rank's body runs on exactly
+///    one thread for the whole call, so thread-local state (including the
+///    tracer attachment the runtime installs) is per-rank state.
+///  * **Collectives** must be entered by all ranks of the communicator in
+///    the same program order — see sim/comm.hpp for the full collective
+///    contract, including the two-clock + imbalance accounting every call
+///    deposits into RankContext::stats.
+///  * **Faults** (PR 1).  The runtime arms nothing by itself: it installs
+///    the plan/policy/checksum configuration into RankContext::faults and
+///    the engines arm/disarm around the regions they can recover.  Under
+///    FaultPolicy::Abort a throwing rank aborts every barrier and the first
+///    exception is rethrown on the caller; under Report/Recover all rank
+///    errors are collected into SpmdReport::errors and the survivors'
+///    statistics are still returned.
 namespace sunbfs::sim {
 
 /// Everything a rank can see: its coordinates, communicators and stats.
@@ -83,6 +102,10 @@ struct SpmdReport {
   double modeled_comm_s() const {
     return per_rank.empty() ? 0.0 : per_rank[0].total_modeled_s();
   }
+
+  /// Fold the run into a metrics report: aggregated comm counters under
+  /// "comm.", fault totals under "fault.", rank/error counts under "spmd.".
+  void to_report(obs::Report& report) const;
 };
 
 /// Run `body` on every rank of `topology`'s mesh.  Blocks until all ranks

@@ -13,6 +13,16 @@
 /// those proportions in a cost model: every collective charges modeled
 /// seconds computed from the bytes each participant moves, split into
 /// intra-supernode and inter-supernode portions.
+///
+/// Contract: the cost model is a pure function of (params, byte counts), so
+/// every rank of a collective computes the *same* modeled seconds from the
+/// same aggregate counts (max-semantics — the collective is as slow as its
+/// slowest participant).  This determinism is what lets CommStats report a
+/// single modeled time per collective, lets the obs tracer keep per-rank
+/// modeled clocks aligned across ranks, and makes fault-replay (PR 1)
+/// re-charge resent bytes identically.  The modeled clock never reads host
+/// time; real per-rank imbalance is measured separately as the arrival
+/// spread in CommStats::imbalance_s.
 namespace sunbfs::sim {
 
 /// Shape of the R×C process mesh.  Ranks are numbered row-major

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chip/chip.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/prefix.hpp"
 
@@ -80,6 +81,7 @@ OcsResult ocs_rma_bucket_sort(chip::Chip& chip, std::span<const T> input,
                               BucketFn bucket_of, int n_cgs = -1,
                               const OcsParams& params = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
+  obs::Span span("sort", "ocs_rma_bucket_sort", int64_t(input.size()));
   SUNBFS_CHECK(output.size() == input.size());
   SUNBFS_CHECK(num_buckets >= 1);
   const auto& geo = chip.geometry();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <span>
 
+#include "obs/trace.hpp"
 #include "support/prefix.hpp"
 #include "support/thread_pool.hpp"
 
@@ -90,6 +91,7 @@ template <typename T, typename KeyFn>
 void paradis_sort(std::span<T> data, KeyFn key_of,
                   sunbfs::ThreadPool& pool = sunbfs::ThreadPool::global()) {
   if (data.size() <= 1) return;
+  obs::Span span("sort", "paradis_sort", int64_t(data.size()));
   // Find the highest bit actually used to skip empty leading digits.
   uint64_t max_key = 0;
   for (const T& v : data) max_key = std::max(max_key, uint64_t(key_of(v)));

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/comm.hpp"
 #include "sort/paradis.hpp"
 #include "support/check.hpp"
@@ -24,6 +25,7 @@ namespace sunbfs::sort {
 template <typename T, typename KeyFn>
 std::vector<T> psrs_sort(sim::Comm& comm, std::vector<T> local, KeyFn key_of) {
   static_assert(std::is_trivially_copyable_v<T>);
+  obs::Span span("sort", "psrs_sort", int64_t(local.size()));
   const int p = comm.size();
   if (p == 1) {
     paradis_sort(std::span<T>(local), key_of);

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sort/ocs_rma.hpp"
 
 /// Two-stage sorting in destination updating (§4.4).
@@ -43,6 +44,7 @@ TwoStageResult two_stage_update(chip::Chip& chip,
                                 size_t subrange_len = 0, int n_cgs = -1,
                                 const OcsParams& params = {}) {
   static_assert(std::is_trivially_copyable_v<V>);
+  obs::Span span("sort", "two_stage_update", int64_t(messages.size()));
   const auto& geo = chip.geometry();
   if (n_cgs < 0) n_cgs = geo.core_groups;
   if (subrange_len == 0)

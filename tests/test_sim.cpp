@@ -212,8 +212,8 @@ TEST(Stats, BytesAndModeledTimeRecorded) {
 
 TEST(Stats, MergeAndReset) {
   CommStats a, b;
-  a.record(CollectiveType::Allgather, 100, 40, 0.5, 0.6);
-  b.record(CollectiveType::Allgather, 50, 0, 0.1, 0.2);
+  a.record(CollectiveType::Allgather, 100, 40, 0.5, 0.6, 0.05);
+  b.record(CollectiveType::Allgather, 50, 0, 0.1, 0.2, 0.01);
   a.merge(b);
   EXPECT_EQ(a.entry(CollectiveType::Allgather).bytes_sent, 150u);
   EXPECT_EQ(a.entry(CollectiveType::Allgather).calls, 2u);

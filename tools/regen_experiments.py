@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Regenerate the measured numbers in EXPERIMENTS.md from bench metrics JSON.
+
+Every bench binary accepts `--metrics-out PATH` and writes a
+sunbfs.metrics/1 JSON report (see docs/OBSERVABILITY.md).  This script
+reads those reports and rewrites the marked blocks of EXPERIMENTS.md so
+the measured numbers in the document are provably the numbers a bench
+actually produced, not hand-copied ones.
+
+Pipeline (from the repo root):
+
+    cmake --build build -j
+    mkdir -p reports
+    build/bench/bench_table1_partitioning  --metrics-out reports/bench_table1_partitioning.json
+    build/bench/bench_fig11_comm_breakdown --metrics-out reports/bench_fig11_comm_breakdown.json
+    python3 tools/regen_experiments.py --write     # rewrite EXPERIMENTS.md
+    python3 tools/regen_experiments.py --check     # CI: fail if stale
+
+Blocks are delimited in EXPERIMENTS.md by marker comments:
+
+    <!-- regen:NAME begin (tool: BENCH) -->
+    ...generated content...
+    <!-- regen:NAME end -->
+
+Only the content between markers is touched; surrounding prose is yours.
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import difflib
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "sunbfs.metrics/1"
+
+# ---------------------------------------------------------------------------
+# report loading
+
+
+def load_report(reports_dir: Path, tool: str) -> dict:
+    path = reports_dir / f"{tool}.json"
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{path} not found — run `build/bench/{tool} --metrics-out {path}` first"
+        )
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def gauge(doc: dict, key: str) -> float:
+    return float(doc["gauges"][key])
+
+
+def counter(doc: dict, key: str) -> int:
+    return int(doc["counters"][key])
+
+
+def info(doc: dict, key: str) -> str:
+    return str(doc["info"][key])
+
+
+# ---------------------------------------------------------------------------
+# block generators — one per regen marker
+
+
+def gen_table1(doc: dict) -> str:
+    """Table 1 measured column: GTEPS + traffic per partitioning method."""
+    rows = [
+        # (slug, display name, paper column)
+        ("1d_heavy_delegates", "1D + heavy delegates",
+         "15.4–23.8 kGTEPS records (2014–16)"),
+        ("2d_all_delegated", "2D", "38.6–103 kGTEPS records (2015–21)"),
+        ("degree_aware_15d", "degree-aware 1.5D",
+         "**180,792 GTEPS, 8× graph size**"),
+        ("vanilla_1d", "vanilla 1D", "(infeasible at paper scale)"),
+    ]
+    scale, ranks = info(doc, "table1.scale"), info(doc, "table1.ranks")
+    out = [f"| | paper | measured (scale {scale}, {ranks} ranks) | MB sent | inter-supernode MB |",
+           "|---|---|---|---|---|"]
+    for slug, name, paper in rows:
+        g = gauge(doc, f"table1.{slug}.gteps")
+        sent = counter(doc, f"table1.{slug}.bytes_sent") / 1e6
+        inter = counter(doc, f"table1.{slug}.bytes_inter_supernode") / 1e6
+        out.append(f"| {name} | {paper} | {g:.2f} GTEPS | {sent:.1f} | {inter:.1f} |")
+    speedup = gauge(doc, "table1.speedup_vs_best_baseline")
+    out.append("")
+    out.append(f"1.5D / best delegation baseline = {speedup:.2f}× on this substrate "
+               "(paper: 1.75× over the 2021 2D record, at 8× the graph size).")
+    return "\n".join(out)
+
+
+def gen_fig11(doc: dict) -> str:
+    """Figure 11 measured shares by rank count."""
+    ranks = sorted(
+        {int(m.group(1)) for k in doc["gauges"]
+         if (m := re.match(r"fig11\.ranks(\d+)\.", k))}
+    )
+    out = ["| ranks | compute | imbalance | alltoallv | allgather | reduce-scatter | allreduce |",
+           "|---|---|---|---|---|---|---|"]
+    for p in ranks:
+        row = f"fig11.ranks{p}."
+        cells = [f"{gauge(doc, row + col):.1f}%" for col in (
+            "compute_pct", "imbalance_pct", "alltoallv_pct",
+            "allgather_pct", "reduce_scatter_pct", "allreduce_pct")]
+        out.append(f"| {p} | " + " | ".join(cells) + " |")
+    first, last = f"fig11.ranks{ranks[0]}.", f"fig11.ranks{ranks[-1]}."
+    imb = [gauge(doc, f"fig11.ranks{p}.imbalance_pct") for p in ranks]
+    out.append("")
+    out.append(
+        f"Compute share falls {gauge(doc, first + 'compute_pct'):.0f}% → "
+        f"{gauge(doc, last + 'compute_pct'):.0f}% from {ranks[0]} to {ranks[-1]} "
+        f"ranks; alltoallv ({gauge(doc, first + 'alltoallv_pct'):.0f}% → "
+        f"{gauge(doc, last + 'alltoallv_pct'):.0f}%) and the frontier-union "
+        f"reductions ({gauge(doc, first + 'allreduce_pct'):.0f}% → "
+        f"{gauge(doc, last + 'allreduce_pct'):.0f}%, surfaced as allreduce in "
+        "this implementation — same mesh-wide union pattern) lead the "
+        "collectives; the measured arrival-spread imbalance spans "
+        f"{min(imb):.1f}–{max(imb):.1f}% (see the shape note below)."
+    )
+    return "\n".join(out)
+
+
+GENERATORS = {
+    # marker name -> (bench tool, generator)
+    "table1": ("bench_table1_partitioning", gen_table1),
+    "fig11": ("bench_fig11_comm_breakdown", gen_fig11),
+}
+
+MARKER_RE = re.compile(
+    r"<!-- regen:(?P<name>[\w-]+) begin \(tool: (?P<tool>[\w-]+)\) -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- regen:(?P=name) end -->",
+    re.DOTALL,
+)
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+def regenerate(text: str, reports_dir: Path) -> str:
+    seen = set()
+
+    def replace(m: re.Match) -> str:
+        name, tool = m.group("name"), m.group("tool")
+        if name not in GENERATORS:
+            raise KeyError(f"EXPERIMENTS.md references unknown regen block {name!r}")
+        expected_tool, gen = GENERATORS[name]
+        if tool != expected_tool:
+            raise ValueError(
+                f"block {name!r} names tool {tool!r}, generator expects {expected_tool!r}")
+        seen.add(name)
+        body = gen(load_report(reports_dir, tool))
+        return (f"<!-- regen:{name} begin (tool: {tool}) -->\n"
+                f"{body}\n"
+                f"<!-- regen:{name} end -->")
+
+    out = MARKER_RE.sub(replace, text)
+    missing = set(GENERATORS) - seen
+    if missing:
+        raise KeyError(f"EXPERIMENTS.md is missing regen markers for: {sorted(missing)}")
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--reports", type=Path, default=Path("reports"),
+                    help="directory of bench --metrics-out JSON files (default: reports/)")
+    ap.add_argument("--experiments", type=Path, default=Path("EXPERIMENTS.md"))
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help="rewrite EXPERIMENTS.md in place")
+    mode.add_argument("--check", action="store_true",
+                      help="exit 1 (with a diff) if EXPERIMENTS.md is stale [default]")
+    args = ap.parse_args()
+
+    old = args.experiments.read_text()
+    try:
+        new = regenerate(old, args.reports)
+    except (FileNotFoundError, KeyError, ValueError) as e:
+        print(f"regen_experiments: {e}", file=sys.stderr)
+        return 2
+
+    if args.write:
+        if new != old:
+            args.experiments.write_text(new)
+            print(f"regen_experiments: rewrote {args.experiments}")
+        else:
+            print(f"regen_experiments: {args.experiments} already up to date")
+        return 0
+
+    if new == old:
+        print(f"regen_experiments: {args.experiments} is up to date")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        old.splitlines(keepends=True), new.splitlines(keepends=True),
+        fromfile=str(args.experiments), tofile=f"{args.experiments} (regenerated)"))
+    print("regen_experiments: STALE — run with --write to update", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
