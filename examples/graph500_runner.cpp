@@ -3,8 +3,13 @@
 //   ./graph500_runner [--scale N] [--rows R] [--cols C] [--roots K]
 //                     [--e-threshold D] [--h-threshold D] [--no-validate]
 //                     [--engine 1d|1.5d] [--baseline-direction]
+//                     [--threads-per-rank T]
 //                     [--faults SEED] [--fault-policy abort|report|recover]
 //                     [--trace-out PATH] [--metrics-out PATH]
+//
+// --threads-per-rank sets the intra-rank worker count of every BFS kernel
+// (and the generator/validator); 0 (default) means auto — hardware
+// concurrency divided by the rank count, never oversubscribing the host.
 //
 // --trace-out writes the run as Chrome trace_event JSON (open in Perfetto:
 // per-rank BFS levels, collectives, and — under --faults — rollback/replay
@@ -56,6 +61,9 @@ int main(int argc, char** argv) {
   cfg.thresholds.e = arg_u64(argc, argv, "--e-threshold", 2048);
   cfg.thresholds.h = arg_u64(argc, argv, "--h-threshold", 128);
   cfg.num_roots = int(arg_u64(argc, argv, "--roots", 8));
+  cfg.bfs.threads_per_rank =
+      int(arg_u64(argc, argv, "--threads-per-rank", 0));
+  cfg.bfs1d.threads_per_rank = cfg.bfs.threads_per_rank;
   cfg.validate = !has_flag(argc, argv, "--no-validate");
   cfg.bfs.sub_iteration_direction = !has_flag(argc, argv,
                                               "--baseline-direction");

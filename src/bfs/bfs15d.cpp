@@ -1,15 +1,20 @@
 #include "bfs/bfs15d.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "bfs/gathered_frontier.hpp"
+#include "bfs/messages.hpp"
+#include "bfs/workspace.hpp"
 #include "obs/trace.hpp"
 #include "bfs/segmenting.hpp"
 #include "bfs/vertex_cut.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/prefix.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::bfs {
@@ -28,21 +33,18 @@ uint64_t count_range(const BitVector& bv, uint64_t lo, uint64_t hi) {
   return n;
 }
 
-/// Message for remote visits: set `dst`'s parent to `parent`.
-struct VisitMsg {
-  Vertex dst;     // global L id (H2L, L2L) or EH id (L2H)
-  Vertex parent;  // global vertex id
-};
-
-/// Compact 8-byte visit message for the hot alltoallv paths: destinations
-/// travel as receiver-local indices (or EH ids) and parents as sender-local
-/// indices (or EH ids); the receiver reconstructs global ids from the
-/// alltoallv source offsets.  Halves the per-edge traffic, as record BFS
-/// implementations do.
-struct CompactMsg {
-  uint32_t dst;
-  uint32_t src;
-};
+/// Lock-free fetch-max on a parent/candidate slot.  Every concurrent writer
+/// records its value; the slot ends at the maximum, which is independent of
+/// scheduling — the keystone of thread-count-independent BFS output (all
+/// candidate values written to one slot within a phase share one id space,
+/// so the maximum is well-defined).
+void store_max(Vertex& slot, Vertex v) {
+  std::atomic_ref<Vertex> a(slot);
+  Vertex cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 
 class Engine {
  public:
@@ -56,7 +58,13 @@ class Engine {
         my_col_(ctx.col_index()),
         k_(part.cls.num_eh()),
         num_e_(part.cls.num_e()),
-        root_(root) {
+        root_(root),
+        owned_ws_(opts.workspace
+                      ? nullptr
+                      : std::make_unique<BfsWorkspace>(resolve_threads_per_rank(
+                            opts.threads_per_rank, size_t(ctx.nranks())))),
+        ws_(opts.workspace ? *opts.workspace : *owned_ws_),
+        pool_(ws_.pool()) {
     SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
     if (opts_.pull_kernel != Bfs15dOptions::EhPullKernel::Host)
       SUNBFS_CHECK_MSG(opts_.chip != nullptr,
@@ -74,6 +82,8 @@ class Engine {
     num_l_global_ = part.space.total - k_;
     dedup_l_.resize(part.space.total);
     dedup_eh_.resize(k_);
+    push_cand_.assign(part.space.total, kNoVertex);
+    push_cand_eh_.assign(k_, kNoVertex);
     // Compact 8-byte messages index vertices with 32 bits.
     SUNBFS_CHECK(part.space.max_count() < (uint64_t(1) << 32));
     SUNBFS_CHECK(k_ < (uint64_t(1) << 32));
@@ -97,6 +107,37 @@ class Engine {
         if (kid >= num_e_) col_h_ids_.push_back(kid);
       }
       if (owner == ctx.rank && kid >= num_e_) owned_h_ids_.push_back(kid);
+    }
+    // Prime the shared staging pools to their worst-case round shapes so no
+    // exchange after construction ever grows a buffer (comm.staging_allocs
+    // stays flat after the warmup root; docs/PERF.md).  Bounds: a push round
+    // stages at most one message per dedup'd target — a global L vertex
+    // (space.total) or an EH id (k_) — and a receiver gets at most one
+    // message per sender per target it is responsible for.
+    {
+      const size_t nt = pool_.size();
+      const size_t ranks = size_t(mesh_.ranks());
+      const size_t rows = size_t(mesh_.rows), cols = size_t(mesh_.cols);
+      const size_t total = size_t(part_.space.total);
+      const size_t local = size_t(local_count_);
+      const size_t kmsgs = size_t(k_);
+      size_t row_total = 0;  // L vertices owned by this rank's mesh row
+      for (int c = 0; c < mesh_.cols; ++c)
+        row_total += size_t(part_.space.count(mesh_.rank_of(my_row_, c)));
+      auto lane = [nt](size_t cap) { return cap / nt + 65; };
+      // compact(): H2L push (cols parts, <= total), L2H push (cols parts,
+      // <= k_), non-forwarded L2L (ranks parts, <= total).
+      const size_t c_send = std::max(total, kmsgs);
+      ws_.compact().prime(ranks, nt, lane(c_send), c_send,
+                          std::max(ranks * local, cols * kmsgs));
+      // visit_down(): L2L forwarding hop 1 (rows parts, <= total) and the
+      // parent-reduction delivery (ranks parts, <= k_ + padding).
+      const size_t d_send = std::max(total, kmsgs);
+      ws_.visit_down().prime(ranks, nt, lane(d_send), d_send,
+                             std::max(rows * row_total, kmsgs + ranks));
+      // visit_along(): L2L forwarding hop 2 re-sorts hop 1's receipts.
+      const size_t a_send = rows * row_total;
+      ws_.visit_along().prime(cols, nt, lane(a_send), a_send, ranks * local);
     }
   }
 
@@ -313,6 +354,20 @@ class Engine {
         ctx_.stats.total_modeled_s() - comm0;
   }
 
+  /// Parallel loop over [0, n) in contiguous blocks: fn(lane, lo, hi), where
+  /// `lane` < pool_.size() is a stable single-writer lane id for staging
+  /// pushes (A2aStaging lanes are single-writer by contract).
+  template <typename Fn>
+  void par_ranges(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    size_t parts = std::min(n, pool_.size());
+    pool_.run_chunks(parts, [&](size_t p) {
+      size_t lo = n * p / parts;
+      size_t hi = n * (p + 1) / parts;
+      if (lo < hi) fn(p, lo, hi);
+    });
+  }
+
   /// Mesh-aware union of locally discovered EH visits, honoring the
   /// delegation scopes of §4.1:
   ///   1. column allreduce of the full bitmap (E and H column unions);
@@ -364,20 +419,41 @@ class Engine {
       if ((packed[i >> 6] >> (i & 63)) & 1) eh_next_local_.set(ids[i]);
   }
 
-  void visit_local_l(uint64_t lloc, Vertex parent) {
-    if (l_visited_.test_and_set(lloc)) {
-      parent_[lloc] = parent;
-      l_next_.set(lloc);
-      --l_unvisited_;
-    }
+  // ---- thread-safe visit primitives ---------------------------------------
+  // The determinism scheme: during a (possibly threaded) phase, gates read
+  // only *stable* visited bitmaps — l_visited_ moves in commit_l_claims()
+  // and eh_visited_ in sync_eh(), both serial epilogues, never mid-phase.
+  // Every candidate parent is recorded with an unconditional fetch-max and
+  // claims are atomic bit sets, so the set of claimed vertices and the final
+  // parent values depend only on the (deterministic) candidate sets, not on
+  // thread interleaving: output is bit-identical at every threads_per_rank.
+
+  /// Record an L visit claim; the claim is committed by commit_l_claims().
+  void visit_local_l_mt(uint64_t lloc, Vertex parent) {
+    if (l_visited_.atomic_get(lloc)) return;
+    store_max(parent_[lloc], parent);
+    l_next_.atomic_set(lloc);
   }
 
-  /// Record an EH visit candidate; returns false if already visited/found.
-  bool visit_eh(uint64_t k, Vertex parent) {
-    if (eh_visited_.get(k)) return false;
-    if (!eh_next_local_.test_and_set(k)) return false;
-    cand_[k] = parent;
-    return true;
+  /// Record an EH visit candidate; committed (and scoped-synced) by sync_eh().
+  void visit_eh_mt(uint64_t k, Vertex parent) {
+    if (eh_visited_.atomic_get(k)) return;
+    store_max(cand_[k], parent);
+    eh_next_local_.atomic_set(k);
+  }
+
+  /// Serial epilogue of every L-claiming sub-iteration: fold the claims
+  /// accumulated in l_next_ into l_visited_ and the unvisited counter.
+  /// Idempotent across sub-iterations (l_next_ accumulates over the whole
+  /// level; only the not-yet-visited delta is counted).
+  void commit_l_claims() {
+    uint64_t newly = 0;
+    for (size_t w = 0; w < l_next_.word_count(); ++w)
+      newly += uint64_t(
+          __builtin_popcountll(l_next_.word(w) & ~l_visited_.word(w)));
+    SUNBFS_ASSERT(newly <= l_unvisited_);
+    l_unvisited_ -= newly;
+    l_visited_ |= l_next_;
   }
 
   Vertex local_to_global(uint64_t lloc) const {
@@ -397,25 +473,32 @@ class Engine {
           uint64_t x = active[i];
           Vertex px = part_.cls.eh_to_global(x);
           for (Vertex y : part_.eh2eh.neighbors(x))
-            visit_eh(uint64_t(y), px);
+            visit_eh_mt(uint64_t(y), px);
         };
         if (opts_.edge_aware_vertex_cut) {
           edge_aware_foreach(
               active,
               [&](uint64_t x) { return part_.eh2eh.degree(x); }, pool_, body);
         } else {
-          for (size_t i = 0; i < active.size(); ++i) body(i);
+          pool_.parallel_for(0, active.size(), [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) body(i);
+          });
         }
       } else if (opts_.pull_kernel == Bfs15dOptions::EhPullKernel::Host) {
-        for (uint64_t y : row_targets_) {
-          if (eh_visited_.get(y) || eh_next_local_.get(y)) continue;
-          for (Vertex x : part_.eh2eh_rev.neighbors(y)) {
-            if (eh_curr_.get(uint64_t(x))) {
-              visit_eh(y, part_.cls.eh_to_global(uint64_t(x)));
-              break;  // early exit
+        // Destination-partitioned: each target y is scanned by exactly one
+        // worker, preserving the serial early exit.
+        pool_.parallel_for(0, row_targets_.size(), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            uint64_t y = row_targets_[i];
+            if (eh_visited_.get(y) || eh_next_local_.atomic_get(y)) continue;
+            for (Vertex x : part_.eh2eh_rev.neighbors(y)) {
+              if (eh_curr_.get(uint64_t(x))) {
+                visit_eh_mt(y, part_.cls.eh_to_global(uint64_t(x)));
+                break;  // early exit
+              }
             }
           }
-        }
+        });
       } else {
         // Chip-executed pull (GLD baseline or segmented RMA kernel, §4.3).
         if (!puller_)
@@ -424,7 +507,7 @@ class Engine {
         bool rma = opts_.pull_kernel == Bfs15dOptions::EhPullKernel::ChipRma;
         auto out = puller_->pull(eh_curr_, eh_visited_, cand_, rma);
         for (const auto& v : out.visits)
-          visit_eh(v.y, part_.cls.eh_to_global(v.x));
+          visit_eh_mt(v.y, part_.cls.eh_to_global(v.x));
         time_override_ = out.report.modeled_seconds;
       }
       sync_eh();
@@ -435,44 +518,53 @@ class Engine {
   void sub_e2l(bool bottom_up) {
     timed_sub(Subgraph::E2L, bottom_up, [&] {
       if (!bottom_up) {
-        for (uint64_t e = 0; e < num_e_; ++e) {
-          if (!eh_curr_.get(e) || part_.e2l.degree(e) == 0) continue;
-          Vertex pe = part_.cls.eh_to_global(e);
-          for (Vertex lloc : part_.e2l.neighbors(e))
-            visit_local_l(uint64_t(lloc), pe);
-        }
+        pool_.parallel_for(0, num_e_, [&](size_t lo, size_t hi) {
+          for (uint64_t e = lo; e < hi; ++e) {
+            if (!eh_curr_.get(e) || part_.e2l.degree(e) == 0) continue;
+            Vertex pe = part_.cls.eh_to_global(e);
+            for (Vertex lloc : part_.e2l.neighbors(e))
+              visit_local_l_mt(uint64_t(lloc), pe);
+          }
+        });
       } else {
-        for (uint64_t lloc = 0; lloc < local_count_; ++lloc) {
-          if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
-          for (Vertex e : part_.l2e.neighbors(lloc)) {
-            if (eh_curr_.get(uint64_t(e))) {
-              visit_local_l(lloc, part_.cls.eh_to_global(uint64_t(e)));
-              break;
+        pool_.parallel_for(0, local_count_, [&](size_t lo, size_t hi) {
+          for (uint64_t lloc = lo; lloc < hi; ++lloc) {
+            if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
+            for (Vertex e : part_.l2e.neighbors(lloc)) {
+              if (eh_curr_.get(uint64_t(e))) {
+                visit_local_l_mt(lloc, part_.cls.eh_to_global(uint64_t(e)));
+                break;
+              }
             }
           }
-        }
+        });
       }
+      commit_l_claims();
     });
   }
 
   void sub_l2e(bool bottom_up) {
     timed_sub(Subgraph::L2E, bottom_up, [&] {
       if (!bottom_up) {
-        l_curr_.for_each_set([&](size_t lloc) {
-          Vertex pl = local_to_global(lloc);
-          for (Vertex e : part_.l2e.neighbors(lloc))
-            visit_eh(uint64_t(e), pl);
+        pool_.parallel_for(0, l_curr_.word_count(), [&](size_t lo, size_t hi) {
+          l_curr_.for_each_set_words(lo, hi, [&](size_t lloc) {
+            Vertex pl = local_to_global(lloc);
+            for (Vertex e : part_.l2e.neighbors(lloc))
+              visit_eh_mt(uint64_t(e), pl);
+          });
         });
       } else {
-        for (uint64_t e = 0; e < num_e_; ++e) {
-          if (eh_visited_.get(e) || eh_next_local_.get(e)) continue;
-          for (Vertex lloc : part_.e2l.neighbors(e)) {
-            if (l_curr_.get(uint64_t(lloc))) {
-              visit_eh(e, local_to_global(uint64_t(lloc)));
-              break;
+        pool_.parallel_for(0, num_e_, [&](size_t lo, size_t hi) {
+          for (uint64_t e = lo; e < hi; ++e) {
+            if (eh_visited_.get(e) || eh_next_local_.atomic_get(e)) continue;
+            for (Vertex lloc : part_.e2l.neighbors(e)) {
+              if (l_curr_.get(uint64_t(lloc))) {
+                visit_eh_mt(e, local_to_global(uint64_t(lloc)));
+                break;
+              }
             }
           }
-        }
+        });
       }
       // No sync here: L2E only marks E vertices, which nothing reads before
       // L2H's sync covers them.
@@ -482,24 +574,37 @@ class Engine {
   // ---- H2L (push messages intra-row) ---------------------------------------
   void sub_h2l(bool bottom_up) {
     timed_sub(Subgraph::H2L, bottom_up, [&] {
+      auto& staging = ws_.compact();
+      staging.begin(size_t(mesh_.cols), pool_.size());
       if (!bottom_up) {
         // Push with per-destination dedup: at most one message per target
         // vertex per rank, whatever the hub fan-in (a standard trick of
         // record BFS implementations; any winning parent is valid).
+        // Two-phase emission so the staged message per target is the *max*
+        // candidate hub — thread-count independent — rather than whichever
+        // hub got there first.
         dedup_l_.reset();
-        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
-        for (uint64_t h = num_e_; h < k_; ++h) {
-          if (!eh_curr_.get(h) || part_.h2l.degree(h) == 0) continue;
-          for (Vertex l : part_.h2l.neighbors(h)) {
-            if (!dedup_l_.test_and_set(uint64_t(l))) continue;
-            int owner = part_.space.owner(l);
-            to[size_t(mesh_.col_of(owner))].push_back(CompactMsg{
-                uint32_t(part_.space.to_local(owner, l)), uint32_t(h)});
+        pool_.parallel_for(num_e_, k_, [&](size_t lo, size_t hi) {
+          for (uint64_t h = lo; h < hi; ++h) {
+            if (!eh_curr_.get(h) || part_.h2l.degree(h) == 0) continue;
+            for (Vertex l : part_.h2l.neighbors(h)) {
+              store_max(push_cand_[uint64_t(l)], Vertex(h));
+              dedup_l_.atomic_set(uint64_t(l));
+            }
           }
-        }
-        auto got = ctx_.row.alltoallv(to);
-        for (const CompactMsg& m : got)
-          visit_local_l(m.dst, part_.cls.eh_to_global(m.src));
+        });
+        par_ranges(dedup_l_.word_count(), [&](size_t lane, size_t lo,
+                                              size_t hi) {
+          dedup_l_.for_each_set_words(lo, hi, [&](size_t l) {
+            Vertex lv = Vertex(l);
+            int owner = part_.space.owner(lv);
+            staging.push(
+                lane, size_t(mesh_.col_of(owner)),
+                CompactMsg{uint32_t(part_.space.to_local(owner, lv)),
+                           uint32_t(push_cand_[l])});
+            push_cand_[l] = kNoVertex;  // leave the pool clean for next use
+          });
+        });
       } else {
         // Pull at the storage ranks over the destination-major mirror
         // ("stored by the destination index"): gather the row's visited
@@ -508,26 +613,31 @@ class Engine {
         // column), and send one message per newly found vertex instead of
         // one per edge.
         GatheredFrontier row_visited =
-            GatheredFrontier::gather(ctx_.row, l_visited_);
-        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
-        int col = 0;
-        for (uint64_t rl = 0; rl < part_.h2l_by_l.num_rows(); ++rl) {
-          if (part_.h2l_by_l.degree(rl) == 0) continue;
-          while (part_.row_l_offsets[size_t(col) + 1] <= rl) ++col;
-          uint64_t lloc = rl - part_.row_l_offsets[size_t(col)];
-          if (row_visited.get(col, lloc)) continue;
-          for (Vertex h : part_.h2l_by_l.neighbors(rl)) {
-            if (eh_curr_.get(uint64_t(h))) {
-              to[size_t(col)].push_back(
-                  CompactMsg{uint32_t(lloc), uint32_t(h)});
-              break;  // early exit: one message per vertex
+            GatheredFrontier::gather(ctx_.row, l_visited_, ws_.frontier());
+        par_ranges(part_.h2l_by_l.num_rows(), [&](size_t lane, size_t lo,
+                                                  size_t hi) {
+          size_t col = upper_offset_index(part_.row_l_offsets, uint64_t(lo));
+          for (uint64_t rl = lo; rl < hi; ++rl) {
+            if (part_.h2l_by_l.degree(rl) == 0) continue;
+            while (part_.row_l_offsets[col + 1] <= rl) ++col;
+            uint64_t lloc = rl - part_.row_l_offsets[col];
+            if (row_visited.get(int(col), lloc)) continue;
+            for (Vertex h : part_.h2l_by_l.neighbors(rl)) {
+              if (eh_curr_.get(uint64_t(h))) {
+                staging.push(lane, col,
+                             CompactMsg{uint32_t(lloc), uint32_t(h)});
+                break;  // early exit: one message per vertex
+              }
             }
           }
-        }
-        auto got = ctx_.row.alltoallv(to);
-        for (const CompactMsg& m : got)
-          visit_local_l(m.dst, part_.cls.eh_to_global(m.src));
+        });
       }
+      auto got = staging.exchange(ctx_.row, pool_);
+      pool_.parallel_for(0, got.size(), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+          visit_local_l_mt(got[i].dst, part_.cls.eh_to_global(got[i].src));
+      });
+      commit_l_claims();
     });
   }
 
@@ -536,42 +646,58 @@ class Engine {
     timed_sub(Subgraph::L2H, bottom_up, [&] {
       if (!bottom_up) {
         // Push to h's column delegate in this row (intra-row message).
+        // Two-phase emission as in H2L push; the staged parent per h is the
+        // max sender-local lloc (monotone with the global id for one rank).
         dedup_eh_.reset();
-        std::vector<std::vector<CompactMsg>> to(size_t(mesh_.cols));
-        l_curr_.for_each_set([&](size_t lloc) {
-          for (Vertex h : part_.l2h.neighbors(lloc)) {
-            if (eh_visited_.get(uint64_t(h))) continue;
-            if (!dedup_eh_.test_and_set(uint64_t(h))) continue;
-            int col = mesh_.col_of(part_.eh_space.owner(h));
-            to[size_t(col)].push_back(
-                CompactMsg{uint32_t(h), uint32_t(lloc)});
+        auto& staging = ws_.compact();
+        staging.begin(size_t(mesh_.cols), pool_.size());
+        pool_.parallel_for(0, l_curr_.word_count(), [&](size_t lo, size_t hi) {
+          l_curr_.for_each_set_words(lo, hi, [&](size_t lloc) {
+            for (Vertex h : part_.l2h.neighbors(lloc)) {
+              if (eh_visited_.get(uint64_t(h))) continue;
+              store_max(push_cand_eh_[uint64_t(h)], Vertex(lloc));
+              dedup_eh_.atomic_set(uint64_t(h));
+            }
+          });
+        });
+        par_ranges(dedup_eh_.word_count(), [&](size_t lane, size_t lo,
+                                               size_t hi) {
+          dedup_eh_.for_each_set_words(lo, hi, [&](size_t h) {
+            int col = mesh_.col_of(part_.eh_space.owner(Vertex(h)));
+            staging.push(lane, size_t(col),
+                         CompactMsg{uint32_t(h),
+                                    uint32_t(push_cand_eh_[h])});
+            push_cand_eh_[h] = kNoVertex;
+          });
+        });
+        auto got = staging.exchange(ctx_.row, pool_);
+        const auto& src_off = staging.src_offsets();
+        pool_.parallel_for(0, size_t(mesh_.cols), [&](size_t lo, size_t hi) {
+          for (size_t c = lo; c < hi; ++c) {
+            int src_rank = mesh_.rank_of(my_row_, int(c));
+            for (size_t i = src_off[c]; i < src_off[c + 1]; ++i)
+              visit_eh_mt(uint64_t(got[i].dst),
+                          part_.space.to_global(src_rank, got[i].src));
           }
         });
-        std::vector<size_t> src_off;
-        auto got = ctx_.row.alltoallv(to, &src_off);
-        for (int src_col = 0; src_col < mesh_.cols; ++src_col) {
-          int src_rank = mesh_.rank_of(my_row_, src_col);
-          for (size_t i = src_off[size_t(src_col)];
-               i < src_off[size_t(src_col) + 1]; ++i)
-            visit_eh(uint64_t(got[i].dst),
-                     part_.space.to_global(src_rank, got[i].src));
-        }
       } else {
         // Pull at the H2L storage ranks: L frontier gathered along the row
         // (the allgather component of Figure 11).
         GatheredFrontier row_frontier =
-            GatheredFrontier::gather(ctx_.row, l_curr_);
-        for (uint64_t h = num_e_; h < k_; ++h) {
-          if (eh_visited_.get(h) || eh_next_local_.get(h)) continue;
-          for (Vertex l : part_.h2l.neighbors(h)) {
-            int owner = part_.space.owner(l);
-            uint64_t lloc = uint64_t(l) - part_.space.begin(owner);
-            if (row_frontier.get(mesh_.col_of(owner), lloc)) {
-              visit_eh(h, l);
-              break;
+            GatheredFrontier::gather(ctx_.row, l_curr_, ws_.frontier());
+        pool_.parallel_for(num_e_, k_, [&](size_t klo, size_t khi) {
+          for (uint64_t h = klo; h < khi; ++h) {
+            if (eh_visited_.get(h) || eh_next_local_.atomic_get(h)) continue;
+            for (Vertex l : part_.h2l.neighbors(h)) {
+              int owner = part_.space.owner(l);
+              uint64_t lloc = uint64_t(l) - part_.space.begin(owner);
+              if (row_frontier.get(mesh_.col_of(owner), lloc)) {
+                visit_eh_mt(h, l);
+                break;
+              }
             }
           }
-        }
+        });
       }
       sync_eh();
     });
@@ -586,68 +712,114 @@ class Engine {
           // intersection of this rank's column and the destination's row —
           // and exchange along the column.
           dedup_l_.reset();
-          std::vector<std::vector<VisitMsg>> down(size_t(mesh_.rows));
-          l_curr_.for_each_set([&](size_t lloc) {
-            Vertex pl = local_to_global(lloc);
-            for (Vertex l2 : part_.l2l.neighbors(lloc)) {
-              int owner = part_.space.owner(l2);
-              if (owner == ctx_.rank)
-                visit_local_l(part_.space.to_local(owner, l2), pl);
-              else if (dedup_l_.test_and_set(uint64_t(l2)))
-                down[size_t(mesh_.row_of(owner))].push_back(VisitMsg{l2, pl});
-            }
+          auto& down = ws_.visit_down();
+          down.begin(size_t(mesh_.rows), pool_.size());
+          pool_.parallel_for(0, l_curr_.word_count(),
+                             [&](size_t lo, size_t hi) {
+            l_curr_.for_each_set_words(lo, hi, [&](size_t lloc) {
+              Vertex pl = local_to_global(lloc);
+              for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+                int owner = part_.space.owner(l2);
+                if (owner == ctx_.rank) {
+                  visit_local_l_mt(part_.space.to_local(owner, l2), pl);
+                } else {
+                  store_max(push_cand_[uint64_t(l2)], pl);
+                  dedup_l_.atomic_set(uint64_t(l2));
+                }
+              }
+            });
           });
-          auto staged = ctx_.col.alltoallv(down);
+          par_ranges(dedup_l_.word_count(), [&](size_t lane, size_t lo,
+                                                size_t hi) {
+            dedup_l_.for_each_set_words(lo, hi, [&](size_t l2) {
+              int owner = part_.space.owner(Vertex(l2));
+              down.push(lane, size_t(mesh_.row_of(owner)),
+                        VisitMsg{Vertex(l2), push_cand_[l2]});
+              push_cand_[l2] = kNoVertex;
+            });
+          });
+          auto staged = down.exchange(ctx_.col, pool_);
           // Stage 2: the forwarder re-sorts by destination column (the
           // OCS-RMA use case "forwarding in global messaging") and sends
           // along its row.
-          std::vector<std::vector<VisitMsg>> along(size_t(mesh_.cols));
-          for (const VisitMsg& m : staged) {
-            int owner = part_.space.owner(m.dst);
-            SUNBFS_ASSERT(mesh_.row_of(owner) == my_row_);
-            along[size_t(mesh_.col_of(owner))].push_back(m);
-          }
-          auto got = ctx_.row.alltoallv(along);
-          for (const VisitMsg& m : got)
-            visit_local_l(part_.space.to_local(ctx_.rank, m.dst), m.parent);
-        } else {
-          dedup_l_.reset();
-          std::vector<std::vector<CompactMsg>> to(size_t(mesh_.ranks()));
-          l_curr_.for_each_set([&](size_t lloc) {
-            Vertex pl = local_to_global(lloc);
-            for (Vertex l2 : part_.l2l.neighbors(lloc)) {
-              int owner = part_.space.owner(l2);
-              if (owner == ctx_.rank)
-                visit_local_l(part_.space.to_local(owner, l2), pl);
-              else if (dedup_l_.test_and_set(uint64_t(l2)))
-                to[size_t(owner)].push_back(CompactMsg{
-                    uint32_t(part_.space.to_local(owner, l2)),
-                    uint32_t(lloc)});
+          auto& along = ws_.visit_along();
+          along.begin(size_t(mesh_.cols), pool_.size());
+          par_ranges(staged.size(), [&](size_t lane, size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              const VisitMsg& m = staged[i];
+              int owner = part_.space.owner(m.dst);
+              SUNBFS_ASSERT(mesh_.row_of(owner) == my_row_);
+              along.push(lane, size_t(mesh_.col_of(owner)), m);
             }
           });
-          std::vector<size_t> src_off;
-          auto got = ctx_.world.alltoallv(to, &src_off);
-          for (int src = 0; src < ctx_.nranks(); ++src)
-            for (size_t i = src_off[size_t(src)]; i < src_off[size_t(src) + 1];
-                 ++i)
-              visit_local_l(got[i].dst,
-                            part_.space.to_global(src, got[i].src));
+          auto got = along.exchange(ctx_.row, pool_);
+          pool_.parallel_for(0, got.size(), [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i)
+              visit_local_l_mt(part_.space.to_local(ctx_.rank, got[i].dst),
+                               got[i].parent);
+          });
+        } else {
+          dedup_l_.reset();
+          auto& staging = ws_.compact();
+          staging.begin(size_t(mesh_.ranks()), pool_.size());
+          pool_.parallel_for(0, l_curr_.word_count(),
+                             [&](size_t lo, size_t hi) {
+            l_curr_.for_each_set_words(lo, hi, [&](size_t lloc) {
+              Vertex pl = local_to_global(lloc);
+              for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+                int owner = part_.space.owner(l2);
+                if (owner == ctx_.rank) {
+                  visit_local_l_mt(part_.space.to_local(owner, l2), pl);
+                } else {
+                  // Candidate = sender-local lloc (what the compact message
+                  // carries); monotone with the sender's global id.
+                  store_max(push_cand_[uint64_t(l2)], Vertex(lloc));
+                  dedup_l_.atomic_set(uint64_t(l2));
+                }
+              }
+            });
+          });
+          par_ranges(dedup_l_.word_count(), [&](size_t lane, size_t lo,
+                                                size_t hi) {
+            dedup_l_.for_each_set_words(lo, hi, [&](size_t l2) {
+              Vertex lv = Vertex(l2);
+              int owner = part_.space.owner(lv);
+              staging.push(
+                  lane, size_t(owner),
+                  CompactMsg{uint32_t(part_.space.to_local(owner, lv)),
+                             uint32_t(push_cand_[l2])});
+              push_cand_[l2] = kNoVertex;
+            });
+          });
+          auto got = staging.exchange(ctx_.world, pool_);
+          const auto& src_off = staging.src_offsets();
+          pool_.parallel_for(0, size_t(ctx_.nranks()),
+                             [&](size_t lo, size_t hi) {
+            for (size_t src = lo; src < hi; ++src)
+              for (size_t i = src_off[src]; i < src_off[src + 1]; ++i)
+                visit_local_l_mt(
+                    got[i].dst,
+                    part_.space.to_global(int(src), got[i].src));
+          });
         }
       } else {
         GatheredFrontier world_frontier =
-            GatheredFrontier::gather(ctx_.world, l_curr_);
-        for (uint64_t lloc = 0; lloc < local_count_; ++lloc) {
-          if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
-          for (Vertex l2 : part_.l2l.neighbors(lloc)) {
-            int owner = part_.space.owner(l2);
-            uint64_t l2loc = uint64_t(l2) - part_.space.begin(owner);
-            if (world_frontier.get(owner, l2loc)) {
-              visit_local_l(lloc, l2);
-              break;
+            GatheredFrontier::gather(ctx_.world, l_curr_, ws_.frontier());
+        pool_.parallel_for(0, local_count_, [&](size_t lo, size_t hi) {
+          for (uint64_t lloc = lo; lloc < hi; ++lloc) {
+            if (l_visited_.get(lloc) || part_.local_is_eh.get(lloc)) continue;
+            for (Vertex l2 : part_.l2l.neighbors(lloc)) {
+              int owner = part_.space.owner(l2);
+              uint64_t l2loc = uint64_t(l2) - part_.space.begin(owner);
+              if (world_frontier.get(owner, l2loc)) {
+                visit_local_l_mt(lloc, l2);
+                break;
+              }
             }
           }
-        }
+        });
       }
+      commit_l_claims();
     });
   }
 
@@ -658,26 +830,36 @@ class Engine {
     ThreadCpuTimer cpu;
     uint64_t block = part_.eh_space.max_count();
     std::vector<Vertex> contrib(block * uint64_t(ctx_.nranks()), kNoVertex);
-    for (int r = 0; r < ctx_.nranks(); ++r) {
-      uint64_t n = part_.eh_space.count(r);
-      for (uint64_t i = 0; i < n; ++i)
-        contrib[uint64_t(r) * block + i] =
-            cand_[uint64_t(part_.eh_space.to_global(r, i))];
-    }
+    pool_.parallel_for(0, size_t(ctx_.nranks()), [&](size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        uint64_t n = part_.eh_space.count(int(r));
+        for (uint64_t i = 0; i < n; ++i)
+          contrib[uint64_t(r) * block + i] =
+              cand_[uint64_t(part_.eh_space.to_global(int(r), i))];
+      }
+    });
     auto mine = ctx_.world.reduce_scatter_block(
         std::span<const Vertex>(contrib), block,
         [](Vertex a, Vertex b) { return std::max(a, b); });
-    // Deliver reduced parents to the owners of the original vertex ids.
-    std::vector<std::vector<VisitMsg>> to(size_t(ctx_.nranks()));
-    for (uint64_t i = 0; i < part_.eh_space.count(ctx_.rank); ++i) {
-      if (mine[i] == kNoVertex) continue;
-      Vertex g = part_.cls.eh_to_global(
-          uint64_t(part_.eh_space.to_global(ctx_.rank, i)));
-      to[size_t(part_.space.owner(g))].push_back(VisitMsg{g, mine[i]});
-    }
-    auto got = ctx_.world.alltoallv(to);
-    for (const VisitMsg& m : got)
-      parent_[part_.space.to_local(ctx_.rank, m.dst)] = m.parent;
+    // Deliver reduced parents to the owners of the original vertex ids
+    // (destination vertices are unique, so receiver writes are race-free).
+    auto& staging = ws_.visit_down();
+    staging.begin(size_t(ctx_.nranks()), pool_.size());
+    par_ranges(size_t(part_.eh_space.count(ctx_.rank)),
+               [&](size_t lane, size_t lo, size_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        if (mine[i] == kNoVertex) continue;
+        Vertex g = part_.cls.eh_to_global(
+            uint64_t(part_.eh_space.to_global(ctx_.rank, i)));
+        staging.push(lane, size_t(part_.space.owner(g)),
+                     VisitMsg{g, mine[i]});
+      }
+    });
+    auto got = staging.exchange(ctx_.world, pool_);
+    pool_.parallel_for(0, got.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i)
+        parent_[part_.space.to_local(ctx_.rank, got[i].dst)] = got[i].parent;
+    });
     stats_.reduce_cpu_s += cpu.seconds();
     attributed_host_cpu_ += cpu.seconds();
     obs::Tracer::advance_modeled(cpu.seconds());
@@ -812,6 +994,15 @@ class Engine {
   uint64_t k_, num_e_;
   Vertex root_;
 
+  /// Intra-rank resources: the worker pool (sized by
+  /// resolve_threads_per_rank from the options — never a literal) plus the
+  /// reusable staging buffer pools.  When the runner supplies a shared
+  /// workspace, the engine borrows it so capacities stay warm across roots;
+  /// otherwise a private one is created per run.
+  std::unique_ptr<BfsWorkspace> owned_ws_;
+  BfsWorkspace& ws_;
+  ThreadPool& pool_;
+
   BitVector eh_curr_, eh_visited_, eh_next_, eh_next_local_;
   std::vector<Vertex> cand_;
   uint64_t local_count_ = 0;
@@ -825,10 +1016,13 @@ class Engine {
   std::vector<uint64_t> row_h_ids_, col_h_ids_, owned_h_ids_;
   /// Per-push-sub-iteration message dedup: at most one message per target.
   BitVector dedup_l_, dedup_eh_;
+  /// Per-target maximum staged candidate of the current push phase; always
+  /// kNoVertex outside a push (the staging scan cleans the slots it wrote).
+  std::vector<Vertex> push_cand_;     // indexed by global vertex id
+  std::vector<Vertex> push_cand_eh_;  // indexed by EH id
   std::unique_ptr<ChipEhPuller> puller_;
   double time_override_ = -1.0;
   double attributed_host_cpu_ = 0.0;
-  ThreadPool pool_{1};  // intra-rank workers (serial on the 1-core harness)
   BfsStats stats_;
 
   // ---- fault recovery state -------------------------------------------------

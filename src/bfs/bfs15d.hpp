@@ -19,7 +19,20 @@
 /// and reduced once after the run ("delayed reduction", §5) unless disabled.
 namespace sunbfs::bfs {
 
+class BfsWorkspace;
+
 struct Bfs15dOptions {
+  // --- intra-rank parallelism ----------------------------------------------
+  /// Worker threads per rank for the intra-rank kernels.  <= 0 means auto
+  /// (hardware_concurrency / nranks, floored at 1); see
+  /// resolve_threads_per_rank.  Ignored when `workspace` is provided.
+  int threads_per_rank = 0;
+  /// Optional externally owned per-rank workspace (worker pool + reusable
+  /// communication staging buffers).  The runner passes one warm workspace
+  /// across roots so steady-state levels stage without allocating; when
+  /// null, the engine creates a private one per run.
+  BfsWorkspace* workspace = nullptr;
+
   /// Per-subgraph direction selection (§4.2).  When false, one direction is
   /// chosen per iteration for all subgraphs (vanilla direction optimization,
   /// the Figure 15 baseline).

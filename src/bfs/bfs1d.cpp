@@ -1,9 +1,13 @@
 #include "bfs/bfs1d.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "bfs/gathered_frontier.hpp"
+#include "bfs/messages.hpp"
+#include "bfs/workspace.hpp"
 #include "obs/trace.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
@@ -15,31 +19,77 @@ namespace sunbfs::bfs {
 using graph::Vertex;
 using graph::kNoVertex;
 
+namespace {
+
+/// Lock-free fetch-max (same determinism scheme as bfs15d: all concurrent
+/// candidates for one slot are recorded, the maximum wins, so output is
+/// independent of the thread count).
+void store_max(Vertex& slot, Vertex v) {
+  std::atomic_ref<Vertex> a(slot);
+  Vertex cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
                       Vertex root, const Bfs1dOptions& options) {
   const partition::VertexSpace& space = part.space;
   SUNBFS_CHECK(root >= 0 && uint64_t(root) < space.total);
   const uint64_t local_count = space.count(ctx.rank);
 
+  // Intra-rank resources: pool size from the options (resolve_threads_per_rank
+  // — never a literal); the runner usually shares one warm workspace across
+  // roots so staging capacities stop growing after the first.
+  std::unique_ptr<BfsWorkspace> owned_ws;
+  if (!options.workspace)
+    owned_ws = std::make_unique<BfsWorkspace>(resolve_threads_per_rank(
+        options.threads_per_rank, size_t(ctx.nranks())));
+  BfsWorkspace& ws = options.workspace ? *options.workspace : *owned_ws;
+  ThreadPool& pool = ws.pool();
+  {
+    // Prime the staging pool to its worst-case round so no exchange below
+    // ever grows a buffer (comm.staging_allocs stays flat after the warmup
+    // root; docs/PERF.md).  A push level stages at most one message per
+    // dedup'd global target, and each of the `ranks` senders delivers at
+    // most one message per locally owned vertex.
+    const size_t nt = pool.size();
+    const size_t ranks = size_t(ctx.nranks());
+    const size_t total = size_t(space.total);
+    ws.compact().prime(ranks, nt, total / nt + 65, total,
+                       ranks * size_t(local_count));
+  }
+
   std::vector<Vertex> parent(local_count, kNoVertex);
   BitVector visited(local_count), curr(local_count), next(local_count);
   BitVector dedup(space.total);
+  // Per-target maximum staged candidate of the current push level (sender
+  // lloc, what the compact message carries); cleaned by the staging scan.
+  std::vector<Vertex> push_cand(space.total, kNoVertex);
 
   // Compact 8-byte messages: receiver-local destination + sender-local
   // parent, reconstructed from the alltoallv source offsets.
-  struct VisitMsg {
-    uint32_t dst, src;
-  };
   SUNBFS_CHECK(space.max_count() < (uint64_t(1) << 32));
-  auto visit = [&](uint64_t lloc, Vertex p) {
-    if (visited.test_and_set(lloc)) {
-      parent[lloc] = p;
-      next.set(lloc);
-    }
-  };
 
-  if (space.owner(root) == ctx.rank)
-    visit(space.to_local(ctx.rank, root), root);
+  // Thread-safe visit: gates read `visited`, which only moves in the serial
+  // per-level commit below — stable during a threaded phase, so the claim
+  // set and max-parents are thread-count independent.
+  auto visit = [&](uint64_t lloc, Vertex p) {
+    if (visited.atomic_get(lloc)) return;
+    store_max(parent[lloc], p);
+    next.atomic_set(lloc);
+  };
+  // Serial epilogue folding the level's claims into the visited set.
+  auto commit_claims = [&] { visited |= next; };
+
+  if (space.owner(root) == ctx.rank) {
+    uint64_t lloc = space.to_local(ctx.rank, root);
+    parent[lloc] = root;
+    visited.set(lloc);
+    next.set(lloc);
+  }
 
   // Checkpoint/rollback recovery, as in the 1.5D engine (see bfs15d.cpp):
   // snapshot {visited, frontier, parent} every checkpoint_interval levels;
@@ -119,38 +169,65 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
     ThreadCpuTimer level_cpu;
     if (!bottom_up) {
       // Per-destination dedup, as in the 1.5D engine: one message per
-      // target vertex per rank.
+      // target vertex per rank.  Two-phase emission so the staged parent
+      // per target is the max sender candidate (thread-count independent).
       dedup.reset();
-      std::vector<std::vector<VisitMsg>> to(size_t(ctx.nranks()));
-      curr.for_each_set([&](size_t lloc) {
-        for (Vertex v : part.adj.neighbors(lloc)) {
-          int owner = space.owner(v);
-          if (owner == ctx.rank)
-            visit(space.to_local(owner, v), space.to_global(ctx.rank, lloc));
-          else if (dedup.test_and_set(uint64_t(v)))
-            to[size_t(owner)].push_back(VisitMsg{
-                uint32_t(space.to_local(owner, v)), uint32_t(lloc)});
-        }
+      auto& staging = ws.compact();
+      staging.begin(size_t(ctx.nranks()), pool.size());
+      pool.parallel_for(0, curr.word_count(), [&](size_t lo, size_t hi) {
+        curr.for_each_set_words(lo, hi, [&](size_t lloc) {
+          for (Vertex v : part.adj.neighbors(lloc)) {
+            int owner = space.owner(v);
+            if (owner == ctx.rank) {
+              visit(space.to_local(owner, v),
+                    space.to_global(ctx.rank, lloc));
+            } else {
+              store_max(push_cand[uint64_t(v)], Vertex(lloc));
+              dedup.atomic_set(uint64_t(v));
+            }
+          }
+        });
       });
-      std::vector<size_t> src_off;
-      auto got = ctx.world.alltoallv(to, &src_off);
-      for (int src = 0; src < ctx.nranks(); ++src)
-        for (size_t i = src_off[size_t(src)]; i < src_off[size_t(src) + 1];
-             ++i)
-          visit(got[i].dst, space.to_global(src, got[i].src));
+      {
+        size_t n = dedup.word_count();
+        size_t parts = std::min(n, pool.size());
+        pool.run_chunks(parts, [&](size_t lane) {
+          size_t lo = n * lane / parts;
+          size_t hi = n * (lane + 1) / parts;
+          dedup.for_each_set_words(lo, hi, [&](size_t v) {
+            Vertex gv = Vertex(v);
+            int owner = space.owner(gv);
+            staging.push(lane, size_t(owner),
+                         CompactMsg{uint32_t(space.to_local(owner, gv)),
+                                    uint32_t(push_cand[v])});
+            push_cand[v] = kNoVertex;
+          });
+        });
+      }
+      auto got = staging.exchange(ctx.world, pool);
+      const auto& src_off = staging.src_offsets();
+      pool.parallel_for(0, size_t(ctx.nranks()), [&](size_t lo, size_t hi) {
+        for (size_t src = lo; src < hi; ++src)
+          for (size_t i = src_off[src]; i < src_off[src + 1]; ++i)
+            visit(got[i].dst, space.to_global(int(src), got[i].src));
+      });
     } else {
-      GatheredFrontier frontier = GatheredFrontier::gather(ctx.world, curr);
-      for (uint64_t lloc = 0; lloc < local_count; ++lloc) {
-        if (visited.get(lloc)) continue;
-        for (Vertex u : part.adj.neighbors(lloc)) {
-          int owner = space.owner(u);
-          if (frontier.get(owner, uint64_t(u) - space.begin(owner))) {
-            visit(lloc, u);
-            break;  // early exit
+      GatheredFrontier frontier =
+          GatheredFrontier::gather(ctx.world, curr, ws.frontier());
+      pool.parallel_for(0, local_count, [&](size_t lo, size_t hi) {
+        for (uint64_t lloc = lo; lloc < hi; ++lloc) {
+          if (visited.get(lloc)) continue;
+          for (Vertex u : part.adj.neighbors(lloc)) {
+            int owner = space.owner(u);
+            if (frontier.get(owner, uint64_t(u) - space.begin(owner))) {
+              visit(lloc, u);
+              break;  // early exit
+            }
           }
         }
-      }
+      });
     }
+    commit_claims();
     // As in the 1.5D engine, per-level compute is modeled time too; the
     // collectives above advanced the clock by their own modeled seconds.
     obs::Tracer::advance_modeled(level_cpu.seconds());

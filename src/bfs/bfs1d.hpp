@@ -10,9 +10,18 @@
 /// gather in bottom-up, no delegation of heavy vertices.
 namespace sunbfs::bfs {
 
+class BfsWorkspace;
+
 struct Bfs1dOptions {
   /// Switch to bottom-up when the active fraction exceeds this.
   double pull_ratio = 0.04;
+  /// Worker threads per rank; <= 0 means auto (see resolve_threads_per_rank).
+  /// Ignored when `workspace` is provided.
+  int threads_per_rank = 0;
+  /// Optional externally owned per-rank workspace (worker pool + reusable
+  /// staging buffers), shared across roots by the runner; null means a
+  /// private one per run.
+  BfsWorkspace* workspace = nullptr;
   /// Checkpoint/retry knobs under FaultPolicy::Recover (see bfs15d.hpp).
   sim::RecoveryOptions recovery;
 };

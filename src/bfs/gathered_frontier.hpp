@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/comm.hpp"
+#include "sim/comm_buffer.hpp"
 #include "support/bitvector.hpp"
 
 /// A frontier bitmap gathered from every rank of a communicator (used by
@@ -18,7 +19,21 @@ class GatheredFrontier {
   static GatheredFrontier gather(sim::Comm& comm, const BitVector& local) {
     GatheredFrontier g;
     std::span<const uint64_t> words(local.data(), local.word_count());
-    g.words_ = comm.allgatherv(words, &g.word_off_);
+    g.owned_words_ = comm.allgatherv(words, &g.owned_off_);
+    g.words_ = g.owned_words_.data();
+    g.word_off_ = g.owned_off_.data();
+    return g;
+  }
+
+  /// Collective, allocation-free in steady state: gathers into `buf` (whose
+  /// capacity survives across levels/roots) and returns a view into it.  The
+  /// view is valid until buf's next gather.
+  static GatheredFrontier gather(sim::Comm& comm, const BitVector& local,
+                                 sim::GatherBuffer<uint64_t>& buf) {
+    GatheredFrontier g;
+    std::span<const uint64_t> words(local.data(), local.word_count());
+    g.words_ = buf.gather(comm, words).data();
+    g.word_off_ = buf.offsets().data();
     return g;
   }
 
@@ -29,8 +44,10 @@ class GatheredFrontier {
   }
 
  private:
-  std::vector<uint64_t> words_;
-  std::vector<size_t> word_off_;
+  const uint64_t* words_ = nullptr;
+  const size_t* word_off_ = nullptr;
+  std::vector<uint64_t> owned_words_;  // backing store for the legacy path
+  std::vector<size_t> owned_off_;
 };
 
 }  // namespace sunbfs::bfs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+/// Wire formats of the engines' visit messages (shared by bfs1d, bfs15d and
+/// the reusable staging pools in BfsWorkspace).
+namespace sunbfs::bfs {
+
+/// Full-width visit message: set `dst`'s parent to `parent`.  Used where the
+/// destination must survive re-routing (L2L forwarding) or already is a
+/// global id (delayed parent delivery).
+struct VisitMsg {
+  graph::Vertex dst;     // global L id (L2L forwarding) or global vertex id
+  graph::Vertex parent;  // global vertex id
+};
+
+/// Compact 8-byte visit message for the hot alltoallv paths: destinations
+/// travel as receiver-local indices (or EH ids) and parents as sender-local
+/// indices (or EH ids); the receiver reconstructs global ids from the
+/// alltoallv source offsets.  Halves the per-edge traffic, as record BFS
+/// implementations do.
+struct CompactMsg {
+  uint32_t dst;
+  uint32_t src;
+};
+
+}  // namespace sunbfs::bfs

@@ -3,9 +3,11 @@
 #include <mutex>
 
 #include "bfs/bfs1d.hpp"
+#include "bfs/workspace.hpp"
 #include "partition/part1d.hpp"
 #include "support/log.hpp"
 #include "support/random.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::bfs {
@@ -57,6 +59,8 @@ RunnerResult run_graph500(const sim::Topology& topology,
   partition::BalanceReport balance;
   uint64_t num_eh = 0, num_e = 0;
   double partition_wall = 0;
+  uint64_t threads_per_rank = 0;
+  uint64_t allocs_warmup_total = 0, allocs_steady_total = 0;
 
   sim::SpmdOptions spmd_options;
   spmd_options.policy = config.fault_policy;
@@ -66,11 +70,19 @@ RunnerResult run_graph500(const sim::Topology& topology,
     // Setup (generation, partitioning, root selection) runs fault-free;
     // plans fire only while armed, around the searches below.
     ctx.faults.armed = false;
+    // One warm workspace (worker pool + staging buffer pools) per rank for
+    // the whole run: capacities grow during the first root and stay put, so
+    // steady-state searches stage and exchange without allocating.
+    int tpr_request = config.engine == EngineKind::OneFiveD
+                          ? config.bfs.threads_per_rank
+                          : config.bfs1d.threads_per_rank;
+    BfsWorkspace ws(resolve_threads_per_rank(tpr_request, size_t(nranks)));
+    if (ctx.rank == 0) threads_per_rank = ws.pool().size();
     WallTimer setup_wall;
     uint64_t m = g.num_edges();
     auto slice = graph::generate_rmat_range(
         g, m * uint64_t(ctx.rank) / uint64_t(nranks),
-        m * uint64_t(ctx.rank + 1) / uint64_t(nranks));
+        m * uint64_t(ctx.rank + 1) / uint64_t(nranks), &ws.pool());
     auto degrees = partition::compute_local_degrees(ctx, space, slice);
 
     std::optional<partition::Part15d> part15;
@@ -82,7 +94,9 @@ RunnerResult run_graph500(const sim::Topology& topology,
         num_eh = part15->cls.num_eh();
         num_e = part15->cls.num_e();
       }
-      balance = partition::gather_balance(ctx, *part15);
+      // Collective: every rank participates, only rank 0 keeps the result.
+      auto bal = partition::gather_balance(ctx, *part15);
+      if (ctx.rank == 0) balance = std::move(bal);
     } else {
       part1 = partition::build_1d(ctx, space, slice);
     }
@@ -104,11 +118,15 @@ RunnerResult run_graph500(const sim::Topology& topology,
 
     std::optional<chip::Chip> chip;
     Bfs15dOptions opts = config.bfs;
+    opts.workspace = &ws;
     if (opts.pull_kernel != Bfs15dOptions::EhPullKernel::Host) {
       chip.emplace(config.chip_geometry);
       opts.chip = &*chip;
     }
+    Bfs1dOptions opts1 = config.bfs1d;
+    opts1.workspace = &ws;
 
+    uint64_t warmup_allocs = 0;
     for (int i = 0; i < config.num_roots; ++i) {
       ctx.world.barrier();
       WallTimer run_wall;
@@ -123,7 +141,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
             stats[size_t(i)][size_t(ctx.rank)].total_comm_modeled_s();
         local_parent = std::move(r.parent);
       } else {
-        auto r = bfs1d_run(ctx, *part1, chosen[size_t(i)], config.bfs1d);
+        auto r = bfs1d_run(ctx, *part1, chosen[size_t(i)], opts1);
         cpu_s[size_t(i)][size_t(ctx.rank)] = r.cpu_s;
         comm_s[size_t(i)][size_t(ctx.rank)] = r.comm_modeled_s;
         local_parent = std::move(r.parent);
@@ -143,6 +161,16 @@ RunnerResult run_graph500(const sim::Topology& topology,
       auto global_parent =
           ctx.world.allgatherv(std::span<const Vertex>(local_parent));
       if (ctx.rank == 0) parents[size_t(i)] = std::move(global_parent);
+      if (i == 0) warmup_allocs = ws.staging_allocs();
+    }
+    // Staging-allocation audit (faults stay disarmed): every growth after
+    // the warmup root is a regression of the allocation-free guarantee.
+    uint64_t wu = ctx.world.allreduce_sum(warmup_allocs);
+    uint64_t st =
+        ctx.world.allreduce_sum(ws.staging_allocs() - warmup_allocs);
+    if (ctx.rank == 0) {
+      allocs_warmup_total = wu;
+      allocs_steady_total = st;
     }
   }, spmd_options);
 
@@ -150,6 +178,9 @@ RunnerResult run_graph500(const sim::Topology& topology,
   result.num_eh = num_eh;
   result.num_e = num_e;
   result.partition_wall_s = partition_wall;
+  result.threads_per_rank = threads_per_rank;
+  result.staging_allocs_warmup = allocs_warmup_total;
+  result.staging_allocs_steady = allocs_steady_total;
 
   if (!result.spmd.ok()) {
     // At least one rank's body threw (report / recover policy): per-root
@@ -160,9 +191,10 @@ RunnerResult run_graph500(const sim::Topology& topology,
     return result;
   }
 
-  // Host-side validation against the full edge list.
+  // Host-side validation against the full edge list (host pool: the SPMD
+  // ranks and their workers have wound down by now).
   std::vector<graph::Edge> all_edges;
-  if (config.validate) all_edges = graph::generate_rmat(g);
+  if (config.validate) all_edges = graph::generate_rmat(g, &ThreadPool::global());
 
   result.all_valid = true;
   for (int i = 0; i < config.num_roots; ++i) {
@@ -178,8 +210,8 @@ RunnerResult run_graph500(const sim::Topology& topology,
     if (config.engine == EngineKind::OneFiveD)
       run.stats = sum_stats(stats[size_t(i)]);
     if (config.validate) {
-      auto v = graph::validate_bfs(g.num_vertices(), all_edges,
-                                   run.root, parents[size_t(i)]);
+      auto v = graph::validate_bfs(g.num_vertices(), all_edges, run.root,
+                                   parents[size_t(i)], &ThreadPool::global());
       run.valid = v.ok;
       run.error = v.error;
       run.traversed_edges = v.edges_in_component;
@@ -239,6 +271,11 @@ void RunnerResult::to_report(obs::Report& report) const {
   report.add_counter("graph500.num_eh", num_eh);
   report.add_counter("graph500.num_e", num_e);
   report.gauge("graph500.partition_wall_s", partition_wall_s);
+  report.add_counter("spmd.threads_per_rank", threads_per_rank);
+  // Staging-pool capacity growths: warmup covers the first root; the steady
+  // counter must stay 0 (allocation-free steady-state staging).
+  report.add_counter("comm.staging_allocs_warmup", staging_allocs_warmup);
+  report.add_counter("comm.staging_allocs", staging_allocs_steady);
   double modeled = 0, wall = 0;
   uint64_t edges = 0;
   for (const auto& r : runs) {

@@ -66,6 +66,13 @@ struct RunnerResult {
   uint64_t num_eh = 0, num_e = 0;         ///< classification sizes
   sim::SpmdReport spmd;                   ///< whole-pipeline comm stats
   double partition_wall_s = 0;            ///< generation + partitioning
+  uint64_t threads_per_rank = 0;          ///< resolved intra-rank workers
+  /// Communication-staging buffer growths summed over ranks: during the
+  /// first (warmup) root, and during every root after it.  The steady count
+  /// must be zero — the staging pools are sized by the warmup root and never
+  /// allocate again (docs/PERF.md).
+  uint64_t staging_allocs_warmup = 0;
+  uint64_t staging_allocs_steady = 0;
 
   /// Fold the whole benchmark into a metrics report: headline GTEPS and
   /// validation under "graph500.", summed per-subgraph BFS breakdown under

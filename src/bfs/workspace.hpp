@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "bfs/messages.hpp"
+#include "sim/comm_buffer.hpp"
+#include "support/thread_pool.hpp"
+
+/// Per-rank reusable BFS resources: the intra-rank worker pool and the
+/// communication staging pools.
+///
+/// One BfsWorkspace lives per rank for the whole run (the runner creates it
+/// outside the root loop and threads it through Bfs15dOptions/Bfs1dOptions),
+/// so staging capacities warm up on the first root and every later
+/// level/root stages and exchanges without allocating — staging_allocs()
+/// must stop moving after the warmup root.  See docs/PERF.md.
+namespace sunbfs::bfs {
+
+class BfsWorkspace {
+ public:
+  /// `threads` is the resolved intra-rank worker count (see
+  /// resolve_threads_per_rank); it is taken as-is, never defaulted here.
+  explicit BfsWorkspace(size_t threads) : pool_(threads) {}
+
+  ThreadPool& pool() { return pool_; }
+
+  /// Staging pool for compact 8-byte messages (H2L/L2H/L2L hot paths).
+  sim::A2aStaging<CompactMsg>& compact() { return compact_; }
+  /// Staging pool for full-width visit messages, first hop (column phase of
+  /// L2L forwarding, delayed parent delivery, bfs1d push).
+  sim::A2aStaging<VisitMsg>& visit_down() { return visit_down_; }
+  /// Staging pool for full-width visit messages, second hop (row phase of
+  /// L2L forwarding).  Separate from visit_down so the two hops of one
+  /// sub-iteration never share lanes.
+  sim::A2aStaging<VisitMsg>& visit_along() { return visit_along_; }
+  /// Reused frontier-gather receive buffer for the pull kernels.
+  sim::GatherBuffer<uint64_t>& frontier() { return frontier_; }
+
+  /// Total capacity growths across all pools since construction.
+  uint64_t staging_allocs() const {
+    return compact_.allocs() + visit_down_.allocs() + visit_along_.allocs() +
+           frontier_.allocs();
+  }
+
+ private:
+  ThreadPool pool_;
+  sim::A2aStaging<CompactMsg> compact_;
+  sim::A2aStaging<VisitMsg> visit_down_;
+  sim::A2aStaging<VisitMsg> visit_along_;
+  sim::GatherBuffer<uint64_t> frontier_;
+};
+
+}  // namespace sunbfs::bfs

@@ -1,6 +1,7 @@
 #include "graph/rmat.hpp"
 
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sunbfs::graph {
 
@@ -56,43 +57,54 @@ Vertex VertexScrambler::unscramble(Vertex v) const {
 }
 
 std::vector<Edge> generate_rmat_range(const Graph500Config& config,
-                                      uint64_t begin, uint64_t end) {
+                                      uint64_t begin, uint64_t end,
+                                      ThreadPool* pool) {
   SUNBFS_CHECK(begin <= end && end <= config.num_edges());
   VertexScrambler scrambler(config.scale, config.seed);
-  std::vector<Edge> edges;
-  edges.reserve(end - begin);
+  std::vector<Edge> edges(end - begin);
   const double ab = config.a + config.b;
   const double abc = ab + config.c;
-  for (uint64_t e = begin; e < end; ++e) {
-    // Independent stream per edge index: reproducible and order-free, so any
-    // rank can generate exactly its slice with no communication.
-    Xoshiro256StarStar rng(
-        SplitMix64::mix(config.seed * 0x9E3779B97F4A7C15ull + e));
-    uint64_t u = 0, v = 0;
-    for (int level = 0; level < config.scale; ++level) {
-      double r = rng.next_double();
-      uint64_t ubit = 0, vbit = 0;
-      if (r < config.a) {
-        // quadrant A: (0,0)
-      } else if (r < ab) {
-        vbit = 1;  // B: (0,1)
-      } else if (r < abc) {
-        ubit = 1;  // C: (1,0)
-      } else {
-        ubit = 1;  // D: (1,1)
-        vbit = 1;
+  // Each edge is derived only from (seed, edge index), so any sub-range can
+  // be filled by any worker: the result is identical at every thread count.
+  auto fill = [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t e = lo; e < hi; ++e) {
+      // Independent stream per edge index: reproducible and order-free, so
+      // any rank can generate exactly its slice with no communication.
+      Xoshiro256StarStar rng(
+          SplitMix64::mix(config.seed * 0x9E3779B97F4A7C15ull + e));
+      uint64_t u = 0, v = 0;
+      for (int level = 0; level < config.scale; ++level) {
+        double r = rng.next_double();
+        uint64_t ubit = 0, vbit = 0;
+        if (r < config.a) {
+          // quadrant A: (0,0)
+        } else if (r < ab) {
+          vbit = 1;  // B: (0,1)
+        } else if (r < abc) {
+          ubit = 1;  // C: (1,0)
+        } else {
+          ubit = 1;  // D: (1,1)
+          vbit = 1;
+        }
+        u = (u << 1) | ubit;
+        v = (v << 1) | vbit;
       }
-      u = (u << 1) | ubit;
-      v = (v << 1) | vbit;
+      edges[e - begin] =
+          Edge{scrambler.scramble(Vertex(u)), scrambler.scramble(Vertex(v))};
     }
-    edges.push_back(
-        Edge{scrambler.scramble(Vertex(u)), scrambler.scramble(Vertex(v))});
+  };
+  if (pool && pool->size() > 1) {
+    pool->parallel_for(begin, end,
+                       [&](size_t lo, size_t hi) { fill(lo, hi); });
+  } else {
+    fill(begin, end);
   }
   return edges;
 }
 
-std::vector<Edge> generate_rmat(const Graph500Config& config) {
-  return generate_rmat_range(config, 0, config.num_edges());
+std::vector<Edge> generate_rmat(const Graph500Config& config,
+                                ThreadPool* pool) {
+  return generate_rmat_range(config, 0, config.num_edges(), pool);
 }
 
 }  // namespace sunbfs::graph

@@ -6,6 +6,10 @@
 #include "graph/types.hpp"
 #include "support/random.hpp"
 
+namespace sunbfs {
+class ThreadPool;
+}
+
 /// Graph 500 synthetic graph generator.
 ///
 /// R-MAT / Kronecker generator with the benchmark-specified parameters
@@ -53,11 +57,15 @@ class VertexScrambler {
 /// Generate edges [begin, end) of the global edge list (end exclusive,
 /// indices in [0, config.num_edges())).  Each edge is derived only from
 /// (config.seed, edge index), so disjoint ranges can be generated
-/// concurrently and their concatenation is the canonical edge list.
+/// concurrently and their concatenation is the canonical edge list.  When
+/// `pool` is given the range is filled by its workers (bit-identical output
+/// at any thread count).
 std::vector<Edge> generate_rmat_range(const Graph500Config& config,
-                                      uint64_t begin, uint64_t end);
+                                      uint64_t begin, uint64_t end,
+                                      ThreadPool* pool = nullptr);
 
 /// Convenience: the whole edge list (small scales only).
-std::vector<Edge> generate_rmat(const Graph500Config& config);
+std::vector<Edge> generate_rmat(const Graph500Config& config,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace sunbfs::graph

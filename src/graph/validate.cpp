@@ -1,11 +1,13 @@
 #include "graph/validate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <sstream>
 
 #include "graph/csr.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sunbfs::graph {
 
@@ -58,8 +60,49 @@ std::vector<int64_t> levels_from_parents(uint64_t num_vertices,
 
 ValidationResult validate_bfs(uint64_t num_vertices,
                               std::span<const Edge> edges, Vertex root,
-                              std::span<const Vertex> parent) {
+                              std::span<const Vertex> parent,
+                              ThreadPool* pool) {
   ValidationResult res;
+  const bool threaded = pool && pool->size() > 1;
+  // Smallest index in [0, n) where ok(i) is false, or n when all pass.
+  // Hunting for the *minimum* failing index keeps the reported violation
+  // identical at any thread count.
+  auto first_bad = [&](uint64_t n, auto&& ok) -> uint64_t {
+    std::atomic<uint64_t> bad{n};
+    auto scan = [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        if (i >= bad.load(std::memory_order_relaxed)) return;
+        if (!ok(i)) {
+          uint64_t cur = bad.load(std::memory_order_relaxed);
+          while (i < cur && !bad.compare_exchange_weak(cur, i)) {
+          }
+          return;
+        }
+      }
+    };
+    if (threaded)
+      pool->parallel_for(0, n, [&](size_t lo, size_t hi) { scan(lo, hi); });
+    else
+      scan(0, n);
+    return bad.load();
+  };
+  // Count of indices in [0, n) satisfying pred (per-chunk partial sums).
+  auto par_count = [&](uint64_t n, auto&& pred) -> uint64_t {
+    if (!threaded) {
+      uint64_t c = 0;
+      for (uint64_t i = 0; i < n; ++i)
+        if (pred(i)) ++c;
+      return c;
+    }
+    std::atomic<uint64_t> total{0};
+    pool->parallel_for(0, n, [&](size_t lo, size_t hi) {
+      uint64_t c = 0;
+      for (uint64_t i = lo; i < hi; ++i)
+        if (pred(i)) ++c;
+      total.fetch_add(c, std::memory_order_relaxed);
+    });
+    return total.load();
+  };
   auto fail = [&](const std::string& why) {
     res.ok = false;
     res.error = why;
@@ -91,37 +134,58 @@ ValidationResult validate_bfs(uint64_t num_vertices,
   for (const Edge& e : edges)
     input_pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
   std::sort(input_pairs.begin(), input_pairs.end());
-  for (uint64_t v = 0; v < num_vertices; ++v) {
-    if (parent[v] == kNoVertex || Vertex(v) == root) continue;
+  uint64_t bad_v = first_bad(num_vertices, [&](uint64_t v) {
+    if (parent[v] == kNoVertex || Vertex(v) == root) return true;
     std::pair<Vertex, Vertex> key{std::min(Vertex(v), parent[v]),
                                   std::max(Vertex(v), parent[v])};
+    if (!std::binary_search(input_pairs.begin(), input_pairs.end(), key))
+      return false;
+    return level[v] == level[size_t(parent[v])] + 1;
+  });
+  if (bad_v < num_vertices) {
+    // Re-derive which rule the first offender broke (serial, one vertex).
+    std::pair<Vertex, Vertex> key{std::min(Vertex(bad_v), parent[bad_v]),
+                                  std::max(Vertex(bad_v), parent[bad_v])};
     if (!std::binary_search(input_pairs.begin(), input_pairs.end(), key)) {
       std::ostringstream os;
-      os << "tree edge (" << v << ", " << parent[v] << ") not in graph";
+      os << "tree edge (" << bad_v << ", " << parent[bad_v]
+         << ") not in graph";
       return fail(os.str());
     }
-    if (level[v] != level[size_t(parent[v])] + 1)
-      return fail("tree edge does not connect adjacent levels");
+    return fail("tree edge does not connect adjacent levels");
   }
 
   // Rule 4 + 5: level difference over input edges; component spanning;
   // TEPS numerator.
-  for (const Edge& e : edges) {
+  uint64_t bad_e = first_bad(edges.size(), [&](uint64_t i) {
+    const Edge& e = edges[i];
+    if (e.u < 0 || uint64_t(e.u) >= num_vertices || e.v < 0 ||
+        uint64_t(e.v) >= num_vertices)
+      return false;
+    bool ru = level[size_t(e.u)] >= 0;
+    bool rv = level[size_t(e.v)] >= 0;
+    if (ru != rv) return false;
+    if (ru && rv) {
+      int64_t d = level[size_t(e.u)] - level[size_t(e.v)];
+      if (d < -1 || d > 1) return false;
+    }
+    return true;
+  });
+  if (bad_e < edges.size()) {
+    const Edge& e = edges[bad_e];
     if (e.u < 0 || uint64_t(e.u) >= num_vertices || e.v < 0 ||
         uint64_t(e.v) >= num_vertices)
       return fail("edge endpoint out of range");
-    bool ru = level[size_t(e.u)] >= 0;
-    bool rv = level[size_t(e.v)] >= 0;
-    if (ru != rv)
+    if ((level[size_t(e.u)] >= 0) != (level[size_t(e.v)] >= 0))
       return fail("edge connects reached and unreached vertices");
-    if (ru && rv) {
-      int64_t d = level[size_t(e.u)] - level[size_t(e.v)];
-      if (d < -1 || d > 1) return fail("edge spans more than one level");
-      if (e.u != e.v) res.edges_in_component++;
-    }
+    return fail("edge spans more than one level");
   }
-  for (uint64_t v = 0; v < num_vertices; ++v)
-    if (level[v] >= 0) res.reached++;
+  res.edges_in_component = par_count(edges.size(), [&](uint64_t i) {
+    const Edge& e = edges[i];
+    return level[size_t(e.u)] >= 0 && level[size_t(e.v)] >= 0 && e.u != e.v;
+  });
+  res.reached =
+      par_count(num_vertices, [&](uint64_t v) { return level[v] >= 0; });
 
   res.ok = true;
   return res;

@@ -6,6 +6,10 @@
 
 #include "graph/types.hpp"
 
+namespace sunbfs {
+class ThreadPool;
+}
+
 /// Graph 500 BFS output validation (specification 2.0, kernel 2) and a
 /// serial reference BFS used by the test suite as ground truth.
 namespace sunbfs::graph {
@@ -28,9 +32,13 @@ struct ValidationResult {
 ///      vertex never neighbors an unreached one (the tree spans the whole
 ///      connected component of root);
 ///   5. exactly the component of root is reached (parent[v] == -1 elsewhere).
+/// When `pool` is given the per-vertex and per-edge rule scans run on its
+/// workers; the reported verdict (including which violation is named) is
+/// identical at any thread count.
 ValidationResult validate_bfs(uint64_t num_vertices,
                               std::span<const Edge> edges, Vertex root,
-                              std::span<const Vertex> parent);
+                              std::span<const Vertex> parent,
+                              ThreadPool* pool = nullptr);
 
 /// Serial reference BFS.  Returns the parent array (parent[root] == root,
 /// -1 for unreachable vertices).  Deterministic: smallest-id parent wins.

@@ -188,6 +188,19 @@ class Comm {
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> mine,
                             std::vector<size_t>* offsets = nullptr) {
+    std::vector<T> out;
+    allgatherv_into(mine, out, offsets);
+    return out;
+  }
+
+  /// Allocation-free allgatherv: writes the concatenation into `out`,
+  /// reusing its capacity across calls.  `grow_allocs` (when non-null) is
+  /// incremented iff this call had to grow `out` — the steady-state
+  /// allocation proof behind comm.staging_allocs.
+  template <typename T>
+  void allgatherv_into(std::span<const T> mine, std::vector<T>& out,
+                       std::vector<size_t>* offsets = nullptr,
+                       uint64_t* grow_allocs = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     WallTimer t;
     uint64_t call = begin_collective(CollectiveType::Allgather);
@@ -199,7 +212,8 @@ class Comm {
     // Never trust a sender-published byte count blindly — a count that is not
     // a multiple of the element size would silently truncate and shift every
     // later rank's data.
-    std::vector<uint64_t> eff(static_cast<size_t>(size()));
+    std::vector<uint64_t>& eff = eff_scratch_;
+    eff.assign(static_cast<size_t>(size()), 0);
     size_t total_bytes = 0;
     for (int j = 0; j < size(); ++j) {
       uint64_t nb = shared_->nbytes[j];
@@ -210,7 +224,10 @@ class Comm {
       eff[size_t(j)] = nb;
       total_bytes += nb;
     }
-    std::vector<T> out(total_bytes / sizeof(T));
+    size_t need = total_bytes / sizeof(T);
+    if (grow_allocs && need > out.capacity()) ++*grow_allocs;
+    out.clear();
+    out.resize(need);
     if (offsets) offsets->assign(size_t(size()) + 1, 0);
     size_t pos = 0;
     for (int j = 0; j < size(); ++j) {
@@ -226,7 +243,6 @@ class Comm {
     shared_->barrier.wait();
     record(CollectiveType::Allgather, mine.size_bytes(), inter,
            topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
-    return out;
   }
 
   /// MPI_Reduce_scatter_block: `contrib` has size() * block elements; rank r
@@ -327,69 +343,40 @@ class Comm {
   template <typename T>
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& to,
                            std::vector<size_t>* src_offsets = nullptr) {
-    static_assert(std::is_trivially_copyable_v<T>);
     SUNBFS_CHECK(int(to.size()) == size());
-    WallTimer t;
-    uint64_t call = begin_collective(CollectiveType::Alltoallv);
-    double cpu = deposit_cpu_arrival();
-    int p = size();
-    const PayloadFault* fault = pending_payload(CollectiveType::Alltoallv,
-                                                call);
-    int corrupt_dst = -1;
-    if (fault) {
-      // Corrupt the message to the scheduled peer (or the first non-empty).
-      corrupt_dst = fault->peer >= 0 ? fault->peer % p : -1;
-      if (corrupt_dst >= 0 && to[size_t(corrupt_dst)].empty()) corrupt_dst = -1;
-      if (corrupt_dst < 0)
-        for (int d = 0; d < p && corrupt_dst < 0; ++d)
-          if (!to[size_t(d)].empty()) corrupt_dst = d;
-      if (corrupt_dst < 0) {  // nothing to corrupt this call; stay pending
-        defer_payload(CollectiveType::Alltoallv, fault);
-        fault = nullptr;
-      }
-    }
-    for (int d = 0; d < p; ++d) {
-      const void* ptr = to[size_t(d)].data();
-      uint64_t nb = to[size_t(d)].size() * sizeof(T);
-      if (checksums_on())
-        shared_->a2a_sums[size_t(index_) * p + d] = checksum64(ptr, nb);
-      if (fault && d == corrupt_dst) corrupt(*fault, ptr, nb);
-      shared_->a2a_ptrs[size_t(index_) * p + d] = ptr;
-      shared_->a2a_nbytes[size_t(index_) * p + d] = nb;
-    }
-    shared_->barrier.wait();
-    std::vector<uint64_t> eff(static_cast<size_t>(p));
-    size_t total_bytes = 0;
-    for (int s = 0; s < p; ++s) {
-      size_t slot = size_t(s) * p + index_;
-      uint64_t nb = shared_->a2a_nbytes[slot];
-      if (!verify_source(CollectiveType::Alltoallv, s,
-                         shared_->a2a_ptrs[slot], nb,
-                         checksums_on() ? shared_->a2a_sums[slot] : 0))
-        nb = 0;
-      // A sender-published byte count must always cover whole elements;
-      // trusting it blindly would desync the receiver's message framing.
-      check_source_multiple(CollectiveType::Alltoallv, s, nb, sizeof(T));
-      eff[size_t(s)] = nb;
-      total_bytes += nb;
-    }
-    std::vector<T> out(total_bytes / sizeof(T));
-    if (src_offsets) src_offsets->assign(size_t(p) + 1, 0);
-    size_t pos = 0;
-    for (int s = 0; s < p; ++s) {
-      if (src_offsets) (*src_offsets)[s] = pos / sizeof(T);
-      uint64_t nb = eff[size_t(s)];
-      if (nb > 0)
-        std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
-                    shared_->a2a_ptrs[size_t(s) * p + index_], nb);
-      pos += nb;
-    }
-    if (src_offsets) (*src_offsets)[p] = pos / sizeof(T);
-    auto [sent, intra, inter, max_intra, max_inter] = a2a_bytes();
-    shared_->barrier.wait();
-    record(CollectiveType::Alltoallv, sent, inter,
-           topo().transfer_time(p, max_intra, max_inter), t.seconds(), cpu);
+    std::vector<T> out;
+    alltoallv_core<T>(
+        [&](int d) -> std::pair<const void*, uint64_t> {
+          return {to[size_t(d)].data(), to[size_t(d)].size() * sizeof(T)};
+        },
+        out, src_offsets, nullptr);
     return out;
+  }
+
+  /// Allocation-free personalized all-to-all over a flat, pre-staged send
+  /// buffer: `send` holds the messages for all destinations back-to-back and
+  /// `elem_offsets` (size()+1 entries, in elements) delimits destination d's
+  /// span as [elem_offsets[d], elem_offsets[d+1]).  The received
+  /// concatenation is written into `out`, reusing its capacity across calls;
+  /// `grow_allocs` (when non-null) is incremented iff this call had to grow
+  /// `out` — the steady-state allocation proof behind comm.staging_allocs.
+  /// Fault injection, checksums and byte/imbalance accounting are identical
+  /// to the vector-of-vectors overload (both run the same core).
+  template <typename T>
+  void alltoallv_flat(std::span<const T> send,
+                      std::span<const uint64_t> elem_offsets,
+                      std::vector<T>& out,
+                      std::vector<size_t>* src_offsets = nullptr,
+                      uint64_t* grow_allocs = nullptr) {
+    SUNBFS_CHECK(elem_offsets.size() == size_t(size()) + 1);
+    SUNBFS_CHECK(elem_offsets[size_t(size())] <= send.size());
+    alltoallv_core<T>(
+        [&](int d) -> std::pair<const void*, uint64_t> {
+          uint64_t lo = elem_offsets[size_t(d)];
+          uint64_t hi = elem_offsets[size_t(d) + 1];
+          return {send.data() + lo, (hi - lo) * sizeof(T)};
+        },
+        out, src_offsets, grow_allocs);
   }
 
   /// Broadcast `data` from participant `root` into every rank's buffer.
@@ -424,6 +411,82 @@ class Comm {
   int my_global_rank() const { return shared_->global_ranks[index_]; }
 
   bool checksums_on() const { return faults_ != nullptr && faults_->checksums; }
+
+  /// Shared alltoallv implementation.  `part(d)` yields destination d's
+  /// payload as {pointer, bytes}; the received concatenation lands in `out`
+  /// (capacity reused; growth counted into `grow_allocs` when non-null).
+  /// This single core carries the fault-injection surface (straggler +
+  /// payload corruption + checksum verification) and the byte/imbalance
+  /// accounting for every staging flavour.
+  template <typename T, typename PartFn>
+  void alltoallv_core(PartFn&& part, std::vector<T>& out,
+                      std::vector<size_t>* src_offsets,
+                      uint64_t* grow_allocs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WallTimer t;
+    uint64_t call = begin_collective(CollectiveType::Alltoallv);
+    double cpu = deposit_cpu_arrival();
+    int p = size();
+    const PayloadFault* fault = pending_payload(CollectiveType::Alltoallv,
+                                                call);
+    int corrupt_dst = -1;
+    if (fault) {
+      // Corrupt the message to the scheduled peer (or the first non-empty).
+      corrupt_dst = fault->peer >= 0 ? fault->peer % p : -1;
+      if (corrupt_dst >= 0 && part(corrupt_dst).second == 0) corrupt_dst = -1;
+      if (corrupt_dst < 0)
+        for (int d = 0; d < p && corrupt_dst < 0; ++d)
+          if (part(d).second != 0) corrupt_dst = d;
+      if (corrupt_dst < 0) {  // nothing to corrupt this call; stay pending
+        defer_payload(CollectiveType::Alltoallv, fault);
+        fault = nullptr;
+      }
+    }
+    for (int d = 0; d < p; ++d) {
+      auto [ptr, nb] = part(d);
+      if (checksums_on())
+        shared_->a2a_sums[size_t(index_) * p + d] = checksum64(ptr, nb);
+      if (fault && d == corrupt_dst) corrupt(*fault, ptr, nb);
+      shared_->a2a_ptrs[size_t(index_) * p + d] = ptr;
+      shared_->a2a_nbytes[size_t(index_) * p + d] = nb;
+    }
+    shared_->barrier.wait();
+    std::vector<uint64_t>& eff = eff_scratch_;
+    eff.assign(static_cast<size_t>(p), 0);
+    size_t total_bytes = 0;
+    for (int s = 0; s < p; ++s) {
+      size_t slot = size_t(s) * p + index_;
+      uint64_t nb = shared_->a2a_nbytes[slot];
+      if (!verify_source(CollectiveType::Alltoallv, s,
+                         shared_->a2a_ptrs[slot], nb,
+                         checksums_on() ? shared_->a2a_sums[slot] : 0))
+        nb = 0;
+      // A sender-published byte count must always cover whole elements;
+      // trusting it blindly would desync the receiver's message framing.
+      check_source_multiple(CollectiveType::Alltoallv, s, nb, sizeof(T));
+      eff[size_t(s)] = nb;
+      total_bytes += nb;
+    }
+    size_t need = total_bytes / sizeof(T);
+    if (grow_allocs && need > out.capacity()) ++*grow_allocs;
+    out.clear();
+    out.resize(need);
+    if (src_offsets) src_offsets->assign(size_t(p) + 1, 0);
+    size_t pos = 0;
+    for (int s = 0; s < p; ++s) {
+      if (src_offsets) (*src_offsets)[s] = pos / sizeof(T);
+      uint64_t nb = eff[size_t(s)];
+      if (nb > 0)
+        std::memcpy(reinterpret_cast<unsigned char*>(out.data()) + pos,
+                    shared_->a2a_ptrs[size_t(s) * p + index_], nb);
+      pos += nb;
+    }
+    if (src_offsets) (*src_offsets)[p] = pos / sizeof(T);
+    auto [sent, intra, inter, max_intra, max_inter] = a2a_bytes();
+    shared_->barrier.wait();
+    record(CollectiveType::Alltoallv, sent, inter,
+           topo().transfer_time(p, max_intra, max_inter), t.seconds(), cpu);
+  }
 
   /// Count this armed collective call, fire any scheduled straggler delay,
   /// and return the call index the fault plan is keyed on.
@@ -660,6 +723,9 @@ class Comm {
   /// Scratch holding the corrupted copy of a published payload until the
   /// collective completes.
   std::vector<unsigned char> corrupt_buf_;
+  /// Reused per-source effective-size scratch for alltoallv/allgatherv
+  /// (capacity is retained across calls — no steady-state allocation).
+  std::vector<uint64_t> eff_scratch_;
 };
 
 }  // namespace sunbfs::sim

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+/// Reusable communication staging buffers.
+///
+/// The engines' hot loops stage one personalized message stream per
+/// destination every level.  Rebuilding a vector-of-vectors for that each
+/// call is where the constant factors hide (ButterFly-BFS; Buluç & Madduri),
+/// so these pools keep every buffer's capacity alive across levels and
+/// roots: per-thread per-destination staging lanes feed a
+/// count → exclusive-scan → parallel-fill pass into one flat send buffer,
+/// which Comm::alltoallv_flat publishes without copying.  Each pool counts
+/// every capacity growth it performs; after the warmup root the count must
+/// stop moving — that is the `comm.staging_allocs` metric emitted by the
+/// runner (see docs/PERF.md).
+namespace sunbfs::sim {
+
+/// Flat alltoallv staging pool: stage with push(), then exchange().
+template <typename T>
+class A2aStaging {
+ public:
+  /// Open a staging round with `nparts` destinations and `nthreads` writer
+  /// lanes.  Lane capacities survive from previous rounds.
+  void begin(size_t nparts, size_t nthreads) {
+    SUNBFS_ASSERT(nparts > 0 && nthreads > 0);
+    nparts_ = nparts;
+    nthreads_ = nthreads;
+    size_t lanes = nparts * nthreads;
+    if (lanes > lanes_.size()) {
+      ++allocs_;  // structural growth: first use, or a wider round shape
+      lanes_.resize(lanes);
+    }
+    if (nthreads > lane_allocs_.size()) lane_allocs_.resize(nthreads, 0);
+    for (size_t i = 0; i < lanes; ++i) lanes_[i].clear();
+  }
+
+  /// Pre-size every buffer for the worst-case round: up to `nparts`
+  /// destinations, `nthreads` writer lanes of up to `lane_cap` messages
+  /// each, a flat send payload of up to `send_cap` messages and a received
+  /// concatenation of up to `recv_cap`.  Growth performed here is counted
+  /// like any other, so prime before the measured rounds (the engines do it
+  /// at construction, from partition-derived bounds) and it lands in the
+  /// warmup figure; afterwards allocs() stops moving.
+  void prime(size_t nparts, size_t nthreads, size_t lane_cap, size_t send_cap,
+             size_t recv_cap) {
+    size_t lanes = nparts * nthreads;
+    if (lanes > lanes_.size()) {
+      ++allocs_;
+      lanes_.resize(lanes);
+    }
+    if (nthreads > lane_allocs_.size()) lane_allocs_.resize(nthreads, 0);
+    for (auto& lane : lanes_)
+      if (lane.capacity() < lane_cap) {
+        ++allocs_;
+        lane.reserve(lane_cap);
+      }
+    if (offsets_.capacity() < nparts + 1) {
+      ++allocs_;
+      offsets_.reserve(nparts + 1);
+    }
+    if (send_.capacity() < send_cap) {
+      ++allocs_;
+      send_.reserve(send_cap);
+    }
+    if (recv_.capacity() < recv_cap) {
+      ++allocs_;
+      recv_.reserve(recv_cap);
+    }
+    if (src_offsets_.capacity() < nparts + 1) {
+      ++allocs_;
+      src_offsets_.reserve(nparts + 1);
+    }
+  }
+
+  /// Append one message for destination `dst` from writer lane `thread`.
+  /// Lanes are single-writer: each thread only pushes to its own lane index.
+  void push(size_t thread, size_t dst, const T& msg) {
+    SUNBFS_ASSERT(thread < nthreads_ && dst < nparts_);
+    auto& lane = lanes_[thread * nparts_ + dst];
+    if (lane.size() == lane.capacity()) ++lane_allocs_[thread];
+    lane.push_back(msg);
+  }
+
+  /// Merge the lanes into the flat send buffer (counts → exclusive scan →
+  /// parallel fill over destinations) and run the all-to-all.  Returns the
+  /// received concatenation, delimited per source by src_offsets().
+  std::span<const T> exchange(Comm& comm, ThreadPool& pool) {
+    for (size_t t = 0; t < nthreads_; ++t) {
+      allocs_ += lane_allocs_[t];
+      lane_allocs_[t] = 0;
+    }
+    if (offsets_.capacity() < nparts_ + 1) ++allocs_;
+    offsets_.assign(nparts_ + 1, 0);
+    for (size_t d = 0; d < nparts_; ++d)
+      for (size_t t = 0; t < nthreads_; ++t)
+        offsets_[d + 1] += lanes_[t * nparts_ + d].size();
+    for (size_t d = 0; d < nparts_; ++d) offsets_[d + 1] += offsets_[d];
+    size_t total = offsets_[nparts_];
+    if (total > send_.capacity()) ++allocs_;
+    send_.clear();
+    send_.resize(total);
+    pool.parallel_for(0, nparts_, [&](size_t lo, size_t hi) {
+      for (size_t d = lo; d < hi; ++d) {
+        T* out = send_.data() + offsets_[d];
+        for (size_t t = 0; t < nthreads_; ++t) {
+          const auto& lane = lanes_[t * nparts_ + d];
+          out = std::copy(lane.begin(), lane.end(), out);
+        }
+      }
+    });
+    comm.alltoallv_flat<T>(send_, offsets_, recv_, &src_offsets_, &allocs_);
+    return recv_;
+  }
+
+  /// Per-source delimiters into the last exchange()'s result (nparts+1).
+  const std::vector<size_t>& src_offsets() const { return src_offsets_; }
+
+  /// Total capacity growths this pool ever performed (lanes, send, recv).
+  /// Stops moving once every round shape has been seen — zero new allocs in
+  /// steady state.
+  uint64_t allocs() const { return allocs_; }
+
+ private:
+  size_t nparts_ = 0;
+  size_t nthreads_ = 0;
+  std::vector<std::vector<T>> lanes_;  // [thread * nparts + dst], grow-only
+  std::vector<uint64_t> lane_allocs_;  // per-thread growth counts
+  std::vector<uint64_t> offsets_;      // exclusive scan, nparts+1
+  std::vector<T> send_;                // flat staged payload
+  std::vector<T> recv_;                // reused receive buffer
+  std::vector<size_t> src_offsets_;
+  uint64_t allocs_ = 0;
+};
+
+/// Reused allgatherv receive buffer (frontier gathers in the pull kernels).
+template <typename T>
+class GatherBuffer {
+ public:
+  /// Gather every rank's span; result valid until the next call.
+  std::span<const T> gather(Comm& comm, std::span<const T> mine) {
+    comm.allgatherv_into(mine, data_, &offsets_, &allocs_);
+    return data_;
+  }
+
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  uint64_t allocs() const { return allocs_; }
+
+ private:
+  std::vector<T> data_;
+  std::vector<size_t> offsets_;
+  uint64_t allocs_ = 0;
+};
+
+}  // namespace sunbfs::sim

@@ -53,6 +53,31 @@ class BitVector {
     return was_clear;
   }
 
+  /// Concurrent-phase accessors: lock-free word operations via
+  /// std::atomic_ref so threaded kernels can share one plain BitVector
+  /// without copying into AtomicBitVector.  Do not mix with the plain
+  /// mutators on the same words within a concurrent phase.
+  bool atomic_get(size_t i) const {
+    SUNBFS_ASSERT(i < nbits_);
+    std::atomic_ref<const uint64_t> w(words_[i >> 6]);
+    return (w.load(std::memory_order_relaxed) >> (i & 63)) & 1;
+  }
+
+  void atomic_set(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    std::atomic_ref<uint64_t> w(words_[i >> 6]);
+    w.fetch_or(uint64_t(1) << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Atomically set bit i; returns true if this call changed it from 0 to 1.
+  bool atomic_test_and_set(size_t i) {
+    SUNBFS_ASSERT(i < nbits_);
+    uint64_t mask = uint64_t(1) << (i & 63);
+    std::atomic_ref<uint64_t> w(words_[i >> 6]);
+    uint64_t prev = w.fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
   /// Zero all bits without changing the size.
   void reset() { std::fill(words_.begin(), words_.end(), 0); }
 
@@ -71,7 +96,15 @@ class BitVector {
   /// Call fn(i) for every set bit, in increasing order.
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
+    for_each_set_words(0, words_.size(), fn);
+  }
+
+  /// Call fn(i) for every set bit whose word index lies in [word_lo,
+  /// word_hi), in increasing order.  Lets threaded kernels split a frontier
+  /// scan into disjoint word ranges.
+  template <typename Fn>
+  void for_each_set_words(size_t word_lo, size_t word_hi, Fn&& fn) const {
+    for (size_t w = word_lo; w < word_hi; ++w) {
       uint64_t bits = words_[w];
       while (bits != 0) {
         int b = __builtin_ctzll(bits);

@@ -1,8 +1,26 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "support/check.hpp"
 
 namespace sunbfs {
+
+namespace {
+// Pool currently executing a chunk on this thread; lets nested
+// run_chunks/parallel_for calls on the same pool degrade to inline
+// execution instead of deadlocking on the dispatch protocol.
+thread_local ThreadPool* tls_current_pool = nullptr;
+
+struct CurrentPoolScope {
+  ThreadPool* prev;
+  explicit CurrentPoolScope(ThreadPool* pool) : prev(tls_current_pool) {
+    tls_current_pool = pool;
+  }
+  ~CurrentPoolScope() { tls_current_pool = prev; }
+};
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -21,6 +39,14 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+void ThreadPool::record_error(size_t chunk) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!error_ || chunk < error_chunk_) {
+    error_ = std::current_exception();
+    error_chunk_ = chunk;
+  }
+}
+
 void ThreadPool::worker_loop() {
   uint64_t seen_epoch = 0;
   for (;;) {
@@ -32,18 +58,20 @@ void ThreadPool::worker_loop() {
       seen_epoch = epoch_;
       job = job_;
     }
-    for (;;) {
-      size_t chunk;
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (next_chunk_ >= job_chunks_) break;
-        chunk = next_chunk_++;
-      }
-      try {
-        (*job)(chunk);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (!error_) error_ = std::current_exception();
+    {
+      CurrentPoolScope scope(this);
+      for (;;) {
+        size_t chunk;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (next_chunk_ >= job_chunks_) break;
+          chunk = next_chunk_++;
+        }
+        try {
+          (*job)(chunk);
+        } catch (...) {
+          record_error(chunk);
+        }
       }
     }
     {
@@ -53,11 +81,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_inline(size_t nchunks,
+                            const std::function<void(size_t)>& fn) {
+  // Ascending order: the first throw is necessarily the lowest chunk index,
+  // matching the parallel path's deterministic-first-exception guarantee.
+  for (size_t i = 0; i < nchunks; ++i) fn(i);
+}
+
 void ThreadPool::run_chunks(size_t nchunks,
                             const std::function<void(size_t)>& fn) {
   if (nchunks == 0) return;
-  if (workers_.empty()) {
-    for (size_t i = 0; i < nchunks; ++i) fn(i);
+  if (workers_.empty() || tls_current_pool == this) {
+    run_inline(nchunks, fn);
     return;
   }
   {
@@ -67,22 +102,25 @@ void ThreadPool::run_chunks(size_t nchunks,
     next_chunk_ = 0;
     pending_ = workers_.size();
     error_ = nullptr;
+    error_chunk_ = std::numeric_limits<size_t>::max();
     ++epoch_;
   }
   cv_start_.notify_all();
   // Caller participates.
-  for (;;) {
-    size_t chunk;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (next_chunk_ >= job_chunks_) break;
-      chunk = next_chunk_++;
-    }
-    try {
-      fn(chunk);
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!error_) error_ = std::current_exception();
+  {
+    CurrentPoolScope scope(this);
+    for (;;) {
+      size_t chunk;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (next_chunk_ >= job_chunks_) break;
+        chunk = next_chunk_++;
+      }
+      try {
+        fn(chunk);
+      } catch (...) {
+        record_error(chunk);
+      }
     }
   }
   {
@@ -112,6 +150,16 @@ void ThreadPool::parallel_for(size_t begin, size_t end,
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(0);
   return pool;
+}
+
+size_t resolve_threads_per_rank(int requested, size_t nranks) {
+  if (nranks == 0) nranks = 1;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_t threads = requested > 0 ? size_t(requested)
+                                 : std::max<size_t>(1, hw / nranks);
+  SUNBFS_ASSERT(nranks * threads <= 2 * hw);
+  return threads;
 }
 
 }  // namespace sunbfs

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,6 +16,15 @@
 namespace sunbfs {
 
 /// Fixed-size thread pool executing indexed task batches.
+///
+/// Guarantees (see tests/test_support.cpp, ctest -L tsan):
+///  - Exceptions: when chunks throw, the exception from the *lowest-indexed*
+///    throwing chunk propagates to the caller, regardless of scheduling
+///    order — so a failing parallel loop reports the same error at any
+///    thread count.
+///  - Re-entrancy: calling run_chunks / parallel_for from inside a chunk of
+///    the same pool degrades to inline execution on the calling thread
+///    instead of deadlocking on the dispatch protocol.
 class ThreadPool {
  public:
   /// Create a pool with `threads` workers.  0 means
@@ -30,7 +40,8 @@ class ThreadPool {
 
   /// Run fn(chunk_index) for chunk_index in [0, nchunks), distributing chunks
   /// across workers (caller participates).  Blocks until all chunks finish.
-  /// Exceptions from fn propagate to the caller (first one wins).
+  /// If any chunks throw, the exception from the lowest chunk index is
+  /// rethrown on the caller (deterministic across thread counts).
   void run_chunks(size_t nchunks, const std::function<void(size_t)>& fn);
 
   /// Parallel loop over [begin, end) in contiguous blocks, one block per
@@ -43,6 +54,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void run_inline(size_t nchunks, const std::function<void(size_t)>& fn);
+  void record_error(size_t chunk);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -55,6 +68,14 @@ class ThreadPool {
   uint64_t epoch_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+  size_t error_chunk_ = 0;
 };
+
+/// Resolve the intra-rank worker-thread count for one rank of an nranks-wide
+/// SPMD run.  `requested` <= 0 means auto: hardware_concurrency / nranks,
+/// floored at 1, so rank-threads x workers never oversubscribe the host by
+/// default.  Debug builds assert the explicit-knob total stays within 2x the
+/// hardware (tests may deliberately oversubscribe a little on small hosts).
+size_t resolve_threads_per_rank(int requested, size_t nranks);
 
 }  // namespace sunbfs

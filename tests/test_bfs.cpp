@@ -14,6 +14,7 @@
 #include "graph/rmat.hpp"
 #include "graph/validate.hpp"
 #include "partition/part1d.hpp"
+#include "sim/fault.hpp"
 #include "sim/runtime.hpp"
 
 namespace sunbfs::bfs {
@@ -364,6 +365,134 @@ INSTANTIATE_TEST_SUITE_P(Meshes, Bfs1dCases,
                          ::testing::Values(sim::MeshShape{1, 1},
                                            sim::MeshShape{2, 2},
                                            sim::MeshShape{1, 3}));
+
+// --------------------------------------- thread-count determinism (tpr sweep)
+
+std::vector<Vertex> run_1d(const Graph500Config& cfg, sim::MeshShape mesh,
+                           Vertex root, const Bfs1dOptions& opts) {
+  partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+  std::vector<Vertex> parent;
+  sim::run_spmd(mesh, [&](sim::RankContext& ctx) {
+    auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+    auto part = partition::build_1d(ctx, space, slice);
+    auto res = bfs1d_run(ctx, part, root, opts);
+    auto gathered = ctx.world.allgatherv(std::span<const Vertex>(res.parent));
+    if (ctx.rank == 0) parent = std::move(gathered);
+  });
+  return parent;
+}
+
+/// The determinism contract (docs/PERF.md): the sweep's first run must be a
+/// Graph500-valid tree matching the reference component, and every other
+/// run must reproduce it bit for bit — identical parent arrays, hence
+/// identical depth arrays — independent of threads_per_rank.
+void expect_identical_sweep(const Graph500Config& cfg, Vertex root,
+                            const std::vector<std::vector<Vertex>>& parents) {
+  ASSERT_FALSE(parents.empty());
+  ASSERT_FALSE(parents[0].empty());
+  expect_equivalent_to_reference(cfg, root, parents[0]);
+  auto depth0 =
+      graph::levels_from_parents(cfg.num_vertices(), parents[0], root);
+  for (size_t i = 1; i < parents.size(); ++i) {
+    ASSERT_EQ(parents[i], parents[0])
+        << "parent array differs at sweep index " << i;
+    auto depth =
+        graph::levels_from_parents(cfg.num_vertices(), parents[i], root);
+    ASSERT_EQ(depth, depth0) << "depth array differs at sweep index " << i;
+  }
+}
+
+TEST(ThreadDeterminism, Bfs15dBitIdenticalAcrossThreadCounts) {
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.seed = 17;
+  Vertex root = pick_root(cfg);
+  std::vector<std::vector<Vertex>> parents;
+  for (int tpr : {1, 2, 4}) {
+    Bfs15dOptions o;
+    o.threads_per_rank = tpr;
+    parents.push_back(run_15d(cfg, sim::MeshShape{2, 2},
+                              partition::DegreeThresholds{128, 32}, root, o));
+  }
+  expect_identical_sweep(cfg, root, parents);
+}
+
+TEST(ThreadDeterminism, Bfs15dForwardingSweepAlsoIdentical) {
+  // All-L thresholds with L2L forwarding exercises the two-hop staged path.
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.seed = 23;
+  Vertex root = pick_root(cfg);
+  std::vector<std::vector<Vertex>> parents;
+  for (int tpr : {1, 2, 4}) {
+    Bfs15dOptions o;
+    o.threads_per_rank = tpr;
+    o.l2l_forwarding = true;
+    parents.push_back(
+        run_15d(cfg, sim::MeshShape{3, 2},
+                partition::DegreeThresholds{1u << 30, 1u << 30}, root, o));
+  }
+  expect_identical_sweep(cfg, root, parents);
+}
+
+TEST(ThreadDeterminism, Bfs1dBitIdenticalAcrossThreadCounts) {
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.seed = 13;
+  Vertex root = pick_root(cfg);
+  std::vector<std::vector<Vertex>> parents;
+  for (int tpr : {1, 2, 4}) {
+    Bfs1dOptions o;
+    o.threads_per_rank = tpr;
+    parents.push_back(run_1d(cfg, sim::MeshShape{1, 3}, root, o));
+  }
+  expect_identical_sweep(cfg, root, parents);
+}
+
+TEST(ThreadDeterminism, RecoveredFaultRunIdenticalAcrossThreadCounts) {
+  // Checkpointed recovery replays levels; the replayed run must still be
+  // bit-identical at every thread count (and to the fault-free tree).
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.seed = 5;
+  sim::MeshShape mesh{2, 2};
+  Vertex root = pick_root(cfg);
+  sim::FaultPlan plan;
+  plan.add_rank_failure(1, 2);
+  std::vector<std::vector<Vertex>> parents;
+  for (int tpr : {0 /* clean baseline below uses tpr=1 */, 1, 2, 4}) {
+    partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+    sim::SpmdOptions sopts;
+    if (tpr != 0) {
+      sopts.policy = sim::FaultPolicy::Recover;
+      sopts.faults = &plan;
+    }
+    std::vector<Vertex> parent;
+    auto report = sim::run_spmd(
+        sim::Topology(mesh),
+        [&](sim::RankContext& ctx) {
+          ctx.faults.armed = false;  // setup runs fault-free, as in the runner
+          auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+          auto deg = partition::compute_local_degrees(ctx, space, slice);
+          auto part = partition::build_15d(ctx, space, slice, deg, {128, 32});
+          ctx.faults.armed = true;
+          Bfs15dOptions o;
+          o.threads_per_rank = tpr == 0 ? 1 : tpr;
+          auto res = bfs15d_run(ctx, part, root, o);
+          ctx.faults.armed = false;
+          auto gathered =
+              ctx.world.allgatherv(std::span<const Vertex>(res.parent));
+          if (ctx.rank == 0) parent = std::move(gathered);
+        },
+        sopts);
+    ASSERT_TRUE(report.ok());
+    if (tpr != 0) {
+      EXPECT_GT(report.fault_totals().recovered, 0u);
+    }
+    parents.push_back(std::move(parent));
+  }
+  expect_identical_sweep(cfg, root, parents);
+}
 
 // --------------------------------------------------------- gathered frontier
 

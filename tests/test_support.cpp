@@ -222,6 +222,86 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, LowestChunkExceptionWinsDeterministically) {
+  // Several chunks throw; the caller must always see the error from the
+  // lowest chunk index, independent of which worker hit its chunk first.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::string got;
+    try {
+      pool.run_chunks(64, [&](size_t c) {
+        if (c == 7 || c == 13 || c == 50)
+          throw std::runtime_error("chunk " + std::to_string(c));
+      });
+      FAIL() << "run_chunks did not propagate";
+    } catch (const std::runtime_error& e) {
+      got = e.what();
+    }
+    EXPECT_EQ(got, "chunk 7");
+  }
+}
+
+TEST(ThreadPool, ContendedRoundsCountExactly) {
+  // Back-to-back rounds with all participants hammering shared counters:
+  // the dispatch protocol must neither drop nor double-run a chunk.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<uint64_t> hits{0};
+    pool.run_chunks(17, [&](size_t c) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(c, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(hits.load(), 17u);
+  }
+  EXPECT_EQ(total.load(), 200u * (16u * 17u / 2u));
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInline) {
+  // A chunk that calls back into its own pool must degrade to inline
+  // execution instead of deadlocking on the dispatch protocol.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(300);
+  pool.parallel_for(0, 3, [&](size_t lo, size_t hi) {
+    for (size_t outer = lo; outer < hi; ++outer)
+      pool.parallel_for(outer * 100, (outer + 1) * 100,
+                        [&](size_t ilo, size_t ihi) {
+                          for (size_t i = ilo; i < ihi; ++i)
+                            hits[i].fetch_add(1);
+                        });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Nested exceptions still surface with the lowest-chunk guarantee.
+  EXPECT_THROW(pool.parallel_for(0, 2,
+                                 [&](size_t lo, size_t) {
+                                   pool.run_chunks(4, [&](size_t c) {
+                                     if (lo == 0 && c == 1)
+                                       throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+  // And the pool stays usable.
+  std::atomic<int> n{0};
+  pool.run_chunks(5, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 5);
+}
+
+TEST(ThreadPool, ResolveThreadsPerRank) {
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Auto (<= 0): hardware concurrency split across ranks, floored at one.
+  EXPECT_EQ(resolve_threads_per_rank(0, 1), hw);
+  // Explicit requests pass through.
+  EXPECT_EQ(resolve_threads_per_rank(2, 1), 2u);
+#ifdef NDEBUG
+  // These combinations can exceed the debug-build 2x oversubscription
+  // assert on very small hosts; exercise them only where SUNBFS_ASSERT is
+  // compiled out.
+  EXPECT_EQ(resolve_threads_per_rank(0, 4), std::max<size_t>(1, hw / 4));
+  EXPECT_EQ(resolve_threads_per_rank(-3, 2 * hw + 1), 1u);
+  EXPECT_EQ(resolve_threads_per_rank(1, 4), 1u);
+#endif
+}
+
 TEST(Timer, AccumulatorSumsIntervals) {
   TimeAccumulator acc;
   acc.add(0.5);

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two sunbfs.bench/1 summaries and fail on regressions.
+
+Usage:
+
+    python3 tools/bench_compare.py old.json new.json [--max-regress PCT]
+
+`old.json` / `new.json` are the BENCH_*.json files the bench binaries write
+(e.g. bench_headline_graph500 -> BENCH_headline.json).  Every key of the
+"metrics" object is compared; a metric regresses when it moves in its bad
+direction (lower GTEPS, higher wall/modeled time or peak RSS) by more than
+--max-regress percent (default 10).  Exit status: 0 when no metric
+regresses, 1 on regression, 2 on malformed input.  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "sunbfs.bench/1"
+
+# Metrics where larger is better; everything else is smaller-is-better.
+HIGHER_IS_BETTER = {"gteps"}
+
+
+def load(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ValueError(f"{path}: {e}") from e
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path}: missing or empty 'metrics' object")
+    return doc
+
+
+def regression_pct(key: str, old: float, new: float) -> float:
+    """Signed percent change in the metric's *bad* direction (>0 = worse)."""
+    if old == 0:
+        return 0.0
+    change = (new - old) / abs(old) * 100.0
+    return -change if key in HIGHER_IS_BETTER else change
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    ap.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    ap.add_argument("--max-regress", type=float, default=10.0, metavar="PCT",
+                    help="allowed movement in the bad direction, percent "
+                         "(default: 10)")
+    args = ap.parse_args()
+
+    try:
+        old_doc, new_doc = load(args.old), load(args.new)
+    except ValueError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    if old_doc.get("bench") != new_doc.get("bench"):
+        print(f"bench_compare: comparing different benches "
+              f"({old_doc.get('bench')!r} vs {new_doc.get('bench')!r})",
+              file=sys.stderr)
+        return 2
+
+    old_m, new_m = old_doc["metrics"], new_doc["metrics"]
+    failed = []
+    print(f"{'metric':<18} {'old':>14} {'new':>14} {'worse by':>10}")
+    for key in sorted(old_m):
+        if key not in new_m:
+            print(f"bench_compare: {key!r} missing from {args.new}",
+                  file=sys.stderr)
+            return 2
+        old_v, new_v = float(old_m[key]), float(new_m[key])
+        pct = regression_pct(key, old_v, new_v)
+        verdict = ""
+        if pct > args.max_regress:
+            failed.append(key)
+            verdict = "  REGRESSED"
+        print(f"{key:<18} {old_v:>14.6g} {new_v:>14.6g} {pct:>+9.1f}%{verdict}")
+
+    if failed:
+        print(f"bench_compare: REGRESSION in {', '.join(failed)} "
+              f"(> {args.max_regress:.1f}% worse)", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK (no metric more than "
+          f"{args.max_regress:.1f}% worse)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
