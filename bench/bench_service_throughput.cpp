@@ -1,0 +1,184 @@
+// Graph query service throughput: one resident GraphSession serving seeded
+// synthetic workloads through the batching broker (docs/SERVICE.md).
+//
+// The paper's machine serves one giant traversal at a time; the ROADMAP
+// north star is production traffic, so this bench measures the serving
+// layer the same way a service SLO would: offered load sweeps (open loop,
+// Poisson arrivals) plus a closed-loop mixed BFS/SSSP point, reporting QPS,
+// p50/p95/p99 latency on the modeled clock, batch occupancy and expired
+// counts.  The low-load point runs twice and must reproduce bit-identically
+// — the whole pipeline is deterministic in its seeds, so any drift is a
+// determinism regression and the bench fails.
+//
+// Besides the usual --metrics-out report, writes a compact sunbfs.bench/1
+// summary (BENCH_service.json, or $SUNBFS_BENCH_OUT) that
+// tools/bench_compare.py diffs across checkouts.
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/session.hpp"
+
+using namespace sunbfs;
+
+namespace {
+
+struct LoadPoint {
+  std::string name;
+  service::WorkloadConfig workload;
+  service::ServiceReport report;
+};
+
+bool write_bench_json(const char* path, int scale, int ranks,
+                      const std::vector<LoadPoint>& points) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sunbfs.bench/1\",\n");
+  std::fprintf(f, "  \"bench\": \"service_throughput\",\n");
+  std::fprintf(f, "  \"scale\": %d,\n  \"ranks\": %d,\n", scale, ranks);
+  std::fprintf(f, "  \"metrics\": {\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const char* sep = i + 1 < points.size() ? "," : "";
+    std::fprintf(f, "    \"qps_%s\": %.6f,\n", p.name.c_str(), p.report.qps);
+    std::fprintf(f, "    \"latency_p50_ms_%s\": %.6f,\n", p.name.c_str(),
+                 p.report.latency_p50_s * 1e3);
+    std::fprintf(f, "    \"latency_p95_ms_%s\": %.6f,\n", p.name.c_str(),
+                 p.report.latency_p95_s * 1e3);
+    std::fprintf(f, "    \"latency_p99_ms_%s\": %.6f,\n", p.name.c_str(),
+                 p.report.latency_p99_s * 1e3);
+    std::fprintf(f, "    \"batch_occupancy_%s\": %.6f,\n", p.name.c_str(),
+                 p.report.mean_batch_occupancy);
+    std::fprintf(f, "    \"expired_%s\": %llu%s\n", p.name.c_str(),
+                 (unsigned long long)p.report.expired_total(), sep);
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+void print_point(const LoadPoint& p) {
+  const auto& r = p.report;
+  std::printf(
+      "%-14s %8.1f qps  p50 %8.4f ms  p95 %8.4f ms  p99 %8.4f ms  "
+      "occ %5.2f  expired %llu\n",
+      p.name.c_str(), r.qps, r.latency_p50_s * 1e3, r.latency_p95_s * 1e3,
+      r.latency_p99_s * 1e3, r.mean_batch_occupancy,
+      (unsigned long long)r.expired_total());
+}
+
+bool same_stats(const service::ServiceReport& a,
+                const service::ServiceReport& b) {
+  return a.completed == b.completed && a.expired_total() == b.expired_total() &&
+         a.makespan_s == b.makespan_s && a.qps == b.qps &&
+         a.latency_mean_s == b.latency_mean_s &&
+         a.latency_p50_s == b.latency_p50_s &&
+         a.latency_p95_s == b.latency_p95_s &&
+         a.latency_p99_s == b.latency_p99_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "bench_service_throughput");
+  bench::header("Service throughput (ROADMAP serving layer)",
+                "batched multi-root query service under offered load");
+  bench::paper_line(
+      "the target machine serves 281T-edge traversals; a production serving "
+      "layer must amortize collectives across concurrent queries");
+
+  service::ServiceConfig cfg;
+  cfg.graph.scale = 11 + bench::scale_delta();
+  cfg.graph.seed = 2026;
+  sim::Topology topo(sim::MeshShape{2, 2});
+  service::GraphSession session(topo, cfg);
+
+  service::BrokerConfig broker;  // width 64, 5 ms age, 1024-deep queue
+
+  const uint64_t queries =
+      uint64_t(bench::env_int("SUNBFS_SERVICE_QUERIES", 96));
+  std::vector<LoadPoint> points;
+  {
+    LoadPoint p;
+    p.name = "open_low";
+    p.workload.mode = service::ArrivalMode::Open;
+    p.workload.seed = 7;
+    p.workload.num_queries = queries;
+    p.workload.rate_qps = 500;
+    points.push_back(std::move(p));
+  }
+  {
+    LoadPoint p;
+    p.name = "open_high";
+    p.workload.mode = service::ArrivalMode::Open;
+    p.workload.seed = 7;
+    p.workload.num_queries = queries;
+    p.workload.rate_qps = 20000;
+    points.push_back(std::move(p));
+  }
+  {
+    LoadPoint p;
+    p.name = "closed_mixed";
+    p.workload.mode = service::ArrivalMode::Closed;
+    p.workload.seed = 11;
+    p.workload.num_queries = queries;
+    p.workload.users = 16;
+    p.workload.think_s = 1e-3;
+    p.workload.sssp_fraction = 0.25;
+    points.push_back(std::move(p));
+  }
+
+  std::printf("SCALE %d graph resident on %d ranks; %llu queries per point\n\n",
+              cfg.graph.scale, topo.mesh().ranks(),
+              (unsigned long long)queries);
+
+  for (auto& p : points) {
+    p.report = session.serve(p.workload, broker);
+    if (!p.report.spmd.ok()) {
+      std::printf("point %s failed:\n", p.name.c_str());
+      for (const auto& e : p.report.spmd.errors)
+        std::printf("  %s\n", e.c_str());
+      return bench::finish(1);
+    }
+    print_point(p);
+  }
+
+  // Determinism check: the low-load point must replay bit-identically.
+  service::ServiceReport replay = session.serve(points[0].workload, broker);
+  bool reproducible = same_stats(points[0].report, replay);
+  std::printf("\nreplay of %s: %s\n", points[0].name.c_str(),
+              reproducible ? "bit-identical latency stats"
+                           : "MISMATCH — determinism regression");
+
+  bench::shape_line(
+      "higher offered load raises occupancy (collectives amortize over more "
+      "queries per batch) and queueing pushes tail latency up; every point "
+      "replays bit-identically from its seed");
+
+  for (const auto& p : points) {
+    bench::report().gauge("service." + p.name + ".qps", p.report.qps);
+    bench::report().gauge("service." + p.name + ".latency_p50_s",
+                          p.report.latency_p50_s);
+    bench::report().gauge("service." + p.name + ".latency_p95_s",
+                          p.report.latency_p95_s);
+    bench::report().gauge("service." + p.name + ".latency_p99_s",
+                          p.report.latency_p99_s);
+    bench::report().gauge("service." + p.name + ".batch_occupancy",
+                          p.report.mean_batch_occupancy);
+    bench::report().add_counter("service." + p.name + ".expired",
+                                p.report.expired_total());
+  }
+
+  const char* out = std::getenv("SUNBFS_BENCH_OUT");
+  const char* path = out ? out : "BENCH_service.json";
+  if (write_bench_json(path, cfg.graph.scale, topo.mesh().ranks(), points))
+    std::printf("bench json: wrote %s\n", path);
+  else {
+    std::printf("bench json: FAILED writing %s\n", path);
+    return bench::finish(1);
+  }
+  return bench::finish(reproducible ? 0 : 1);
+}

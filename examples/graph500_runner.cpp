@@ -1,11 +1,6 @@
-// Full Graph 500 benchmark pipeline as a command-line tool.
-//
-//   ./graph500_runner [--scale N] [--rows R] [--cols C] [--roots K]
-//                     [--e-threshold D] [--h-threshold D] [--no-validate]
-//                     [--engine 1d|1.5d] [--baseline-direction]
-//                     [--threads-per-rank T]
-//                     [--faults SEED] [--fault-policy abort|report|recover]
-//                     [--trace-out PATH] [--metrics-out PATH]
+// Full Graph 500 benchmark pipeline as a command-line tool (run with --help
+// for the complete flag table; the usage text is generated from the same
+// table the parser matches against, so every accepted flag is listed).
 //
 // --threads-per-rank sets the intra-rank worker count of every BFS kernel
 // (and the generator/validator); 0 (default) means auto — hardware
@@ -26,66 +21,75 @@
 // default recover policy the engines roll back to level checkpoints and the
 // run still validates.  Fault runs are diagnostics, not benchmark numbers.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "bfs/runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/cli.hpp"
 
 using namespace sunbfs;
 
-namespace {
-uint64_t arg_u64(int argc, char** argv, const char* name, uint64_t def) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0)
-      return std::strtoull(argv[i + 1], nullptr, 10);
-  return def;
-}
-bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return true;
-  return false;
-}
-const char* arg_str(int argc, char** argv, const char* name, const char* def) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  return def;
-}
-}  // namespace
-
 int main(int argc, char** argv) {
+  CliFlags cli("graph500_runner",
+               "Graph 500 benchmark pipeline: generate -> partition -> K "
+               "timed BFS searches -> validate -> GTEPS report.");
+  cli.add("--scale", "N", "log2 of the vertex count (default 14)");
+  cli.add("--seed", "S", "graph generator seed (default 1)");
+  cli.add("--rows", "R", "mesh rows (default 2)");
+  cli.add("--cols", "C", "mesh columns (default 2)");
+  cli.add("--roots", "K", "number of search keys (default 8)");
+  cli.add("--e-threshold", "D", "degree threshold for E vertices (default 2048)");
+  cli.add("--h-threshold", "D", "degree threshold for H vertices (default 128)");
+  cli.add("--no-validate", "", "skip host-side validation");
+  cli.add("--engine", "1d|1.5d", "BFS engine (default 1.5d)");
+  cli.add("--baseline-direction", "",
+          "disable per-sub-iteration direction choice (whole-level only)");
+  cli.add("--threads-per-rank", "T",
+          "intra-rank worker threads; 0 = auto (default)");
+  cli.add("--faults", "SEED",
+          "inject a deterministic fault schedule from SEED");
+  cli.add("--fault-policy", "abort|report|recover",
+          "reaction to detected faults (default recover)");
+  cli.add("--trace-out", "PATH", "write Chrome trace_event JSON");
+  cli.add("--metrics-out", "PATH", "write the sunbfs.metrics/1 report");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n\n%s", error.c_str(), cli.usage().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
   bfs::RunnerConfig cfg;
-  cfg.graph.scale = int(arg_u64(argc, argv, "--scale", 14));
-  cfg.graph.seed = arg_u64(argc, argv, "--seed", 1);
-  cfg.thresholds.e = arg_u64(argc, argv, "--e-threshold", 2048);
-  cfg.thresholds.h = arg_u64(argc, argv, "--h-threshold", 128);
-  cfg.num_roots = int(arg_u64(argc, argv, "--roots", 8));
-  cfg.bfs.threads_per_rank =
-      int(arg_u64(argc, argv, "--threads-per-rank", 0));
+  cfg.graph.scale = int(cli.u64("--scale", 14));
+  cfg.graph.seed = cli.u64("--seed", 1);
+  cfg.thresholds.e = cli.u64("--e-threshold", 2048);
+  cfg.thresholds.h = cli.u64("--h-threshold", 128);
+  cfg.num_roots = int(cli.u64("--roots", 8));
+  cfg.bfs.threads_per_rank = int(cli.u64("--threads-per-rank", 0));
   cfg.bfs1d.threads_per_rank = cfg.bfs.threads_per_rank;
-  cfg.validate = !has_flag(argc, argv, "--no-validate");
-  cfg.bfs.sub_iteration_direction = !has_flag(argc, argv,
-                                              "--baseline-direction");
-  if (std::string(arg_str(argc, argv, "--engine", "1.5d")) == "1d")
-    cfg.engine = bfs::EngineKind::OneD;
-  sim::MeshShape mesh{int(arg_u64(argc, argv, "--rows", 2)),
-                      int(arg_u64(argc, argv, "--cols", 2))};
+  cfg.validate = !cli.has("--no-validate");
+  cfg.bfs.sub_iteration_direction = !cli.has("--baseline-direction");
+  if (cli.str("--engine", "1.5d") == "1d") cfg.engine = bfs::EngineKind::OneD;
+  sim::MeshShape mesh{int(cli.u64("--rows", 2)), int(cli.u64("--cols", 2))};
   sim::Topology topo(mesh);
 
-  const char* trace_out = arg_str(argc, argv, "--trace-out", nullptr);
-  const char* metrics_out = arg_str(argc, argv, "--metrics-out", nullptr);
-  if (trace_out) obs::Tracer::instance().enable();
+  std::string trace_out = cli.str("--trace-out");
+  std::string metrics_out = cli.str("--metrics-out");
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
 
   // Optional deterministic fault injection (the acceptance scenario: one
   // straggler, two payload corruptions, one hard rank failure).
   sim::FaultPlan plan;
-  if (has_flag(argc, argv, "--faults")) {
-    uint64_t fseed = arg_u64(argc, argv, "--faults", 1);
+  if (cli.has("--faults")) {
+    uint64_t fseed = cli.u64("--faults", 1);
     plan = sim::FaultPlan::random(fseed, mesh.ranks(), /*stragglers=*/1,
                                   /*corruptions=*/2, /*failures=*/1);
     cfg.faults = &plan;
-    std::string policy = arg_str(argc, argv, "--fault-policy", "recover");
+    std::string policy = cli.str("--fault-policy", "recover");
     if (policy == "abort")
       cfg.fault_policy = sim::FaultPolicy::Abort;
     else if (policy == "report")
@@ -166,14 +170,14 @@ int main(int argc, char** argv) {
   if (cfg.validate)
     std::printf("validation: %s\n", result.all_valid ? "ALL PASSED" : "FAILED");
 
-  if (trace_out) {
+  if (!trace_out.empty()) {
     if (obs::Tracer::instance().write_chrome_trace_file(trace_out))
       std::printf("trace: wrote %zu events to %s\n",
-                  obs::Tracer::instance().event_count(), trace_out);
+                  obs::Tracer::instance().event_count(), trace_out.c_str());
     else
-      std::printf("trace: FAILED writing %s\n", trace_out);
+      std::printf("trace: FAILED writing %s\n", trace_out.c_str());
   }
-  if (metrics_out) {
+  if (!metrics_out.empty()) {
     obs::Report report;
     report.info("tool", "graph500_runner");
     report.info("scale", int64_t(cfg.graph.scale));
@@ -185,9 +189,9 @@ int main(int argc, char** argv) {
     report.info("faults", cfg.faults ? "on" : "off");
     result.to_report(report);
     if (report.write_file(metrics_out))
-      std::printf("metrics: wrote %s\n", metrics_out);
+      std::printf("metrics: wrote %s\n", metrics_out.c_str());
     else
-      std::printf("metrics: FAILED writing %s\n", metrics_out);
+      std::printf("metrics: FAILED writing %s\n", metrics_out.c_str());
   }
   return cfg.validate && !result.all_valid ? 1 : 0;
 }

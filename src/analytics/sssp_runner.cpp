@@ -1,7 +1,7 @@
 #include "analytics/sssp_runner.hpp"
 
+#include "bfs/runner.hpp"
 #include "partition/part15d.hpp"
-#include "support/random.hpp"
 #include "support/timer.hpp"
 
 namespace sunbfs::analytics {
@@ -37,15 +37,8 @@ SsspRunnerResult run_graph500_sssp(const sim::Topology& topology,
     slice.shrink_to_fit();
 
     // Same deterministic root-selection protocol as the BFS runner.
-    Xoshiro256StarStar rng(config.root_seed ^ g.seed);
-    std::vector<Vertex> chosen;
-    while (int(chosen.size()) < config.num_roots) {
-      Vertex cand = Vertex(rng.next_below(space.total));
-      int has_edge = 0;
-      if (space.owner(cand) == ctx.rank)
-        has_edge = degrees[space.to_local(ctx.rank, cand)] > 0 ? 1 : 0;
-      if (ctx.world.allreduce_sum(has_edge) > 0) chosen.push_back(cand);
-    }
+    std::vector<Vertex> chosen = bfs::pick_search_keys(
+        ctx, space, degrees, config.num_roots, config.root_seed ^ g.seed);
     if (ctx.rank == 0) roots = chosen;
 
     for (int i = 0; i < config.num_roots; ++i) {

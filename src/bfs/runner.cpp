@@ -14,6 +14,24 @@ namespace sunbfs::bfs {
 
 using graph::Vertex;
 
+std::vector<Vertex> pick_search_keys(sim::RankContext& ctx,
+                                     const partition::VertexSpace& space,
+                                     std::span<const uint64_t> degrees,
+                                     int count, uint64_t seed) {
+  // Same RNG everywhere; the owner votes on degree >= 1 and the vote is
+  // allreduced, so the chosen keys are replicated without a broadcast.
+  Xoshiro256StarStar rng(seed);
+  std::vector<Vertex> chosen;
+  while (int(chosen.size()) < count) {
+    Vertex cand = Vertex(rng.next_below(space.total));
+    int has_edge = 0;
+    if (space.owner(cand) == ctx.rank)
+      has_edge = degrees[space.to_local(ctx.rank, cand)] > 0 ? 1 : 0;
+    if (ctx.world.allreduce_sum(has_edge) > 0) chosen.push_back(cand);
+  }
+  return chosen;
+}
+
 BfsStats sum_stats(const std::vector<BfsStats>& per_rank) {
   BfsStats total;
   for (const auto& s : per_rank) {
@@ -104,16 +122,10 @@ RunnerResult run_graph500(const sim::Topology& topology,
     slice.shrink_to_fit();
     if (ctx.rank == 0) partition_wall = setup_wall.seconds();
 
-    // Pick roots: same RNG everywhere; owner votes on degree >= 1.
-    Xoshiro256StarStar rng(config.root_seed ^ g.seed);
-    std::vector<Vertex> chosen;
-    while (int(chosen.size()) < config.num_roots) {
-      Vertex cand = Vertex(rng.next_below(space.total));
-      int has_edge = 0;
-      if (space.owner(cand) == ctx.rank)
-        has_edge = degrees[space.to_local(ctx.rank, cand)] > 0 ? 1 : 0;
-      if (ctx.world.allreduce_sum(has_edge) > 0) chosen.push_back(cand);
-    }
+    // Pick roots (degree-aware voting, shared with the service's load
+    // generator — see pick_search_keys).
+    std::vector<Vertex> chosen = pick_search_keys(
+        ctx, space, degrees, config.num_roots, config.root_seed ^ g.seed);
     if (ctx.rank == 0) roots = chosen;
 
     std::optional<chip::Chip> chip;

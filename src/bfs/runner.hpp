@@ -91,4 +91,16 @@ RunnerResult run_graph500(const sim::Topology& topology,
 /// are what the breakdown figures report).
 BfsStats sum_stats(const std::vector<BfsStats>& per_rank);
 
+/// Degree-aware search-key selection, shared by the Graph 500 runner and the
+/// service load generator (src/service): every rank draws the same candidate
+/// stream from Xoshiro256**(seed), the owner votes on degree >= 1, and the
+/// vote is allreduced, so all ranks agree on the same `count` keys with at
+/// least one edge each.  Collective over ctx.world; `degrees` is this rank's
+/// owned-vertex degree array (local index order).  Deterministic in
+/// (seed, space) — tests/test_bfs.cpp pins the keys for a fixed seed.
+std::vector<graph::Vertex> pick_search_keys(sim::RankContext& ctx,
+                                            const partition::VertexSpace& space,
+                                            std::span<const uint64_t> degrees,
+                                            int count, uint64_t seed);
+
 }  // namespace sunbfs::bfs

@@ -1,0 +1,95 @@
+#include "service/broker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sunbfs::service {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+QueryResult make_expired(const Query& q, double now_s) {
+  QueryExpired err(q.id, q.deadline_s, now_s);
+  QueryResult r;
+  r.id = q.id;
+  r.kind = q.kind;
+  r.status = QueryStatus::Expired;
+  r.root = q.root;
+  r.arrival_s = q.arrival_s;
+  r.done_s = now_s;
+  r.latency_s = now_s - q.arrival_s;
+  r.error = err.what();
+  return r;
+}
+
+bool QueryBroker::submit(const Query& q, QueryResult* rejection) {
+  if (queue_.size() >= config_.queue_capacity) {
+    if (rejection != nullptr) {
+      QueryRejected err(q.id, config_.queue_capacity);
+      rejection->id = q.id;
+      rejection->kind = q.kind;
+      rejection->status = QueryStatus::Rejected;
+      rejection->root = q.root;
+      rejection->arrival_s = q.arrival_s;
+      rejection->done_s = q.arrival_s;
+      rejection->latency_s = 0;
+      rejection->error = err.what();
+    }
+    return false;
+  }
+  queue_.push_back(q);
+  return true;
+}
+
+double QueryBroker::next_close_s() const {
+  if (queue_.empty()) return kInf;
+  double close = queue_.front().arrival_s + config_.batch_age_s;
+  for (const Query& q : queue_) close = std::min(close, q.deadline_s);
+  return close;
+}
+
+bool QueryBroker::batch_ready(double now_s) const {
+  if (queue_.empty()) return false;
+  QueryKind kind = queue_.front().kind;
+  int same_kind = 0;
+  for (const Query& q : queue_) {
+    if (q.deadline_s <= now_s) return true;  // expiry sweep due
+    if (q.kind == kind) ++same_kind;
+  }
+  if (same_kind >= config_.batch_width) return true;
+  return now_s >= queue_.front().arrival_s + config_.batch_age_s;
+}
+
+std::vector<Query> QueryBroker::form_batch(double now_s,
+                                           std::vector<QueryResult>* expired) {
+  // Expiry sweep first: a query whose deadline already passed can never
+  // complete in time, so it leaves as a typed Expired result instead of
+  // occupying a batch slot.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline_s <= now_s) {
+      if (expired != nullptr) expired->push_back(make_expired(*it, now_s));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<Query> batch;
+  if (queue_.empty()) return batch;
+  // One kind per batch (the engines do not mix), oldest first: collect up to
+  // batch_width queries matching the head's kind, preserving FIFO order for
+  // the rest.
+  QueryKind kind = queue_.front().kind;
+  for (auto it = queue_.begin();
+       it != queue_.end() && int(batch.size()) < config_.batch_width;) {
+    if (it->kind == kind) {
+      batch.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+}  // namespace sunbfs::service

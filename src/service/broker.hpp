@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "service/query.hpp"
+
+/// Admission control and deadline-aware batch formation for the graph query
+/// service.
+///
+/// The broker is deliberately communication-free: every rank of a
+/// GraphSession runs an identical replica fed by the same seeded workload
+/// and the same virtual clock, so all its decisions (admit, reject, expire,
+/// close a batch) replicate without a single collective.  That keeps the
+/// SPMD collective-ordering contract trivially satisfied and makes a whole
+/// serving run replayable from its seed (docs/SERVICE.md "Determinism").
+namespace sunbfs::service {
+
+struct BrokerConfig {
+  /// Close a batch when this many same-kind queries are waiting.
+  int batch_width = kMaxBatchWidth;
+  /// ...or when the oldest waiting query has queued this long (virtual
+  /// seconds).
+  double batch_age_s = 0.005;
+  /// Bounded admission queue: submissions beyond this depth are rejected
+  /// with a typed QueryRejected result.
+  size_t queue_capacity = 1024;
+};
+
+/// FIFO admission queue + batch former.  All times are virtual seconds.
+class QueryBroker {
+ public:
+  explicit QueryBroker(const BrokerConfig& config) : config_(config) {}
+
+  const BrokerConfig& config() const { return config_; }
+
+  /// Admit `q`, or reject it when the queue is full: returns false and (when
+  /// `rejection` is non-null) fills it with a Rejected result carrying the
+  /// QueryRejected message.
+  bool submit(const Query& q, QueryResult* rejection = nullptr);
+
+  bool empty() const { return queue_.empty(); }
+  size_t depth() const { return queue_.size(); }
+
+  /// Earliest virtual time at which a batch must close: the head-of-kind
+  /// age timeout or the earliest queued deadline, whichever comes first.
+  /// +infinity when the queue is empty — the session then jumps straight to
+  /// the next arrival.
+  double next_close_s() const;
+
+  /// True when form_batch(now) would close a batch: width reached, age
+  /// timeout passed, or an expiry needs sweeping.
+  bool batch_ready(double now_s) const;
+
+  /// Sweep expired queries (deadline <= now) into `expired` as typed
+  /// QueryExpired results, then pop up to batch_width oldest queries of the
+  /// head-of-queue's kind.  Returns the batch in admission order (possibly
+  /// empty when the sweep drained the queue).
+  std::vector<Query> form_batch(double now_s, std::vector<QueryResult>* expired);
+
+ private:
+  BrokerConfig config_;
+  std::deque<Query> queue_;
+};
+
+/// Build the typed Expired result for `q` at virtual time `now_s` (also used
+/// by the session for queries whose batch finished past their deadline).
+QueryResult make_expired(const Query& q, double now_s);
+
+}  // namespace sunbfs::service

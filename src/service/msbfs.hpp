@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/part1d.hpp"
+#include "sim/comm_buffer.hpp"
+#include "sim/runtime.hpp"
+
+/// Batched multi-source BFS (MS-BFS, Then et al., adapted to the distributed
+/// 1D layout): up to service::kMaxBatchWidth roots traverse simultaneously,
+/// one bit per query in every frontier/visited word, so the whole batch
+/// shares each level's collectives — one alltoallv (top-down) or one
+/// frontier allgather (bottom-up) per level for all W queries, instead of W
+/// sequential sweeps.  This is the amortization the query service's batching
+/// exists to buy (docs/SERVICE.md; tests/test_service.cpp asserts the
+/// collective-count win via CommStats).
+///
+/// Determinism contract: the parent of vertex v for query q is the
+/// *maximum global id* neighbour u with depth_q(u) == depth_q(v) - 1.  The
+/// rule names a unique tree per (graph, root) — independent of traversal
+/// direction, batch width, batch composition and thread count — which is
+/// what makes "batch output bit-identical to W single-root runs" a testable
+/// equality rather than a coincidence of scheduling.  (The bottom-up kernel
+/// therefore scans *all* neighbours of a pending vertex; the early-exit
+/// first-match trick of bfs1d would tie the parent to CSR order.)
+namespace sunbfs::bfs {
+class BfsWorkspace;
+}
+
+namespace sunbfs::service {
+
+/// One batched visit: receiver-local target, sender-local source (the source
+/// rank is recovered from the alltoallv src_offsets), and the query bit-mask
+/// the source's frontier carries for this edge.  One message per cross-rank
+/// frontier edge — per-target dedup is skipped because the max-parent rule
+/// needs every candidate source, and a per-(target, query) dedup table would
+/// cost W x |V| words per level.
+struct MsbfsMsg {
+  uint32_t dst;
+  uint32_t src;
+  uint64_t mask;
+};
+
+struct MsbfsOptions {
+  /// Switch to bottom-up when active (vertex, query) pairs exceed this
+  /// fraction of total x width.
+  double pull_ratio = 0.10;
+  /// Deterministic compute-cost model: modeled seconds per examined edge
+  /// (the virtual clock must not depend on host wall time — see
+  /// docs/SERVICE.md "Determinism").
+  double sim_seconds_per_edge = 2e-9;
+  /// Worker threads per rank; <= 0 means auto.  Ignored when `workspace` is
+  /// provided.
+  int threads_per_rank = 0;
+  /// Optional resident per-rank workspace (pool + frontier gather buffer),
+  /// shared across batches by the session.
+  bfs::BfsWorkspace* workspace = nullptr;
+  /// Optional resident staging pool for the batched visit messages; null
+  /// means a private pool per run (cold — the session keeps a warm one).
+  sim::A2aStaging<MsbfsMsg>* staging = nullptr;
+};
+
+struct MsbfsResult {
+  int width = 0;
+  /// Owned-slice parent arrays, query-major: parent[q * local_count + lloc].
+  /// kNoVertex where query q never reached the vertex.
+  std::vector<graph::Vertex> parent;
+  /// BFS levels (eccentricity from the root within its component) per query.
+  std::vector<int> levels;
+  int num_iterations = 0;    ///< shared level-loop sweeps for the batch
+  uint64_t work_edges = 0;   ///< this rank's examined-edge count
+  double compute_model_s = 0;  ///< work_edges x sim_seconds_per_edge / threads
+};
+
+/// Run one batch of `roots` (1 <= |roots| <= kMaxBatchWidth, duplicates
+/// allowed) over the resident 1D partition.  Collective over ctx.world.
+MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
+                      std::span<const graph::Vertex> roots,
+                      const MsbfsOptions& options = {});
+
+}  // namespace sunbfs::service

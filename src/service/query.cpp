@@ -1,0 +1,47 @@
+#include "service/query.hpp"
+
+namespace sunbfs::service {
+namespace {
+
+std::string expired_message(uint64_t id, double deadline_s, double now_s) {
+  return "QueryExpired: query " + std::to_string(id) + " deadline " +
+         std::to_string(deadline_s) + "s passed at virtual time " +
+         std::to_string(now_s) + "s";
+}
+
+std::string rejected_message(uint64_t id, size_t capacity) {
+  return "QueryRejected: query " + std::to_string(id) +
+         " refused, admission queue at capacity " + std::to_string(capacity);
+}
+
+}  // namespace
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::Bfs: return "bfs";
+    case QueryKind::SsspRoot: return "sssp";
+  }
+  return "?";
+}
+
+const char* query_status_name(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::Done: return "done";
+    case QueryStatus::Expired: return "expired";
+    case QueryStatus::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+QueryExpired::QueryExpired(uint64_t id, double deadline_s, double now_s)
+    : std::runtime_error(expired_message(id, deadline_s, now_s)),
+      id(id),
+      deadline_s(deadline_s),
+      now_s(now_s) {}
+
+QueryRejected::QueryRejected(uint64_t id, size_t capacity)
+    : std::runtime_error(rejected_message(id, capacity)),
+      id(id),
+      capacity(capacity) {}
+
+}  // namespace sunbfs::service

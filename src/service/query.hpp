@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "graph/types.hpp"
+
+/// Query model of the graph query service (docs/SERVICE.md).
+///
+/// A Query is one traversal request against a resident GraphSession: a BFS
+/// (answered by the batched multi-root engine, up to kMaxBatchWidth roots per
+/// batch) or an SSSP-root query (Graph 500 kernel 3 over the same graph).
+/// Every time field is on the service's *virtual* clock — the deterministic
+/// modeled-time clock the broker schedules on — so a seeded workload replays
+/// to bit-identical results and latency statistics.
+///
+/// Failure surface, mirroring the typed-fault style of sim/fault.hpp: a
+/// query that misses its deadline yields a QueryExpired-formatted result
+/// (status Expired) instead of stalling its batch, and a query refused by
+/// admission control yields QueryRejected (status Rejected).  Both carry the
+/// numbers a caller needs to diagnose the miss.
+namespace sunbfs::service {
+
+/// Widest batch the multi-source BFS engine runs: one bit per query in each
+/// frontier/visited word.
+inline constexpr int kMaxBatchWidth = 64;
+
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+enum class QueryKind : int {
+  Bfs = 0,       ///< BFS parent tree from one root (batched, bit-parallel)
+  SsspRoot = 1,  ///< single-source shortest paths from one root
+};
+const char* query_kind_name(QueryKind kind);
+
+enum class QueryStatus : int {
+  Done = 0,  ///< executed, completed before its deadline
+  Expired,   ///< deadline passed while queued, or completion came too late
+  Rejected,  ///< refused by admission control (queue at capacity)
+};
+const char* query_status_name(QueryStatus status);
+
+struct Query {
+  uint64_t id = 0;
+  QueryKind kind = QueryKind::Bfs;
+  graph::Vertex root = 0;
+  double arrival_s = 0;            ///< virtual arrival time
+  double deadline_s = kNoDeadline; ///< absolute virtual deadline
+};
+
+/// Outcome of one query, recorded by the session in decision order.
+struct QueryResult {
+  uint64_t id = 0;
+  QueryKind kind = QueryKind::Bfs;
+  QueryStatus status = QueryStatus::Done;
+  graph::Vertex root = 0;
+  double arrival_s = 0;
+  double start_s = 0;    ///< batch execution start (0 when never executed)
+  double done_s = 0;     ///< completion / expiry / rejection time
+  double latency_s = 0;  ///< done_s - arrival_s (queue wait + service)
+  uint64_t traversed_edges = 0;
+  int levels = 0;  ///< BFS levels (0 for SSSP / unexecuted queries)
+  std::string error;  ///< QueryExpired / QueryRejected message when not Done
+
+  bool ok() const { return status == QueryStatus::Done; }
+};
+
+/// Typed deadline miss (the service analogue of sim::FaultDetected): raised
+/// or recorded when a query's virtual deadline passes before its result is
+/// ready.  The broker never throws this into a running batch — expired
+/// queries are swept out at batch formation, and late completions are marked
+/// after the batch, so one slow query cannot stall its neighbours.
+class QueryExpired : public std::runtime_error {
+ public:
+  QueryExpired(uint64_t id, double deadline_s, double now_s);
+
+  uint64_t id;
+  double deadline_s;
+  double now_s;
+};
+
+/// Typed admission refusal: the bounded queue was at capacity.
+class QueryRejected : public std::runtime_error {
+ public:
+  QueryRejected(uint64_t id, size_t capacity);
+
+  uint64_t id;
+  size_t capacity;
+};
+
+}  // namespace sunbfs::service

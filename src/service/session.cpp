@@ -1,0 +1,251 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "bfs/runner.hpp"
+#include "bfs/workspace.hpp"
+#include "partition/part15d.hpp"
+#include "partition/part1d.hpp"
+#include "support/check.hpp"
+
+namespace sunbfs::service {
+
+using graph::Vertex;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = std::ceil(p / 100.0 * double(samples.size()));
+  size_t idx = rank < 1 ? 0 : size_t(rank) - 1;
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+void ServiceReport::to_report(obs::Report& report) const {
+  report.add_counter("service.submitted", submitted);
+  report.add_counter("service.accepted", accepted);
+  report.add_counter("service.rejected", rejected);
+  report.add_counter("service.completed", completed);
+  report.add_counter("service.expired_in_queue", expired_in_queue);
+  report.add_counter("service.expired_late", expired_late);
+  report.add_counter("service.batches", batches);
+  report.gauge("service.batch_occupancy", mean_batch_occupancy);
+  report.gauge("service.makespan_s", makespan_s);
+  report.gauge("service.qps", qps);
+  report.gauge("service.latency_mean_s", latency_mean_s);
+  report.gauge("service.latency_p50_s", latency_p50_s);
+  report.gauge("service.latency_p95_s", latency_p95_s);
+  report.gauge("service.latency_p99_s", latency_p99_s);
+  spmd.to_report(report);
+}
+
+ServiceReport GraphSession::serve(const WorkloadConfig& workload,
+                                  const BrokerConfig& broker_cfg) const {
+  const int nranks = topology_.mesh().ranks();
+  SUNBFS_CHECK(broker_cfg.batch_width >= 1 &&
+               broker_cfg.batch_width <= kMaxBatchWidth);
+  const graph::Graph500Config& g = config_.graph;
+  partition::VertexSpace space{g.num_vertices(), nranks};
+
+  ServiceReport report;
+  // Rank 0's copies of the (replicated) serving outcome.
+  std::vector<QueryResult> results0;
+  uint64_t submitted = 0, rejected = 0, expired_in_queue = 0;
+  uint64_t expired_late = 0, completed = 0, batches = 0;
+  double occupancy_sum = 0, makespan = 0;
+
+  report.spmd = sim::run_spmd(topology_, [&](sim::RankContext& ctx) {
+    // ---- Setup: once per session, resident for the whole workload. ------
+    bfs::BfsWorkspace ws(resolve_threads_per_rank(config_.threads_per_rank,
+                                                  size_t(nranks)));
+    uint64_t m = g.num_edges();
+    auto slice = graph::generate_rmat_range(
+        g, m * uint64_t(ctx.rank) / uint64_t(nranks),
+        m * uint64_t(ctx.rank + 1) / uint64_t(nranks), &ws.pool());
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+    partition::Part1d part1 = partition::build_1d(ctx, space, slice);
+    std::optional<partition::Part15d> part15;
+    if (workload.sssp_fraction > 0)
+      part15 = partition::build_15d(ctx, space, slice, degrees,
+                                    config_.thresholds);
+    slice.clear();
+    slice.shrink_to_fit();
+    const uint64_t local_count = space.count(ctx.rank);
+
+    std::vector<Vertex> roots = bfs::pick_search_keys(
+        ctx, space, degrees, config_.root_pool, config_.root_seed ^ g.seed);
+
+    // Warm staging for the batched visits: one message per cross-rank
+    // frontier edge, bounded by this rank's arc count.
+    sim::A2aStaging<MsbfsMsg> staging;
+    {
+      const size_t nt = ws.pool().size();
+      const size_t arcs = size_t(part1.adj.num_arcs());
+      staging.prime(size_t(nranks), nt, arcs / nt + 64, arcs + 64, arcs + 64);
+    }
+    MsbfsOptions mopts = config_.msbfs;
+    mopts.threads_per_rank = config_.threads_per_rank;
+    mopts.workspace = &ws;
+    mopts.staging = &staging;
+
+    // ---- Deterministic discrete-event serving loop. ---------------------
+    // Broker and workload are identical replicas on every rank; the virtual
+    // clock advances only by replicated quantities, so no coordination
+    // collectives are needed and the SPMD collective order stays aligned.
+    WorkloadGen gen(workload, roots);
+    QueryBroker broker(broker_cfg);
+    std::vector<QueryResult> results;
+    double now = 0;
+    uint64_t n_sub = 0, n_rej = 0, n_expq = 0, n_explate = 0, n_done = 0;
+    uint64_t n_batches = 0;
+    double occ_sum = 0;
+
+    auto finish = [&](QueryResult r) {
+      gen.on_complete(r, now);
+      results.push_back(std::move(r));
+    };
+
+    for (;;) {
+      if (!broker.batch_ready(now)) {
+        double t = std::min(gen.next_arrival_s(), broker.next_close_s());
+        if (t == kInf) break;  // drained: no arrivals, nothing queued
+        now = std::max(now, t);
+      }
+      for (Query& q : gen.pop_ready(now)) {
+        ++n_sub;
+        QueryResult rej;
+        if (!broker.submit(q, &rej)) {
+          ++n_rej;
+          finish(std::move(rej));
+        }
+      }
+      if (!broker.batch_ready(now)) continue;
+      std::vector<QueryResult> swept;
+      std::vector<Query> batch = broker.form_batch(now, &swept);
+      for (QueryResult& e : swept) {
+        ++n_expq;
+        finish(std::move(e));
+      }
+      if (batch.empty()) continue;
+
+      // ---- Execute the batch against the resident graph. ----------------
+      ++n_batches;
+      occ_sum += double(batch.size());
+      const double start = now;
+      const int width = int(batch.size());
+      std::vector<uint64_t> traversed(size_t(width), 0);
+      std::vector<int> levels(size_t(width), 0);
+      double local_cost = 0;
+      const double comm0 = ctx.stats.total_modeled_s();
+      if (batch.front().kind == QueryKind::Bfs) {
+        std::vector<Vertex> broots(batch.size());
+        for (int i = 0; i < width; ++i) broots[size_t(i)] = batch[size_t(i)].root;
+        MsbfsResult r = msbfs_run(ctx, part1, broots, mopts);
+        local_cost += r.compute_model_s;
+        levels = r.levels;
+        // Degree-sum TEPS numerator per query (as in the Graph 500 runner:
+        // each in-component edge contributes twice).
+        for (int q = 0; q < width; ++q) {
+          uint64_t sum = 0;
+          const Vertex* parent = r.parent.data() + size_t(q) * local_count;
+          for (uint64_t l = 0; l < local_count; ++l)
+            if (parent[l] != graph::kNoVertex) sum += degrees[l];
+          traversed[size_t(q)] = sum;
+        }
+      } else {
+        // SSSP-root queries share the batch's admission/deadline machinery
+        // but execute sequentially (no bit-parallel SSSP engine yet).
+        for (int i = 0; i < width; ++i) {
+          auto dist = analytics::sssp15d(ctx, *part15, batch[size_t(i)].root,
+                                         config_.sssp);
+          uint64_t sum = 0;
+          for (uint64_t l = 0; l < dist.size(); ++l)
+            if (dist[l] != analytics::kInfDist) sum += degrees[l];
+          traversed[size_t(i)] = sum;
+        }
+      }
+      const double comm_delta = ctx.stats.total_modeled_s() - comm0;
+      ctx.world.allreduce_inplace(std::span<uint64_t>(traversed),
+                                  [](uint64_t a, uint64_t b) { return a + b; });
+      for (uint64_t& t : traversed) t /= 2;
+      if (batch.front().kind == QueryKind::SsspRoot)
+        for (uint64_t t : traversed)
+          local_cost += double(t) * config_.sssp_seconds_per_edge /
+                        (double(nranks) * double(ws.pool().size()));
+      // Batch service time on the virtual clock: slowest rank's modeled
+      // network seconds plus its deterministic compute model.  allreduce_max
+      // both replicates the clock and models the synchronous batch.
+      const double service_s = ctx.world.allreduce_max(comm_delta + local_cost);
+      now = start + service_s;
+
+      for (int i = 0; i < width; ++i) {
+        const Query& q = batch[size_t(i)];
+        QueryResult r;
+        r.id = q.id;
+        r.kind = q.kind;
+        r.root = q.root;
+        r.arrival_s = q.arrival_s;
+        r.start_s = start;
+        r.done_s = now;
+        r.latency_s = now - q.arrival_s;
+        r.traversed_edges = traversed[size_t(i)];
+        r.levels = levels[size_t(i)];
+        if (now > q.deadline_s) {
+          r.status = QueryStatus::Expired;
+          r.error = QueryExpired(q.id, q.deadline_s, now).what();
+          ++n_explate;
+        } else {
+          r.status = QueryStatus::Done;
+          ++n_done;
+        }
+        finish(std::move(r));
+      }
+    }
+
+    if (ctx.rank == 0) {
+      results0 = std::move(results);
+      submitted = n_sub;
+      rejected = n_rej;
+      expired_in_queue = n_expq;
+      expired_late = n_explate;
+      completed = n_done;
+      batches = n_batches;
+      occupancy_sum = occ_sum;
+      makespan = now;
+    }
+  });
+
+  report.results = std::move(results0);
+  report.submitted = submitted;
+  report.accepted = submitted - rejected;
+  report.rejected = rejected;
+  report.completed = completed;
+  report.expired_in_queue = expired_in_queue;
+  report.expired_late = expired_late;
+  report.batches = batches;
+  report.mean_batch_occupancy =
+      batches > 0 ? occupancy_sum / double(batches) : 0;
+  report.makespan_s = makespan;
+  report.qps = makespan > 0 ? double(completed) / makespan : 0;
+  std::vector<double> lat;
+  lat.reserve(report.results.size());
+  double lat_sum = 0;
+  for (const QueryResult& r : report.results)
+    if (r.ok()) {
+      lat.push_back(r.latency_s);
+      lat_sum += r.latency_s;
+    }
+  report.latency_mean_s = lat.empty() ? 0 : lat_sum / double(lat.size());
+  report.latency_p50_s = percentile(lat, 50);
+  report.latency_p95_s = percentile(lat, 95);
+  report.latency_p99_s = percentile(lat, 99);
+  return report;
+}
+
+}  // namespace sunbfs::service

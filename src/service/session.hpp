@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/sssp.hpp"
+#include "graph/rmat.hpp"
+#include "obs/metrics.hpp"
+#include "partition/classify.hpp"
+#include "service/broker.hpp"
+#include "service/msbfs.hpp"
+#include "service/workload.hpp"
+#include "sim/runtime.hpp"
+
+/// Long-lived graph query serving (the ROADMAP north star's serving layer):
+/// a GraphSession generates and partitions the graph ONCE, keeps the CSR,
+/// partition and per-rank BfsWorkspace + staging pools resident, and then
+/// serves an entire workload of traversal queries against them — the shift
+/// from one-shot Graph 500 batches (bfs::run_graph500 regenerates per
+/// invocation) to query throughput.
+///
+/// Scheduling is a deterministic discrete-event loop on a *virtual clock*:
+/// every rank runs an identical broker + workload replica (both are pure
+/// functions of their seeds), and the clock only ever advances by replicated
+/// quantities — arrival times from the seeded generator, batch service times
+/// from an allreduce_max of each rank's deterministic cost (modeled network
+/// seconds + the work-counter compute model).  No wall time enters the
+/// clock, so a (config, seeds) triple replays to bit-identical results and
+/// latency statistics, and the broker needs zero coordination collectives
+/// of its own.  See docs/SERVICE.md.
+namespace sunbfs::service {
+
+struct ServiceConfig {
+  graph::Graph500Config graph;
+  /// 1.5D thresholds for the SSSP partition (built only when the workload
+  /// contains SSSP-root queries).
+  partition::DegreeThresholds thresholds{2048, 128};
+  int threads_per_rank = 0;  ///< <= 0 means auto
+  /// Root pool the load generator draws from (degree >= 1 search keys).
+  int root_pool = 64;
+  uint64_t root_seed = 7;
+  MsbfsOptions msbfs;  ///< workspace/staging fields are managed per rank
+  analytics::SsspOptions sssp;
+  /// Deterministic compute model for SSSP-root queries (they relax each
+  /// in-component edge several times; BFS uses msbfs.sim_seconds_per_edge).
+  double sssp_seconds_per_edge = 8e-9;
+};
+
+/// Aggregate outcome of one served workload.
+struct ServiceReport {
+  /// Every terminal result in decision order (identical on all ranks; this
+  /// is rank 0's copy).
+  std::vector<QueryResult> results;
+
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;          ///< Done before deadline
+  uint64_t expired_in_queue = 0;   ///< swept at batch formation
+  uint64_t expired_late = 0;       ///< executed but finished past deadline
+  uint64_t batches = 0;
+  double mean_batch_occupancy = 0;  ///< queries per executed batch
+  double makespan_s = 0;            ///< virtual clock at the last decision
+  double qps = 0;                   ///< completed / makespan
+  double latency_mean_s = 0;        ///< over completed queries
+  double latency_p50_s = 0;
+  double latency_p95_s = 0;
+  double latency_p99_s = 0;
+  sim::SpmdReport spmd;
+
+  uint64_t expired_total() const { return expired_in_queue + expired_late; }
+
+  /// Fold into a metrics report under "service." (plus the comm/fault/spmd
+  /// aggregates via SpmdReport::to_report) — what service_runner's
+  /// --metrics-out serializes.
+  void to_report(obs::Report& report) const;
+};
+
+/// Nearest-rank percentile of an unsorted sample set (p in [0, 100]).
+double percentile(std::vector<double> samples, double p);
+
+/// One resident graph serving whole workloads.  serve() runs one SPMD
+/// session: setup (generate, partition, pick the root pool, warm the
+/// workspace) happens once, then every query of the workload executes
+/// against the resident structures.
+class GraphSession {
+ public:
+  GraphSession(const sim::Topology& topology, const ServiceConfig& config)
+      : topology_(topology), config_(config) {}
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Serve `workload` with batch formation under `broker`.  Deterministic in
+  /// (config, workload.seed): serving the same workload twice yields
+  /// bit-identical reports.
+  ServiceReport serve(const WorkloadConfig& workload,
+                      const BrokerConfig& broker) const;
+
+ private:
+  sim::Topology topology_;  ///< by value: the session outlives its argument
+  ServiceConfig config_;
+};
+
+}  // namespace sunbfs::service

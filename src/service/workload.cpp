@@ -1,0 +1,108 @@
+#include "service/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace sunbfs::service {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exponential inter-arrival draw for a Poisson process at `rate`.
+double exp_draw(Xoshiro256StarStar& rng, double rate) {
+  // 1 - U in (0, 1] keeps the log finite.
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+}  // namespace
+
+WorkloadGen::WorkloadGen(const WorkloadConfig& config,
+                         std::vector<graph::Vertex> roots)
+    : config_(config), roots_(std::move(roots)), rng_(config.seed) {
+  SUNBFS_CHECK(!roots_.empty());
+  SUNBFS_CHECK(config_.num_queries > 0);
+  if (config_.mode == ArrivalMode::Open) {
+    SUNBFS_CHECK(config_.rate_qps > 0);
+    open_next_s_ = exp_draw(rng_, config_.rate_qps);
+  } else {
+    SUNBFS_CHECK(config_.users > 0);
+    user_rng_.reserve(size_t(config_.users));
+    user_next_s_.resize(size_t(config_.users));
+    for (int u = 0; u < config_.users; ++u) {
+      // Independent per-user streams; staggered starts inside one think
+      // window so users do not arrive in lockstep.
+      user_rng_.emplace_back(config_.seed ^ SplitMix64::mix(uint64_t(u) + 1));
+      user_next_s_[size_t(u)] = user_rng_.back().next_double() * config_.think_s;
+    }
+  }
+  user_of_id_.reserve(size_t(config_.num_queries));
+}
+
+Query WorkloadGen::make_query(Xoshiro256StarStar& rng, double arrival_s,
+                              int user) {
+  Query q;
+  q.id = issued_++;
+  q.kind = rng.next_double() < config_.sssp_fraction ? QueryKind::SsspRoot
+                                                     : QueryKind::Bfs;
+  q.root = roots_[rng.next_below(roots_.size())];
+  q.arrival_s = arrival_s;
+  q.deadline_s = config_.deadline_s == kNoDeadline
+                     ? kNoDeadline
+                     : arrival_s + config_.deadline_s;
+  // Deterministic expiry injection: the k-th, 2k-th, ... queries arrive
+  // already past their deadline.
+  if (config_.expire_every > 0 && (q.id + 1) % config_.expire_every == 0)
+    q.deadline_s = arrival_s;
+  user_of_id_.push_back(user);
+  return q;
+}
+
+bool WorkloadGen::exhausted() const { return issued_ >= config_.num_queries; }
+
+double WorkloadGen::next_arrival_s() const {
+  if (exhausted()) return kInf;
+  if (config_.mode == ArrivalMode::Open) return open_next_s_;
+  double earliest = kInf;
+  for (double t : user_next_s_) earliest = std::min(earliest, t);
+  return earliest;
+}
+
+std::vector<Query> WorkloadGen::pop_ready(double now_s) {
+  std::vector<Query> out;
+  if (config_.mode == ArrivalMode::Open) {
+    while (!exhausted() && open_next_s_ <= now_s) {
+      out.push_back(make_query(rng_, open_next_s_, /*user=*/0));
+      open_next_s_ += exp_draw(rng_, config_.rate_qps);
+    }
+    return out;
+  }
+  // Closed loop: at most one pending submission per user.  Scan users in
+  // index order each pass so ties resolve deterministically.
+  for (bool popped = true; popped && !exhausted();) {
+    popped = false;
+    int best = -1;
+    for (int u = 0; u < config_.users; ++u)
+      if (user_next_s_[size_t(u)] <= now_s &&
+          (best < 0 || user_next_s_[size_t(u)] < user_next_s_[size_t(best)]))
+        best = u;
+    if (best >= 0) {
+      out.push_back(
+          make_query(user_rng_[size_t(best)], user_next_s_[size_t(best)], best));
+      user_next_s_[size_t(best)] = kInf;  // in flight until on_complete
+      popped = true;
+    }
+  }
+  return out;
+}
+
+void WorkloadGen::on_complete(const QueryResult& result, double now_s) {
+  if (config_.mode == ArrivalMode::Open) return;
+  SUNBFS_CHECK(result.id < user_of_id_.size());
+  int user = user_of_id_[size_t(result.id)];
+  if (exhausted()) return;
+  user_next_s_[size_t(user)] = now_s + config_.think_s;
+}
+
+}  // namespace sunbfs::service

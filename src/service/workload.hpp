@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/query.hpp"
+#include "support/random.hpp"
+
+/// Seeded synthetic workloads for the graph query service.
+///
+/// Two standard load-generator shapes:
+///  * **Open loop** — queries arrive on a Poisson process at `rate_qps`
+///    regardless of completions (the honest way to measure a service under
+///    offered load: queueing delay is visible, coordinated omission is not
+///    possible).
+///  * **Closed loop** — `users` concurrent users, each submitting one query,
+///    waiting for its completion, thinking `think_s`, then submitting the
+///    next (throughput self-limits to the service's speed).
+///
+/// Everything is drawn from seeded Xoshiro256** streams on the virtual
+/// clock, so a (seed, config) pair names one exact workload: the replay
+/// test serves it twice and requires bit-identical latency statistics
+/// (docs/SERVICE.md "Determinism").
+namespace sunbfs::service {
+
+enum class ArrivalMode : int { Open = 0, Closed = 1 };
+
+struct WorkloadConfig {
+  ArrivalMode mode = ArrivalMode::Open;
+  uint64_t seed = 1;
+  uint64_t num_queries = 256;  ///< total queries across the whole run
+  double rate_qps = 1e4;       ///< open loop: Poisson arrival rate
+  int users = 8;               ///< closed loop: concurrent users
+  double think_s = 1e-4;       ///< closed loop: think time after completion
+  /// Relative deadline applied to every query (absolute deadline =
+  /// arrival + deadline_s); kNoDeadline disables expiry.
+  double deadline_s = kNoDeadline;
+  /// Fraction of queries that are SSSP-root queries (rest are BFS).
+  double sssp_fraction = 0;
+  /// Deterministic expiry injection for tests: every k-th query (1-based)
+  /// gets a zero relative deadline, so it is already expired when the broker
+  /// sweeps.  0 disables.
+  uint64_t expire_every = 0;
+};
+
+/// Generates the query stream against a root pool (degree->=1 search keys
+/// from bfs::pick_search_keys).  Pure and replicated: every rank constructs
+/// one from the same config and pool and steps it identically.
+class WorkloadGen {
+ public:
+  WorkloadGen(const WorkloadConfig& config, std::vector<graph::Vertex> roots);
+
+  /// All queries generated and none still pending submission.
+  bool exhausted() const;
+
+  /// Virtual time of the earliest pending arrival; +infinity when none is
+  /// pending (closed loop: all users are waiting on in-flight queries).
+  double next_arrival_s() const;
+
+  /// Pop every query whose arrival time is <= now, in arrival order.
+  std::vector<Query> pop_ready(double now_s);
+
+  /// Closed loop: the completing query's user thinks, then submits again.
+  /// Open loop: no-op.
+  void on_complete(const QueryResult& result, double now_s);
+
+ private:
+  Query make_query(Xoshiro256StarStar& rng, double arrival_s, int user);
+
+  WorkloadConfig config_;
+  std::vector<graph::Vertex> roots_;
+  uint64_t issued_ = 0;  ///< queries generated so far (ids are sequential)
+  // Open loop: one global arrival stream.
+  Xoshiro256StarStar rng_;
+  double open_next_s_ = 0;
+  // Closed loop: per-user RNG streams and next-submission times (+inf while
+  // the user's query is in flight or the user is done).
+  std::vector<Xoshiro256StarStar> user_rng_;
+  std::vector<double> user_next_s_;
+  std::vector<int> user_of_id_;  ///< indexed by query id
+};
+
+}  // namespace sunbfs::service

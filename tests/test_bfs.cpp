@@ -569,6 +569,45 @@ TEST(Runner, OneDEngineAlsoValidates) {
   EXPECT_TRUE(result.all_valid);
 }
 
+// pick_search_keys is the shared root-selection protocol (BFS runner, SSSP
+// runner, query service): pinned literals guard the exact RNG stream, and
+// the keys must not depend on the mesh the selection runs on.
+TEST(Runner, PickSearchKeysPinnedAndMeshIndependent) {
+  Graph500Config cfg;
+  cfg.scale = 9;
+  cfg.seed = 3;
+  auto keys_on = [&](sim::MeshShape mesh) {
+    partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+    std::vector<Vertex> keys;
+    sim::run_spmd(mesh, [&](sim::RankContext& ctx) {
+      auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+      auto deg = partition::compute_local_degrees(ctx, space, slice);
+      auto k = pick_search_keys(ctx, space, deg, 6, /*seed=*/42);
+      if (ctx.rank == 0) keys = k;
+    });
+    return keys;
+  };
+
+  auto keys = keys_on(sim::MeshShape{2, 2});
+  ASSERT_EQ(keys.size(), 6u);
+  EXPECT_EQ(keys_on(sim::MeshShape{1, 3}), keys);
+
+  // Pinned for (scale 9, graph seed 3, selection seed 42) — a change here
+  // means the selection protocol changed and every recorded experiment's
+  // roots moved with it.
+  std::vector<Vertex> expected = {42, 194, 348, 507, 368, 435};
+  EXPECT_EQ(keys, expected);
+
+  // Every key must carry at least one edge.
+  auto edges = graph::generate_rmat(cfg);
+  std::vector<uint64_t> degree(cfg.num_vertices(), 0);
+  for (const auto& e : edges) {
+    ++degree[size_t(e.u)];
+    ++degree[size_t(e.v)];
+  }
+  for (Vertex k : keys) EXPECT_GE(degree[size_t(k)], 1u) << "key " << k;
+}
+
 TEST(Runner, RootsAreDeterministicAcrossEngines) {
   RunnerConfig a;
   a.graph.scale = 9;

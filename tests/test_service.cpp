@@ -1,0 +1,398 @@
+// Graph query service tests (ctest -L service): the batched multi-root BFS
+// engine must be bit-identical to sequential single-root runs while issuing
+// strictly fewer data collectives, and the broker/session layer must handle
+// deadlines, admission control and replay deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "bfs/runner.hpp"
+#include "bfs/workspace.hpp"
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+#include "partition/part1d.hpp"
+#include "service/broker.hpp"
+#include "service/msbfs.hpp"
+#include "service/session.hpp"
+#include "service/workload.hpp"
+#include "sim/runtime.hpp"
+
+namespace sunbfs::service {
+namespace {
+
+using graph::Graph500Config;
+using graph::Vertex;
+using graph::kNoVertex;
+
+std::vector<graph::Edge> slice_of(const Graph500Config& cfg, int rank,
+                                  int nranks) {
+  uint64_t m = cfg.num_edges();
+  return graph::generate_rmat_range(cfg, m * uint64_t(rank) / uint64_t(nranks),
+                                    m * uint64_t(rank + 1) / uint64_t(nranks));
+}
+
+Query bfs_query(uint64_t id, Vertex root, double arrival_s,
+                double deadline_s = kNoDeadline) {
+  Query q;
+  q.id = id;
+  q.root = root;
+  q.arrival_s = arrival_s;
+  q.deadline_s = deadline_s;
+  return q;
+}
+
+// ------------------------------------------------------- MS-BFS engine
+
+// One SPMD session: run a full-width batch and then the same roots one by
+// one through the same engine, comparing parents bit-for-bit and counting
+// the data collectives (alltoallv + allgather) each strategy issued.
+void run_batch_vs_sequential(int threads) {
+  Graph500Config cfg;
+  cfg.scale = 10;
+  cfg.seed = 3;
+  const sim::MeshShape mesh{2, 2};
+  partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+
+  uint64_t mismatched_words = 0;   // parent slots differing batch vs seq
+  uint64_t mismatched_levels = 0;  // per-query level count differences
+  uint64_t batch_data_colls = 0, seq_data_colls = 0;
+  std::vector<Vertex> roots;
+  // Global parent arrays of a few batch queries for host validation.
+  std::vector<std::pair<Vertex, std::vector<Vertex>>> sampled;
+
+  sim::run_spmd(mesh, [&](sim::RankContext& ctx) {
+    auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+    auto part = partition::build_1d(ctx, space, slice);
+    auto keys = bfs::pick_search_keys(ctx, space, degrees, kMaxBatchWidth, 5);
+    if (ctx.rank == 0) roots = keys;
+    const uint64_t local = space.count(ctx.rank);
+
+    bfs::BfsWorkspace ws{size_t(threads)};
+    MsbfsOptions opts;
+    opts.workspace = &ws;
+
+    auto data_calls = [&] {
+      return ctx.stats.entry(sim::CollectiveType::Alltoallv).calls +
+             ctx.stats.entry(sim::CollectiveType::Allgather).calls;
+    };
+
+    uint64_t c0 = data_calls();
+    MsbfsResult batch = msbfs_run(ctx, part, keys, opts);
+    uint64_t batch_calls = data_calls() - c0;
+
+    c0 = data_calls();
+    std::vector<MsbfsResult> seq(keys.size());
+    for (size_t q = 0; q < keys.size(); ++q)
+      seq[q] = msbfs_run(ctx, part, std::span<const Vertex>(&keys[q], 1),
+                         opts);
+    uint64_t seq_calls = data_calls() - c0;
+
+    uint64_t bad_words = 0, bad_levels = 0;
+    for (size_t q = 0; q < keys.size(); ++q) {
+      if (batch.levels[q] != seq[q].levels[0]) ++bad_levels;
+      for (uint64_t l = 0; l < local; ++l)
+        if (batch.parent[q * local + l] != seq[q].parent[l]) ++bad_words;
+    }
+    bad_words = ctx.world.allreduce_sum(bad_words);
+    bad_levels = ctx.world.allreduce_sum(bad_levels);
+
+    for (size_t q : {size_t(0), keys.size() / 2, keys.size() - 1}) {
+      auto global = ctx.world.allgatherv(std::span<const Vertex>(
+          batch.parent.data() + q * local, local));
+      if (ctx.rank == 0) sampled.emplace_back(keys[q], std::move(global));
+    }
+    if (ctx.rank == 0) {
+      mismatched_words = bad_words;
+      mismatched_levels = bad_levels;
+      batch_data_colls = batch_calls;
+      seq_data_colls = seq_calls;
+    }
+  });
+
+  EXPECT_EQ(mismatched_words, 0u)
+      << "batch parents differ from sequential at " << threads << " threads";
+  EXPECT_EQ(mismatched_levels, 0u);
+  // The whole point of batching: one alltoallv/allgather per level for all
+  // 64 queries instead of one per level per query.
+  EXPECT_LT(batch_data_colls, seq_data_colls)
+      << "batch " << batch_data_colls << " vs sequential " << seq_data_colls;
+  EXPECT_GT(batch_data_colls, 0u);
+
+  auto edges = graph::generate_rmat(cfg);
+  for (const auto& [root, parent] : sampled) {
+    auto v = graph::validate_bfs(cfg.num_vertices(), edges, root, parent);
+    EXPECT_TRUE(v.ok) << "root " << root << ": " << v.error;
+  }
+}
+
+TEST(Msbfs, BatchMatchesSequentialSingleThread) {
+  run_batch_vs_sequential(/*threads=*/1);
+}
+
+TEST(Msbfs, BatchMatchesSequentialFourThreads) {
+  run_batch_vs_sequential(/*threads=*/4);
+}
+
+// The batch result must not depend on batch composition: the same root
+// produces the same parents whether it rides in bit 0 of a full batch or
+// alone (already covered above), and independently of its lane.
+TEST(Msbfs, LaneIndependence) {
+  Graph500Config cfg;
+  cfg.scale = 9;
+  cfg.seed = 7;
+  const sim::MeshShape mesh{2, 2};
+  partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+
+  uint64_t mismatches = ~0ull;
+  sim::run_spmd(mesh, [&](sim::RankContext& ctx) {
+    auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+    auto part = partition::build_1d(ctx, space, slice);
+    auto keys = bfs::pick_search_keys(ctx, space, degrees, 8, 11);
+    const uint64_t local = space.count(ctx.rank);
+
+    MsbfsResult fwd = msbfs_run(ctx, part, keys);
+    std::vector<Vertex> rev(keys.rbegin(), keys.rend());
+    MsbfsResult bwd = msbfs_run(ctx, part, rev);
+
+    uint64_t bad = 0;
+    for (size_t q = 0; q < keys.size(); ++q) {
+      size_t r = keys.size() - 1 - q;
+      for (uint64_t l = 0; l < local; ++l)
+        if (fwd.parent[q * local + l] != bwd.parent[r * local + l]) ++bad;
+    }
+    bad = ctx.world.allreduce_sum(bad);
+    if (ctx.rank == 0) mismatches = bad;
+  });
+  EXPECT_EQ(mismatches, 0u);
+}
+
+// ------------------------------------------------------------- broker
+
+TEST(Broker, ClosesOnWidth) {
+  BrokerConfig cfg;
+  cfg.batch_width = 4;
+  cfg.batch_age_s = 1.0;
+  QueryBroker broker(cfg);
+  for (uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(broker.submit(bfs_query(i, Vertex(i), 0.0)));
+  EXPECT_TRUE(broker.batch_ready(0.0));
+  std::vector<QueryResult> expired;
+  auto batch = broker.form_batch(0.0, &expired);
+  ASSERT_EQ(batch.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);  // FIFO
+  EXPECT_TRUE(expired.empty());
+  EXPECT_TRUE(broker.empty());
+}
+
+TEST(Broker, ClosesOnAgeTimeout) {
+  BrokerConfig cfg;
+  cfg.batch_width = 64;
+  cfg.batch_age_s = 0.005;
+  QueryBroker broker(cfg);
+  ASSERT_TRUE(broker.submit(bfs_query(0, 1, /*arrival=*/0.010)));
+  EXPECT_FALSE(broker.batch_ready(0.012));
+  EXPECT_DOUBLE_EQ(broker.next_close_s(), 0.015);
+  EXPECT_TRUE(broker.batch_ready(0.015));
+  std::vector<QueryResult> expired;
+  auto batch = broker.form_batch(0.015, &expired);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(Broker, RejectsOverCapacityWithTypedError) {
+  BrokerConfig cfg;
+  cfg.queue_capacity = 2;
+  QueryBroker broker(cfg);
+  ASSERT_TRUE(broker.submit(bfs_query(0, 1, 0.0)));
+  ASSERT_TRUE(broker.submit(bfs_query(1, 2, 0.0)));
+  QueryResult rejection;
+  EXPECT_FALSE(broker.submit(bfs_query(2, 3, 0.0), &rejection));
+  EXPECT_EQ(rejection.status, QueryStatus::Rejected);
+  EXPECT_EQ(rejection.id, 2u);
+  EXPECT_NE(rejection.error.find("QueryRejected"), std::string::npos)
+      << rejection.error;
+  EXPECT_NE(rejection.error.find("capacity 2"), std::string::npos)
+      << rejection.error;
+  EXPECT_EQ(broker.depth(), 2u);  // the queue itself is untouched
+}
+
+TEST(Broker, SweepsExpiredWithTypedError) {
+  BrokerConfig cfg;
+  cfg.batch_width = 64;
+  cfg.batch_age_s = 0.005;
+  QueryBroker broker(cfg);
+  ASSERT_TRUE(broker.submit(bfs_query(0, 1, 0.0, /*deadline=*/0.001)));
+  ASSERT_TRUE(broker.submit(bfs_query(1, 2, 0.0)));
+  EXPECT_TRUE(broker.batch_ready(0.002));  // an expiry needs sweeping
+  std::vector<QueryResult> expired;
+  auto batch = broker.form_batch(0.002, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 0u);
+  EXPECT_EQ(expired[0].status, QueryStatus::Expired);
+  EXPECT_NE(expired[0].error.find("QueryExpired"), std::string::npos)
+      << expired[0].error;
+  ASSERT_EQ(batch.size(), 1u);  // the neighbour survives the sweep
+  EXPECT_EQ(batch[0].id, 1u);
+}
+
+TEST(Broker, BatchesAreKindHomogeneous) {
+  BrokerConfig cfg;
+  cfg.batch_width = 64;
+  QueryBroker broker(cfg);
+  Query sssp = bfs_query(1, 2, 0.0);
+  sssp.kind = QueryKind::SsspRoot;
+  ASSERT_TRUE(broker.submit(bfs_query(0, 1, 0.0)));
+  ASSERT_TRUE(broker.submit(sssp));
+  ASSERT_TRUE(broker.submit(bfs_query(2, 3, 0.0)));
+  std::vector<QueryResult> expired;
+  auto batch = broker.form_batch(10.0, &expired);
+  ASSERT_EQ(batch.size(), 2u);  // both BFS queries, not the SSSP one
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(batch[1].id, 2u);
+  ASSERT_EQ(broker.depth(), 1u);
+  auto next = broker.form_batch(10.0, &expired);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].kind, QueryKind::SsspRoot);
+}
+
+// ------------------------------------------------------------ session
+
+ServiceConfig small_service(int scale = 9) {
+  ServiceConfig cfg;
+  cfg.graph.scale = scale;
+  cfg.graph.seed = 3;
+  cfg.threads_per_rank = 2;
+  cfg.root_pool = 16;
+  return cfg;
+}
+
+TEST(Session, DeadlineExpiryDoesNotCorruptNeighbours) {
+  GraphSession session(sim::Topology(sim::MeshShape{2, 2}), small_service());
+  WorkloadConfig wl;
+  wl.seed = 5;
+  wl.num_queries = 16;
+  wl.rate_qps = 2000;
+  wl.expire_every = 4;  // every 4th query arrives already expired
+  ServiceReport report = session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(report.spmd.ok());
+
+  uint64_t expired = 0, done = 0;
+  for (const auto& r : report.results) {
+    if (r.status == QueryStatus::Expired) {
+      ++expired;
+      EXPECT_EQ((r.id + 1) % 4, 0u) << "unexpected expiry of query " << r.id;
+      EXPECT_NE(r.error.find("QueryExpired"), std::string::npos) << r.error;
+      EXPECT_EQ(r.traversed_edges, 0u);
+    } else {
+      ++done;
+      EXPECT_EQ(r.status, QueryStatus::Done);
+      EXPECT_GT(r.traversed_edges, 0u) << "query " << r.id;
+      EXPECT_GT(r.levels, 0);
+      EXPECT_GE(r.latency_s, 0.0);
+    }
+  }
+  EXPECT_EQ(expired, 4u);
+  EXPECT_EQ(done, 12u);
+  EXPECT_EQ(report.expired_total(), 4u);
+  EXPECT_EQ(report.completed, 12u);
+  EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST(Session, AdmissionRejectsOverCapacity) {
+  GraphSession session(sim::Topology(sim::MeshShape{2, 2}), small_service());
+  WorkloadConfig wl;
+  wl.seed = 9;
+  wl.num_queries = 32;
+  wl.rate_qps = 1e9;  // everything arrives at once
+  BrokerConfig broker;
+  broker.queue_capacity = 4;
+  broker.batch_width = 4;
+  ServiceReport report = session.serve(wl, broker);
+  ASSERT_TRUE(report.spmd.ok());
+
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_EQ(report.rejected + report.completed + report.expired_total(),
+            report.submitted);
+  for (const auto& r : report.results) {
+    if (r.status != QueryStatus::Rejected) continue;
+    EXPECT_NE(r.error.find("QueryRejected"), std::string::npos) << r.error;
+    EXPECT_EQ(r.traversed_edges, 0u);
+  }
+}
+
+void expect_identical_reports(const ServiceReport& a, const ServiceReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const auto& x = a.results[i];
+    const auto& y = b.results[i];
+    EXPECT_EQ(x.id, y.id) << "result " << i;
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.status, y.status);
+    EXPECT_EQ(x.root, y.root);
+    EXPECT_EQ(x.arrival_s, y.arrival_s);
+    EXPECT_EQ(x.start_s, y.start_s);
+    EXPECT_EQ(x.done_s, y.done_s);
+    EXPECT_EQ(x.latency_s, y.latency_s);
+    EXPECT_EQ(x.traversed_edges, y.traversed_edges);
+    EXPECT_EQ(x.levels, y.levels);
+  }
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.qps, b.qps);
+  EXPECT_EQ(a.latency_mean_s, b.latency_mean_s);
+  EXPECT_EQ(a.latency_p50_s, b.latency_p50_s);
+  EXPECT_EQ(a.latency_p95_s, b.latency_p95_s);
+  EXPECT_EQ(a.latency_p99_s, b.latency_p99_s);
+}
+
+TEST(Session, DeterministicReplayOpenLoop) {
+  GraphSession session(sim::Topology(sim::MeshShape{2, 2}), small_service());
+  WorkloadConfig wl;
+  wl.seed = 21;
+  wl.num_queries = 24;
+  wl.rate_qps = 5000;
+  ServiceReport first = session.serve(wl, BrokerConfig{});
+  ServiceReport second = session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(first.spmd.ok());
+  ASSERT_TRUE(second.spmd.ok());
+  EXPECT_GT(first.completed, 0u);
+  expect_identical_reports(first, second);
+}
+
+TEST(Session, DeterministicReplayClosedLoopMixed) {
+  GraphSession session(sim::Topology(sim::MeshShape{2, 2}), small_service());
+  WorkloadConfig wl;
+  wl.mode = ArrivalMode::Closed;
+  wl.seed = 33;
+  wl.num_queries = 20;
+  wl.users = 4;
+  wl.think_s = 1e-4;
+  wl.sssp_fraction = 0.3;
+  ServiceReport first = session.serve(wl, BrokerConfig{});
+  ServiceReport second = session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(first.spmd.ok());
+  ASSERT_TRUE(second.spmd.ok());
+  EXPECT_GT(first.completed, 0u);
+  uint64_t sssp = 0;
+  for (const auto& r : first.results)
+    if (r.kind == QueryKind::SsspRoot) ++sssp;
+  EXPECT_GT(sssp, 0u);  // the mix actually exercised the SSSP path
+  expect_identical_reports(first, second);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> s{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 2);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 4);
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0);
+}
+
+}  // namespace
+}  // namespace sunbfs::service

@@ -6,11 +6,15 @@ Usage:
     python3 tools/bench_compare.py old.json new.json [--max-regress PCT]
 
 `old.json` / `new.json` are the BENCH_*.json files the bench binaries write
-(e.g. bench_headline_graph500 -> BENCH_headline.json).  Every key of the
-"metrics" object is compared; a metric regresses when it moves in its bad
-direction (lower GTEPS, higher wall/modeled time or peak RSS) by more than
---max-regress percent (default 10).  Exit status: 0 when no metric
-regresses, 1 on regression, 2 on malformed input.  Stdlib only.
+(e.g. bench_headline_graph500 -> BENCH_headline.json).  The comparison runs
+over the *intersection* of the two "metrics" objects; keys present on only
+one side are reported as warnings, not errors, so a bench that grows or
+drops a metric (a new load point, say) still compares cleanly against older
+baselines.  A metric regresses when it moves in its bad direction (lower
+GTEPS/QPS, higher latency, wall/modeled time or peak RSS) by more than
+--max-regress percent (default 10).  Exit status: 0 when no shared metric
+regresses, 1 on regression, 2 on malformed input or an empty intersection.
+Stdlib only (tools/test_bench_compare.py covers the contract).
 """
 
 import argparse
@@ -20,8 +24,14 @@ from pathlib import Path
 
 SCHEMA = "sunbfs.bench/1"
 
-# Metrics where larger is better; everything else is smaller-is-better.
-HIGHER_IS_BETTER = {"gteps"}
+# Substrings marking larger-is-better metrics (throughputs); everything else
+# is smaller-is-better (times, latencies, memory).
+HIGHER_IS_BETTER_SUBSTRINGS = ("gteps", "qps", "teps")
+
+
+def higher_is_better(key: str) -> bool:
+    k = key.lower()
+    return any(s in k for s in HIGHER_IS_BETTER_SUBSTRINGS)
 
 
 def load(path: Path) -> dict:
@@ -42,7 +52,7 @@ def regression_pct(key: str, old: float, new: float) -> float:
     if old == 0:
         return 0.0
     change = (new - old) / abs(old) * 100.0
-    return -change if key in HIGHER_IS_BETTER else change
+    return -change if higher_is_better(key) else change
 
 
 def main() -> int:
@@ -67,13 +77,20 @@ def main() -> int:
         return 2
 
     old_m, new_m = old_doc["metrics"], new_doc["metrics"]
+    for key in sorted(set(old_m) - set(new_m)):
+        print(f"bench_compare: warning: {key!r} only in baseline "
+              f"{args.old} — skipped", file=sys.stderr)
+    for key in sorted(set(new_m) - set(old_m)):
+        print(f"bench_compare: warning: {key!r} only in candidate "
+              f"{args.new} — skipped", file=sys.stderr)
+    shared = sorted(set(old_m) & set(new_m))
+    if not shared:
+        print("bench_compare: no metrics in common", file=sys.stderr)
+        return 2
+
     failed = []
     print(f"{'metric':<18} {'old':>14} {'new':>14} {'worse by':>10}")
-    for key in sorted(old_m):
-        if key not in new_m:
-            print(f"bench_compare: {key!r} missing from {args.new}",
-                  file=sys.stderr)
-            return 2
+    for key in shared:
         old_v, new_v = float(old_m[key]), float(new_m[key])
         pct = regression_pct(key, old_v, new_v)
         verdict = ""
@@ -86,7 +103,7 @@ def main() -> int:
         print(f"bench_compare: REGRESSION in {', '.join(failed)} "
               f"(> {args.max_regress:.1f}% worse)", file=sys.stderr)
         return 1
-    print(f"bench_compare: OK (no metric more than "
+    print(f"bench_compare: OK (no shared metric more than "
           f"{args.max_regress:.1f}% worse)")
     return 0
 

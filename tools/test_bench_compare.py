@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (stdlib only; CI runs this file
+directly: `python3 tools/test_bench_compare.py`).
+
+The contract under test: comparison runs over the intersection of the two
+metrics objects (asymmetric keys warn, they do not error), "qps"/"gteps"
+metrics are higher-is-better, regressions past --max-regress exit 1, and
+malformed input or an empty intersection exits 2.
+"""
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_compare  # noqa: E402
+
+
+def run_compare(old: dict, new: dict, *extra_args: str):
+    """Run bench_compare.main() on two temp JSON docs; return (code, out, err)."""
+    with tempfile.TemporaryDirectory() as d:
+        old_p, new_p = Path(d) / "old.json", Path(d) / "new.json"
+        old_p.write_text(json.dumps(old))
+        new_p.write_text(json.dumps(new))
+        argv = sys.argv
+        sys.argv = ["bench_compare.py", str(old_p), str(new_p), *extra_args]
+        out, err = io.StringIO(), io.StringIO()
+        try:
+            with redirect_stdout(out), redirect_stderr(err):
+                code = bench_compare.main()
+        finally:
+            sys.argv = argv
+        return code, out.getvalue(), err.getvalue()
+
+
+def doc(metrics: dict, bench: str = "demo", schema: str = "sunbfs.bench/1"):
+    return {"schema": schema, "bench": bench, "metrics": metrics}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_identical_ok(self):
+        code, out, _ = run_compare(doc({"gteps": 1.0}), doc({"gteps": 1.0}))
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_asymmetric_keys_warn_not_error(self):
+        # Baseline lacks a metric the candidate has (and vice versa): the
+        # shared key still compares, the odd ones warn on stderr, exit 0.
+        old = doc({"gteps": 1.0, "old_only_s": 2.0})
+        new = doc({"gteps": 1.0, "qps_new_point": 500.0})
+        code, out, err = run_compare(old, new)
+        self.assertEqual(code, 0)
+        self.assertIn("warning", err)
+        self.assertIn("old_only_s", err)
+        self.assertIn("qps_new_point", err)
+        self.assertIn("gteps", out)
+
+    def test_no_shared_keys_is_error(self):
+        code, _, err = run_compare(doc({"a": 1.0}), doc({"b": 1.0}))
+        self.assertEqual(code, 2)
+        self.assertIn("no metrics in common", err)
+
+    def test_lower_is_better_regression(self):
+        code, out, _ = run_compare(doc({"wall_s": 1.0}), doc({"wall_s": 1.5}))
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+
+    def test_higher_is_better_qps_regression(self):
+        # qps dropping is a regression; qps rising is not.
+        code, _, _ = run_compare(doc({"qps_open_low": 1000.0}),
+                                 doc({"qps_open_low": 500.0}))
+        self.assertEqual(code, 1)
+        code, _, _ = run_compare(doc({"qps_open_low": 1000.0}),
+                                 doc({"qps_open_low": 2000.0}))
+        self.assertEqual(code, 0)
+
+    def test_higher_is_better_gteps_improvement_ok(self):
+        code, _, _ = run_compare(doc({"gteps": 1.0}), doc({"gteps": 2.0}))
+        self.assertEqual(code, 0)
+
+    def test_max_regress_threshold(self):
+        old, new = doc({"wall_s": 1.0}), doc({"wall_s": 1.15})
+        code, _, _ = run_compare(old, new)  # 15% > default 10%
+        self.assertEqual(code, 1)
+        code, _, _ = run_compare(old, new, "--max-regress", "20")
+        self.assertEqual(code, 0)
+
+    def test_schema_mismatch_is_error(self):
+        code, _, err = run_compare(doc({"gteps": 1.0}, schema="bogus/9"),
+                                   doc({"gteps": 1.0}))
+        self.assertEqual(code, 2)
+        self.assertIn("schema", err)
+
+    def test_bench_mismatch_is_error(self):
+        code, _, err = run_compare(doc({"gteps": 1.0}, bench="a"),
+                                   doc({"gteps": 1.0}, bench="b"))
+        self.assertEqual(code, 2)
+        self.assertIn("different benches", err)
+
+    def test_higher_is_better_classifier(self):
+        self.assertTrue(bench_compare.higher_is_better("qps_open_low"))
+        self.assertTrue(bench_compare.higher_is_better("harmonic_GTEPS"))
+        self.assertFalse(bench_compare.higher_is_better("latency_p99_ms"))
+        self.assertFalse(bench_compare.higher_is_better("peak_rss_bytes"))
+
+
+if __name__ == "__main__":
+    unittest.main()
