@@ -73,6 +73,34 @@ int main(int argc, char** argv) {
     rep.gauge(row + "allreduce_pct",
               100 * comm_by_type[int(sim::CollectiveType::Allreduce)] / total);
     rep.gauge(row + "imbalance_s", imbalance);
+
+    // Encoding on/off axis: the same pipeline with raw wire structs, compared
+    // on the deterministic search-phase byte counts (the breakdown above ran
+    // with the adaptive encoding on — the default).
+    bfs::RunnerConfig raw_cfg = cfg;
+    raw_cfg.bfs.encoding.enabled = false;
+    raw_cfg.bfs1d.encoding.enabled = false;
+    auto raw = bfs::run_graph500(topo, raw_cfg);
+    const double a2a_red =
+        raw.search_alltoallv_bytes
+            ? 100.0 * (1.0 - double(result.search_alltoallv_bytes) /
+                                 double(raw.search_alltoallv_bytes))
+            : 0.0;
+    std::printf("%6s | encoding: alltoallv %llu -> %llu bytes "
+                "(%.1f%% reduction), allgather %llu -> %llu\n",
+                "", (unsigned long long)raw.search_alltoallv_bytes,
+                (unsigned long long)result.search_alltoallv_bytes, a2a_red,
+                (unsigned long long)raw.search_allgather_bytes,
+                (unsigned long long)result.search_allgather_bytes);
+    rep.add_counter(row + "encoding.alltoallv_bytes",
+                    result.search_alltoallv_bytes);
+    rep.add_counter(row + "encoding.alltoallv_bytes_raw",
+                    raw.search_alltoallv_bytes);
+    rep.add_counter(row + "encoding.allgather_bytes",
+                    result.search_allgather_bytes);
+    rep.add_counter(row + "encoding.allgather_bytes_raw",
+                    raw.search_allgather_bytes);
+    rep.gauge(row + "encoding.alltoallv_reduction_pct", a2a_red);
   }
   std::printf("\nnote: EH frontier unions run as allreduce on this "
               "implementation; the paper's reduce-scatter+allgather pair is "

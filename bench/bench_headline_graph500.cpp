@@ -85,6 +85,40 @@ bool write_bench_json(const char* path, int scale, int ranks,
   return true;
 }
 
+// Encoding-ablation summary (BENCH_encoding.json): the deterministic
+// search-phase wire bytes with the adaptive encoding on vs off.  Only
+// exactly reproducible quantities go in — byte counts and the derived
+// reduction percentages — so tools/bench_compare.py can gate on them with a
+// tight tolerance (no wall clock, no RSS).
+bool write_encoding_json(const char* path, int scale, int ranks,
+                         uint64_t a2a_on, uint64_t ag_on, uint64_t a2a_off,
+                         uint64_t ag_off) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) return false;
+  const double a2a_red =
+      a2a_off ? 100.0 * (1.0 - double(a2a_on) / double(a2a_off)) : 0.0;
+  const double ag_red =
+      ag_off ? 100.0 * (1.0 - double(ag_on) / double(ag_off)) : 0.0;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sunbfs.bench/1\",\n");
+  std::fprintf(f, "  \"bench\": \"encoding_ablation\",\n");
+  std::fprintf(f, "  \"scale\": %d,\n  \"ranks\": %d,\n", scale, ranks);
+  std::fprintf(f, "  \"metrics\": {\n");
+  std::fprintf(f, "    \"alltoallv_bytes\": %llu,\n",
+               (unsigned long long)a2a_on);
+  std::fprintf(f, "    \"allgather_bytes\": %llu,\n",
+               (unsigned long long)ag_on);
+  std::fprintf(f, "    \"alltoallv_bytes_raw\": %llu,\n",
+               (unsigned long long)a2a_off);
+  std::fprintf(f, "    \"allgather_bytes_raw\": %llu,\n",
+               (unsigned long long)ag_off);
+  std::fprintf(f, "    \"alltoallv_reduction_pct\": %.4f,\n", a2a_red);
+  std::fprintf(f, "    \"allgather_reduction_pct\": %.4f\n", ag_red);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +229,46 @@ int main(int argc, char** argv) {
                 bench_out, best.threads_per_rank);
   else
     std::printf("bench summary: FAILED writing %s\n", bench_out);
+
+  // Encoding on/off ablation on the deterministic search wire bytes.  The
+  // sweep above ran with the adaptive encoding on (the default); one more
+  // pipeline run with raw structs gives the denominator.  Validation is
+  // skipped for the off run — the compared bytes cover the search phase
+  // only, and parents are bit-identical on/off (tests/test_differential).
+  {
+    const uint64_t a2a_on = result.search_alltoallv_bytes;
+    const uint64_t ag_on = result.search_allgather_bytes;
+    bfs::RunnerConfig off_cfg = cfg;
+    off_cfg.validate = false;
+    off_cfg.bfs.encoding.enabled = false;
+    off_cfg.bfs1d.encoding.enabled = false;
+    auto off = bfs::run_graph500(topo, off_cfg);
+    const double a2a_red =
+        off.search_alltoallv_bytes
+            ? 100.0 * (1.0 - double(a2a_on) /
+                                 double(off.search_alltoallv_bytes))
+            : 0.0;
+    std::printf("\nencoding ablation (search wire bytes, on vs raw):\n");
+    std::printf("  alltoallv %llu -> %llu (%.1f%% reduction)\n",
+                (unsigned long long)off.search_alltoallv_bytes,
+                (unsigned long long)a2a_on, a2a_red);
+    std::printf("  allgather %llu -> %llu\n",
+                (unsigned long long)off.search_allgather_bytes,
+                (unsigned long long)ag_on);
+    const char* enc_out = std::getenv("SUNBFS_BENCH_ENCODING_OUT");
+    if (!enc_out) enc_out = "BENCH_encoding.json";
+    if (write_encoding_json(enc_out, cfg.graph.scale, topo.mesh().ranks(),
+                            a2a_on, ag_on, off.search_alltoallv_bytes,
+                            off.search_allgather_bytes))
+      std::printf("encoding summary: wrote %s\n", enc_out);
+    else
+      std::printf("encoding summary: FAILED writing %s\n", enc_out);
+    bench::report().gauge("headline.encoding.alltoallv_reduction_pct",
+                          a2a_red);
+    bench::report().add_counter("headline.encoding.alltoallv_bytes", a2a_on);
+    bench::report().add_counter("headline.encoding.alltoallv_bytes_raw",
+                                off.search_alltoallv_bytes);
+  }
 
   // Full machine-readable run report (graph500.* / bfs.* / comm.* keys).
   result.to_report(bench::report());

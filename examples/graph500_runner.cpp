@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
   cli.add("--e-threshold", "D", "degree threshold for E vertices (default 2048)");
   cli.add("--h-threshold", "D", "degree threshold for H vertices (default 128)");
   cli.add("--no-validate", "", "skip host-side validation");
+  cli.add("--no-encoding", "",
+          "ship raw structs instead of adaptive wire encoding");
   cli.add("--engine", "1d|1.5d", "BFS engine (default 1.5d)");
   cli.add("--baseline-direction", "",
           "disable per-sub-iteration direction choice (whole-level only)");
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
   cfg.bfs.threads_per_rank = int(cli.u64("--threads-per-rank", 0));
   cfg.bfs1d.threads_per_rank = cfg.bfs.threads_per_rank;
   cfg.validate = !cli.has("--no-validate");
+  cfg.bfs.encoding.enabled = !cli.has("--no-encoding");
+  cfg.bfs1d.encoding.enabled = cfg.bfs.encoding.enabled;
   cfg.bfs.sub_iteration_direction = !cli.has("--baseline-direction");
   if (cli.str("--engine", "1.5d") == "1d") cfg.engine = bfs::EngineKind::OneD;
   sim::MeshShape mesh{int(cli.u64("--rows", 2)), int(cli.u64("--cols", 2))};
@@ -165,6 +169,11 @@ int main(int argc, char** argv) {
     std::printf("  %-6s %5.1f%%\n  %-6s %5.1f%%\n", "reduce",
                 100 * reduce / total, "other", 100 * other / total);
   }
+  std::printf("\nsearch wire bytes: %llu alltoallv, %llu allgather "
+              "(encoding %s)\n",
+              (unsigned long long)result.search_alltoallv_bytes,
+              (unsigned long long)result.search_allgather_bytes,
+              cfg.bfs.encoding.enabled ? "on" : "off");
   std::printf("\nharmonic mean: %.3f GTEPS (modeled)\n",
               result.harmonic_gteps);
   if (cfg.validate)
@@ -187,6 +196,7 @@ int main(int argc, char** argv) {
     report.info("engine",
                 cfg.engine == bfs::EngineKind::OneFiveD ? "1.5d" : "1d");
     report.info("faults", cfg.faults ? "on" : "off");
+    report.info("encoding", cfg.bfs.encoding.enabled ? "on" : "off");
     result.to_report(report);
     if (report.write_file(metrics_out))
       std::printf("metrics: wrote %s\n", metrics_out.c_str());

@@ -1,11 +1,14 @@
 #include "analytics/delta_stepping.hpp"
 
+#include "sim/comm_buffer.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sunbfs::analytics {
 
 using graph::Vertex;
+using sunbfs::ThreadPool;
 
 namespace {
 
@@ -20,7 +23,9 @@ class DeltaRelaxer {
         part_(part),
         opts_(opts),
         k_(part.cls.num_eh()),
-        nloc_(part.local_count) {}
+        nloc_(part.local_count) {
+    staging_.set_encoding(opts.encoding);
+  }
 
   Dist w(Vertex a, Vertex b) const {
     return edge_weight(a, b, opts_.weights.weight_seed,
@@ -89,12 +94,8 @@ class DeltaRelaxer {
         changed = true;
       }
     }
-    // L -> L with messages.
-    struct DistMsg {
-      Vertex dst;
-      Dist dist;
-    };
-    std::vector<std::vector<DistMsg>> to(size_t(ctx_.nranks()));
+    // L -> L with messages through the staged (wire-encoded) pool.
+    staging_.begin(size_t(ctx_.nranks()), 1);
     act_l.for_each_set([&](size_t l) {
       Vertex gl = part_.space.to_global(ctx_.rank, l);
       for (Vertex l2 : part_.l2l.neighbors(l)) {
@@ -110,11 +111,11 @@ class DeltaRelaxer {
             changed = true;
           }
         } else {
-          to[size_t(owner)].push_back(DistMsg{l2, cand});
+          staging_.push(0, size_t(owner), DistMsg{l2, cand});
         }
       }
     });
-    auto got = ctx_.world.alltoallv(to);
+    auto got = staging_.exchange(ctx_.world, pool_);
     for (const DistMsg& m : got) {
       uint64_t t = part_.space.to_local(ctx_.rank, m.dst);
       if (m.dist < l_dist[t]) {
@@ -131,6 +132,8 @@ class DeltaRelaxer {
   const partition::Part15d& part_;
   const DeltaSteppingOptions& opts_;
   uint64_t k_, nloc_;
+  sim::A2aStaging<DistMsg> staging_;
+  ThreadPool pool_{1};  // relaxation sweeps are serial; size-1 pools inline
 };
 
 }  // namespace

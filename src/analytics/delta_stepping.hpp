@@ -1,6 +1,7 @@
 #pragma once
 
 #include "analytics/sssp.hpp"
+#include "sim/encoding.hpp"
 
 /// Delta-stepping SSSP over the 1.5D partition (Meyer & Sanders; the
 /// algorithm behind the massively parallel SSSP the paper cites [5] and
@@ -25,6 +26,16 @@ struct DeltaSteppingOptions {
   /// Bucket width.  Values near the mean edge weight work well; the
   /// default matches the default max_weight's mean of ~128.
   Dist delta = 128;
+  /// Adaptive wire encoding for the L-to-L relaxation alltoallv
+  /// (sim/encoding.hpp).
+  sim::EncodingOptions encoding;
+};
+
+/// One cross-rank L-to-L relaxation: candidate distance `dist` for global
+/// vertex `dst` (owned by the receiver).
+struct DistMsg {
+  graph::Vertex dst;
+  Dist dist;
 };
 
 struct DeltaSteppingStats {
@@ -41,3 +52,35 @@ std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
                                 DeltaSteppingStats* stats = nullptr);
 
 }  // namespace sunbfs::analytics
+
+namespace sunbfs::sim {
+
+/// Wire codec for L-to-L relaxations: the global destination id keys the
+/// sort/bitmap; the candidate distance follows as a varint (bucketed
+/// distances are small early on, and exact measurement falls back to raw
+/// when they are not).
+template <>
+struct WireFormat<analytics::DistMsg> {
+  static uint64_t key(const analytics::DistMsg& m) { return uint64_t(m.dst); }
+  static bool less(const analytics::DistMsg& a, const analytics::DistMsg& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.dist < b.dist;
+  }
+  static size_t rest_size(const analytics::DistMsg& m) {
+    return varint_size(uint64_t(m.dist));
+  }
+  static uint8_t* put_rest(const analytics::DistMsg& m, uint8_t* p) {
+    return put_varint(p, m.dist);
+  }
+  static const uint8_t* get_rest(const uint8_t* p, const uint8_t* end,
+                                 uint64_t key, analytics::DistMsg& m) {
+    if (key > uint64_t(INT64_MAX)) return nullptr;
+    uint64_t v = 0;
+    p = get_varint(p, end, &v);
+    if (p == nullptr) return nullptr;
+    m.dst = graph::Vertex(key);
+    m.dist = analytics::Dist(v);
+    return p;
+  }
+};
+
+}  // namespace sunbfs::sim

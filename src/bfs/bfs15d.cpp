@@ -115,6 +115,10 @@ class Engine {
     // (space.total) or an EH id (k_) — and a receiver gets at most one
     // message per sender per target it is responsible for.
     {
+      ws_.compact().set_encoding(opts_.encoding);
+      ws_.visit_down().set_encoding(opts_.encoding);
+      ws_.visit_along().set_encoding(opts_.encoding);
+      ws_.frontier().set_encoding(opts_.encoding);
       const size_t nt = pool_.size();
       const size_t ranks = size_t(mesh_.ranks());
       const size_t rows = size_t(mesh_.rows), cols = size_t(mesh_.cols);

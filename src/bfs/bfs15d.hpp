@@ -5,6 +5,7 @@
 #include "bfs/stats.hpp"
 #include "chip/chip.hpp"
 #include "partition/part15d.hpp"
+#include "sim/encoding.hpp"
 #include "sim/runtime.hpp"
 
 /// Distributed BFS over the 3-level degree-aware 1.5D partition (§4).
@@ -83,6 +84,11 @@ struct Bfs15dOptions {
   /// exponential backoff) when a dropped corruption or scheduled rank failure
   /// is agreed on at the end of an iteration.
   sim::RecoveryOptions recovery;
+
+  /// Adaptive wire encoding for every staged exchange and frontier gather
+  /// of the seven sub-kernels (sim/encoding.hpp); applied to the workspace
+  /// pools at engine construction.
+  sim::EncodingOptions encoding;
 };
 
 struct Bfs15dResult {

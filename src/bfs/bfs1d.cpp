@@ -58,6 +58,8 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
     const size_t nt = pool.size();
     const size_t ranks = size_t(ctx.nranks());
     const size_t total = size_t(space.total);
+    ws.compact().set_encoding(options.encoding);
+    ws.frontier().set_encoding(options.encoding);
     ws.compact().prime(ranks, nt, total / nt + 65, total,
                        ranks * size_t(local_count));
   }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "partition/part1d.hpp"
+#include "sim/encoding.hpp"
 #include "sim/runtime.hpp"
 
 /// Vanilla 1D-partitioned BFS with direction optimization (the Table 1 /
@@ -24,6 +25,9 @@ struct Bfs1dOptions {
   BfsWorkspace* workspace = nullptr;
   /// Checkpoint/retry knobs under FaultPolicy::Recover (see bfs15d.hpp).
   sim::RecoveryOptions recovery;
+  /// Adaptive wire encoding for the push alltoallv and the frontier
+  /// allgather (sim/encoding.hpp); applied to the workspace pools each run.
+  sim::EncodingOptions encoding;
 };
 
 struct Bfs1dResult {

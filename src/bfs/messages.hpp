@@ -3,9 +3,12 @@
 #include <cstdint>
 
 #include "graph/types.hpp"
+#include "sim/encoding.hpp"
 
 /// Wire formats of the engines' visit messages (shared by bfs1d, bfs15d and
-/// the reusable staging pools in BfsWorkspace).
+/// the reusable staging pools in BfsWorkspace), plus their adaptive wire
+/// codecs (sim/encoding.hpp): the destination id is the sort/bitmap key and
+/// the remaining fields travel as varints.
 namespace sunbfs::bfs {
 
 /// Full-width visit message: set `dst`'s parent to `parent`.  Used where the
@@ -27,3 +30,55 @@ struct CompactMsg {
 };
 
 }  // namespace sunbfs::bfs
+
+namespace sunbfs::sim {
+
+template <>
+struct WireFormat<bfs::VisitMsg> {
+  static uint64_t key(const bfs::VisitMsg& m) { return uint64_t(m.dst); }
+  static bool less(const bfs::VisitMsg& a, const bfs::VisitMsg& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.parent < b.parent;
+  }
+  static size_t rest_size(const bfs::VisitMsg& m) {
+    return varint_size(zigzag(m.parent));
+  }
+  static uint8_t* put_rest(const bfs::VisitMsg& m, uint8_t* p) {
+    return put_varint(p, zigzag(m.parent));
+  }
+  static const uint8_t* get_rest(const uint8_t* p, const uint8_t* end,
+                                 uint64_t key, bfs::VisitMsg& m) {
+    if (key > uint64_t(INT64_MAX)) return nullptr;
+    uint64_t v = 0;
+    p = get_varint(p, end, &v);
+    if (p == nullptr) return nullptr;
+    m.dst = graph::Vertex(key);
+    m.parent = unzigzag(v);
+    return p;
+  }
+};
+
+template <>
+struct WireFormat<bfs::CompactMsg> {
+  static uint64_t key(const bfs::CompactMsg& m) { return m.dst; }
+  static bool less(const bfs::CompactMsg& a, const bfs::CompactMsg& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+  }
+  static size_t rest_size(const bfs::CompactMsg& m) {
+    return varint_size(m.src);
+  }
+  static uint8_t* put_rest(const bfs::CompactMsg& m, uint8_t* p) {
+    return put_varint(p, m.src);
+  }
+  static const uint8_t* get_rest(const uint8_t* p, const uint8_t* end,
+                                 uint64_t key, bfs::CompactMsg& m) {
+    if (key > UINT32_MAX) return nullptr;
+    uint64_t v = 0;
+    p = get_varint(p, end, &v);
+    if (p == nullptr || v > UINT32_MAX) return nullptr;
+    m.dst = uint32_t(key);
+    m.src = uint32_t(v);
+    return p;
+  }
+};
+
+}  // namespace sunbfs::sim

@@ -79,6 +79,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
   double partition_wall = 0;
   uint64_t threads_per_rank = 0;
   uint64_t allocs_warmup_total = 0, allocs_steady_total = 0;
+  uint64_t search_a2a_bytes_total = 0, search_ag_bytes_total = 0;
 
   sim::SpmdOptions spmd_options;
   spmd_options.policy = config.fault_policy;
@@ -139,10 +140,18 @@ RunnerResult run_graph500(const sim::Topology& topology,
     opts1.workspace = &ws;
 
     uint64_t warmup_allocs = 0;
+    uint64_t search_a2a = 0, search_ag = 0;
     for (int i = 0; i < config.num_roots; ++i) {
       ctx.world.barrier();
       WallTimer run_wall;
       std::vector<Vertex> local_parent;
+      // Search-phase wire bytes: delta of this rank's CommStats across the
+      // engine call (the TEPS reduction and parent gather below run outside
+      // the window).
+      const uint64_t a2a0 =
+          ctx.stats.entry(sim::CollectiveType::Alltoallv).bytes_sent;
+      const uint64_t ag0 =
+          ctx.stats.entry(sim::CollectiveType::Allgather).bytes_sent;
       ctx.faults.armed = true;
       if (config.engine == EngineKind::OneFiveD) {
         auto r = bfs15d_run(ctx, *part15, chosen[size_t(i)], opts);
@@ -161,6 +170,10 @@ RunnerResult run_graph500(const sim::Topology& topology,
       // Disarm for the TEPS reduction and parent gather below: faults
       // target the search itself.
       ctx.faults.armed = false;
+      search_a2a +=
+          ctx.stats.entry(sim::CollectiveType::Alltoallv).bytes_sent - a2a0;
+      search_ag +=
+          ctx.stats.entry(sim::CollectiveType::Allgather).bytes_sent - ag0;
       if (ctx.rank == 0) wall_s[size_t(i)] = run_wall.seconds();
       // Degree-sum TEPS numerator (exact validation count replaces it when
       // validation is enabled): each in-component edge contributes twice.
@@ -180,9 +193,13 @@ RunnerResult run_graph500(const sim::Topology& topology,
     uint64_t wu = ctx.world.allreduce_sum(warmup_allocs);
     uint64_t st =
         ctx.world.allreduce_sum(ws.staging_allocs() - warmup_allocs);
+    uint64_t a2a = ctx.world.allreduce_sum(search_a2a);
+    uint64_t ag = ctx.world.allreduce_sum(search_ag);
     if (ctx.rank == 0) {
       allocs_warmup_total = wu;
       allocs_steady_total = st;
+      search_a2a_bytes_total = a2a;
+      search_ag_bytes_total = ag;
     }
   }, spmd_options);
 
@@ -193,6 +210,8 @@ RunnerResult run_graph500(const sim::Topology& topology,
   result.threads_per_rank = threads_per_rank;
   result.staging_allocs_warmup = allocs_warmup_total;
   result.staging_allocs_steady = allocs_steady_total;
+  result.search_alltoallv_bytes = search_a2a_bytes_total;
+  result.search_allgather_bytes = search_ag_bytes_total;
 
   if (!result.spmd.ok()) {
     // At least one rank's body threw (report / recover policy): per-root
@@ -288,6 +307,12 @@ void RunnerResult::to_report(obs::Report& report) const {
   // counter must stay 0 (allocation-free steady-state staging).
   report.add_counter("comm.staging_allocs_warmup", staging_allocs_warmup);
   report.add_counter("comm.staging_allocs", staging_allocs_steady);
+  // Search-phase wire bytes (engine invocations only; encoded bytes when
+  // wire encoding is on) — what the BENCH_encoding ablation gates.
+  report.add_counter("graph500.search_alltoallv_bytes",
+                     search_alltoallv_bytes);
+  report.add_counter("graph500.search_allgather_bytes",
+                     search_allgather_bytes);
   double modeled = 0, wall = 0;
   uint64_t edges = 0;
   for (const auto& r : runs) {

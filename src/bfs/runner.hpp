@@ -73,6 +73,13 @@ struct RunnerResult {
   /// allocate again (docs/PERF.md).
   uint64_t staging_allocs_warmup = 0;
   uint64_t staging_allocs_steady = 0;
+  /// Wire bytes of the search phase proper — deltas of the per-rank
+  /// CommStats taken around the engine invocations only (generation,
+  /// partitioning and the validation parent gather excluded), summed over
+  /// roots and ranks.  With encoding enabled these count encoded bytes;
+  /// this is the quantity the BENCH_encoding ablation compares on/off.
+  uint64_t search_alltoallv_bytes = 0;
+  uint64_t search_allgather_bytes = 0;
 
   /// Fold the whole benchmark into a metrics report: headline GTEPS and
   /// validation under "graph500.", summed per-subgraph BFS breakdown under

@@ -62,6 +62,8 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     owned_staging = std::make_unique<sim::A2aStaging<MsbfsMsg>>();
   sim::A2aStaging<MsbfsMsg>& staging =
       options.staging ? *options.staging : *owned_staging;
+  staging.set_encoding(options.encoding);
+  ws.frontier().set_encoding(options.encoding);
 
   MsbfsResult result;
   result.width = width;

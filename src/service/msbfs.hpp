@@ -60,6 +60,9 @@ struct MsbfsOptions {
   /// Optional resident staging pool for the batched visit messages; null
   /// means a private pool per run (cold — the session keeps a warm one).
   sim::A2aStaging<MsbfsMsg>* staging = nullptr;
+  /// Adaptive wire encoding for the visit alltoallv and the frontier-word
+  /// allgather (sim/encoding.hpp); applied to the pools each run.
+  sim::EncodingOptions encoding;
 };
 
 struct MsbfsResult {
@@ -81,3 +84,40 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
                       const MsbfsOptions& options = {});
 
 }  // namespace sunbfs::service
+
+namespace sunbfs::sim {
+
+/// Wire codec for the batched visit message: `dst` keys the sort/bitmap,
+/// `src` and the query mask follow as varints (sparse batches have few low
+/// bits set; full-width masks fall back to raw via exact measurement).
+template <>
+struct WireFormat<service::MsbfsMsg> {
+  static uint64_t key(const service::MsbfsMsg& m) { return m.dst; }
+  static bool less(const service::MsbfsMsg& a, const service::MsbfsMsg& b) {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.src != b.src) return a.src < b.src;
+    return a.mask < b.mask;
+  }
+  static size_t rest_size(const service::MsbfsMsg& m) {
+    return varint_size(m.src) + varint_size(m.mask);
+  }
+  static uint8_t* put_rest(const service::MsbfsMsg& m, uint8_t* p) {
+    p = put_varint(p, m.src);
+    return put_varint(p, m.mask);
+  }
+  static const uint8_t* get_rest(const uint8_t* p, const uint8_t* end,
+                                 uint64_t key, service::MsbfsMsg& m) {
+    if (key > UINT32_MAX) return nullptr;
+    uint64_t src = 0, mask = 0;
+    p = get_varint(p, end, &src);
+    if (p == nullptr || src > UINT32_MAX) return nullptr;
+    p = get_varint(p, end, &mask);
+    if (p == nullptr) return nullptr;
+    m.dst = uint32_t(key);
+    m.src = uint32_t(src);
+    m.mask = mask;
+    return p;
+  }
+};
+
+}  // namespace sunbfs::sim

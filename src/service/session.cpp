@@ -87,6 +87,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
     {
       const size_t nt = ws.pool().size();
       const size_t arcs = size_t(part1.adj.num_arcs());
+      staging.set_encoding(config_.msbfs.encoding);
       staging.prime(size_t(nranks), nt, arcs / nt + 64, arcs + 64, arcs + 64);
     }
     MsbfsOptions mopts = config_.msbfs;

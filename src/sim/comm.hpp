@@ -405,6 +405,19 @@ class Comm {
            topo().transfer_time(size(), intra, inter), t.seconds(), cpu);
   }
 
+  /// Sender-side wire-encoding accounting (sim/encoding.hpp): how many
+  /// blocks/messages travelled under `codec` on `type` collectives and how
+  /// the encoded bytes compare to the fixed-width representation.  Pure
+  /// bookkeeping — the encoded payload itself flows through the normal
+  /// publish/verify path, so checksums and Topology charging already see it.
+  void note_encoding(CollectiveType type, WireCodec codec, uint64_t blocks,
+                     uint64_t messages, uint64_t raw_bytes,
+                     uint64_t encoded_bytes) {
+    if (stats_)
+      stats_->note_encoding(type, codec, blocks, messages, raw_bytes,
+                            encoded_bytes);
+  }
+
  private:
   const Topology& topo() const { return *shared_->topology; }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/comm.hpp"
+#include "sim/encoding.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -21,6 +22,17 @@
 /// every capacity growth it performs; after the warmup root the count must
 /// stop moving — that is the `comm.staging_allocs` metric emitted by the
 /// runner (see docs/PERF.md).
+///
+/// When wire encoding is enabled (EncodingOptions, the default), the flat
+/// payload makes one extra hop: each destination block is sorted, measured
+/// and serialized under the cheapest codec (sim/encoding.hpp) into a pooled
+/// byte buffer, the collective moves bytes, and receivers decode back into
+/// the typed receive buffer.  Checksums, fault injection and Topology byte
+/// charging all act on the encoded bytes because that is what gets
+/// published.  Decoded blocks arrive key-sorted rather than in staging
+/// order; every engine receive path is order-insensitive (fetch-max
+/// parents, atomic bit claims — docs/PERF.md), which is what makes the
+/// re-ordering safe.
 namespace sunbfs::sim {
 
 /// Flat alltoallv staging pool: stage with push(), then exchange().
@@ -78,7 +90,24 @@ class A2aStaging {
       ++allocs_;
       src_offsets_.reserve(nparts + 1);
     }
+    if (enc_.enabled) {
+      // Codec selection takes min(raw, ...) per block, so the encoded
+      // payload is bounded by the raw payload plus one header per block —
+      // reserving that here is what keeps the encoded path allocation-free
+      // after warmup.
+      reserve_bytes(enc_send_, send_cap * sizeof(T) + nparts * kBlockHeaderMax);
+      reserve_bytes(enc_recv_, recv_cap * sizeof(T) + nparts * kBlockHeaderMax);
+      reserve_n(plans_, nparts);
+      reserve_n(headers_, nparts);
+      reserve_n(enc_offsets_, nparts + 1);
+      reserve_n(enc_src_offsets_, nparts + 1);
+    }
   }
+
+  /// Set the wire-encoding policy for subsequent exchanges.  Call before
+  /// prime() so the encoded buffers are included in the warmup reservation.
+  void set_encoding(const EncodingOptions& enc) { enc_ = enc; }
+  const EncodingOptions& encoding() const { return enc_; }
 
   /// Append one message for destination `dst` from writer lane `thread`.
   /// Lanes are single-writer: each thread only pushes to its own lane index.
@@ -116,8 +145,11 @@ class A2aStaging {
         }
       }
     });
-    comm.alltoallv_flat<T>(send_, offsets_, recv_, &src_offsets_, &allocs_);
-    return recv_;
+    if (!enc_.enabled) {
+      comm.alltoallv_flat<T>(send_, offsets_, recv_, &src_offsets_, &allocs_);
+      return recv_;
+    }
+    return exchange_encoded(comm, pool);
   }
 
   /// Per-source delimiters into the last exchange()'s result (nparts+1).
@@ -129,6 +161,98 @@ class A2aStaging {
   uint64_t allocs() const { return allocs_; }
 
  private:
+  template <typename V>
+  void reserve_n(V& v, size_t n) {
+    if (v.capacity() < n) {
+      ++allocs_;
+      v.reserve(n);
+    }
+  }
+  void reserve_bytes(std::vector<uint8_t>& v, size_t n) { reserve_n(v, n); }
+
+  /// Encoded leg of exchange(): sort + plan each destination block, write
+  /// the winning codec into the pooled byte buffer, move bytes, decode.
+  std::span<const T> exchange_encoded(Comm& comm, ThreadPool& pool) {
+    using WF = WireFormat<T>;
+    reserve_n(plans_, nparts_);
+    plans_.assign(nparts_, BlockPlan{});
+    pool.parallel_for(0, nparts_, [&](size_t lo, size_t hi) {
+      for (size_t d = lo; d < hi; ++d) {
+        std::span<T> block(send_.data() + offsets_[d],
+                           offsets_[d + 1] - offsets_[d]);
+        const bool sorted = block.size() >= enc_.min_messages;
+        if (sorted) std::sort(block.begin(), block.end(), WF::less);
+        plans_[d] = plan_block<T>(block, sorted);
+      }
+    });
+    reserve_n(enc_offsets_, nparts_ + 1);
+    enc_offsets_.assign(nparts_ + 1, 0);
+    for (size_t d = 0; d < nparts_; ++d)
+      enc_offsets_[d + 1] = enc_offsets_[d] + plans_[d].bytes;
+    const size_t enc_total = enc_offsets_[nparts_];
+    if (enc_total > enc_send_.capacity()) ++allocs_;
+    enc_send_.clear();
+    enc_send_.resize(enc_total);
+    pool.parallel_for(0, nparts_, [&](size_t lo, size_t hi) {
+      for (size_t d = lo; d < hi; ++d) {
+        std::span<const T> block(send_.data() + offsets_[d],
+                                 offsets_[d + 1] - offsets_[d]);
+        uint8_t* out = enc_send_.data() + enc_offsets_[d];
+        uint8_t* done = write_block<T>(block, plans_[d].codec, out);
+        SUNBFS_ASSERT(done == enc_send_.data() + enc_offsets_[d + 1]);
+        (void)done;
+      }
+    });
+    // Sender-side histogram: one note per codec actually used this round.
+    EncodingEntry used[kWireCodecCount];
+    for (size_t d = 0; d < nparts_; ++d) {
+      const size_t n = offsets_[d + 1] - offsets_[d];
+      if (n == 0) continue;
+      auto& u = used[int(plans_[d].codec)];
+      u.blocks += 1;
+      u.messages += n;
+      u.raw_bytes += n * sizeof(T);
+      u.encoded_bytes += plans_[d].bytes;
+    }
+    for (int c = 0; c < kWireCodecCount; ++c)
+      if (used[c].blocks > 0)
+        comm.note_encoding(CollectiveType::Alltoallv, WireCodec(c),
+                           used[c].blocks, used[c].messages, used[c].raw_bytes,
+                           used[c].encoded_bytes);
+    comm.alltoallv_flat<uint8_t>(enc_send_, enc_offsets_, enc_recv_,
+                                 &enc_src_offsets_, &allocs_);
+    // Header peek → per-source message counts → typed decode.  A source
+    // dropped by fault recovery arrives as a zero-byte block (count 0).
+    reserve_n(headers_, nparts_);
+    headers_.assign(nparts_, BlockHeader{});
+    reserve_n(src_offsets_, nparts_ + 1);
+    src_offsets_.assign(nparts_ + 1, 0);
+    size_t total = 0;
+    for (size_t s = 0; s < nparts_; ++s) {
+      const size_t nb = enc_src_offsets_[s + 1] - enc_src_offsets_[s];
+      SUNBFS_CHECK_MSG(
+          read_block_header(enc_recv_.data() + enc_src_offsets_[s], nb,
+                            &headers_[s]),
+          "wire decode: malformed block header");
+      src_offsets_[s] = total;
+      total += headers_[s].count;
+    }
+    src_offsets_[nparts_] = total;
+    if (total > recv_.capacity()) ++allocs_;
+    recv_.clear();
+    recv_.resize(total);
+    pool.parallel_for(0, nparts_, [&](size_t lo, size_t hi) {
+      for (size_t s = lo; s < hi; ++s) {
+        if (headers_[s].count == 0) continue;
+        const uint8_t* end = enc_recv_.data() + enc_src_offsets_[s + 1];
+        SUNBFS_CHECK_MSG(
+            decode_block<T>(headers_[s], end, recv_.data() + src_offsets_[s]),
+            "wire decode: corrupt block body");
+      }
+    });
+    return recv_;
+  }
+
   size_t nparts_ = 0;
   size_t nthreads_ = 0;
   std::vector<std::vector<T>> lanes_;  // [thread * nparts + dst], grow-only
@@ -137,15 +261,35 @@ class A2aStaging {
   std::vector<T> send_;                // flat staged payload
   std::vector<T> recv_;                // reused receive buffer
   std::vector<size_t> src_offsets_;
+  EncodingOptions enc_{};
+  std::vector<BlockPlan> plans_;         // per-destination codec decisions
+  std::vector<BlockHeader> headers_;     // per-source parsed headers
+  std::vector<uint8_t> enc_send_;        // encoded flat payload
+  std::vector<uint8_t> enc_recv_;        // encoded received concatenation
+  std::vector<uint64_t> enc_offsets_;    // encoded byte scan, nparts+1
+  std::vector<size_t> enc_src_offsets_;  // received byte delimiters
   uint64_t allocs_ = 0;
 };
 
 /// Reused allgatherv receive buffer (frontier gathers in the pull kernels).
+/// For uint64_t payloads — the frontier bitmap words every pull kernel
+/// gathers — an enabled EncodingOptions routes through the word codecs of
+/// sim/encoding.hpp: dense frontiers ship their words raw, sparse frontiers
+/// ship delta-coded set-bit positions.  The decoded word layout is identical
+/// to the raw gather, so GatheredFrontier indexing is unchanged.
 template <typename T>
 class GatherBuffer {
  public:
+  /// Set the wire-encoding policy (only effective for uint64_t word
+  /// streams; other element types always gather raw).
+  void set_encoding(const EncodingOptions& enc) { enc_ = enc; }
+  const EncodingOptions& encoding() const { return enc_; }
+
   /// Gather every rank's span; result valid until the next call.
   std::span<const T> gather(Comm& comm, std::span<const T> mine) {
+    if constexpr (std::is_same_v<T, uint64_t>) {
+      if (enc_.enabled) return gather_encoded(comm, mine);
+    }
     comm.allgatherv_into(mine, data_, &offsets_, &allocs_);
     return data_;
   }
@@ -154,8 +298,69 @@ class GatherBuffer {
   uint64_t allocs() const { return allocs_; }
 
  private:
+  std::span<const T> gather_encoded(Comm& comm, std::span<const uint64_t> mine) {
+    // Every rank publishes its full word span each level, so the decoded
+    // total is shape-constant; the worst-case encoded byte reservation below
+    // (raw words + one header per rank) makes later, denser levels reuse the
+    // first level's capacity — steady-state allocs stay zero.
+    const BlockPlan plan = plan_words(mine);
+    if (enc_send_.capacity() < mine.size_bytes() + kBlockHeaderMax) {
+      ++allocs_;
+      enc_send_.reserve(mine.size_bytes() + kBlockHeaderMax);
+    }
+    enc_send_.clear();
+    enc_send_.resize(plan.bytes);
+    uint8_t* done = write_words(mine, plan.codec, enc_send_.data());
+    SUNBFS_ASSERT(done == enc_send_.data() + plan.bytes);
+    (void)done;
+    if (!mine.empty())
+      comm.note_encoding(CollectiveType::Allgather, plan.codec, 1,
+                         mine.size(), mine.size_bytes(), plan.bytes);
+    comm.allgatherv_into<uint8_t>(enc_send_, enc_recv_, &enc_offsets_,
+                                  &allocs_);
+    const size_t nranks = size_t(comm.size());
+    if (headers_.capacity() < nranks) ++allocs_;
+    headers_.assign(nranks, WordsHeader{});
+    if (offsets_.capacity() < nranks + 1) ++allocs_;
+    offsets_.assign(nranks + 1, 0);
+    size_t total = 0;
+    for (size_t s = 0; s < nranks; ++s) {
+      const size_t nb = enc_offsets_[s + 1] - enc_offsets_[s];
+      SUNBFS_CHECK_MSG(
+          read_words_header(enc_recv_.data() + enc_offsets_[s], nb,
+                            &headers_[s]),
+          "wire decode: malformed frontier block header");
+      offsets_[s] = total;
+      total += headers_[s].nwords;
+    }
+    offsets_[nranks] = total;
+    if (data_.capacity() < total) ++allocs_;
+    data_.clear();
+    data_.resize(total);
+    for (size_t s = 0; s < nranks; ++s) {
+      if (headers_[s].nwords == 0) continue;
+      const uint8_t* end = enc_recv_.data() + enc_offsets_[s + 1];
+      SUNBFS_CHECK_MSG(
+          decode_words(headers_[s], end, data_.data() + offsets_[s]),
+          "wire decode: corrupt frontier block body");
+    }
+    // Decoded totals are shape-constant, so this worst-case reservation
+    // (raw words + one header per rank) absorbs every later — possibly
+    // denser, hence larger on the wire — gather of the same shape.
+    if (enc_recv_.capacity() < total * 8 + nranks * kBlockHeaderMax) {
+      ++allocs_;
+      enc_recv_.reserve(total * 8 + nranks * kBlockHeaderMax);
+    }
+    return data_;
+  }
+
   std::vector<T> data_;
   std::vector<size_t> offsets_;
+  EncodingOptions enc_{};
+  std::vector<uint8_t> enc_send_;
+  std::vector<uint8_t> enc_recv_;
+  std::vector<size_t> enc_offsets_;
+  std::vector<WordsHeader> headers_;
   uint64_t allocs_ = 0;
 };
 

@@ -16,6 +16,33 @@ const char* collective_type_name(CollectiveType type) {
   return "?";
 }
 
+const char* wire_codec_name(WireCodec codec) {
+  switch (codec) {
+    case WireCodec::Raw: return "raw";
+    case WireCodec::Varint: return "varint";
+    case WireCodec::Bitmap: return "bitmap";
+  }
+  return "?";
+}
+
+void CommStats::note_encoding(CollectiveType type, WireCodec codec,
+                              uint64_t blocks, uint64_t messages,
+                              uint64_t raw_bytes, uint64_t encoded_bytes) {
+  auto& e = encodings_[int(type)][int(codec)];
+  e.blocks += blocks;
+  e.messages += messages;
+  e.raw_bytes += raw_bytes;
+  e.encoded_bytes += encoded_bytes;
+}
+
+int64_t CommStats::encoding_saved_bytes() const {
+  int64_t saved = 0;
+  for (const auto& row : encodings_)
+    for (const auto& e : row)
+      saved += int64_t(e.raw_bytes) - int64_t(e.encoded_bytes);
+  return saved;
+}
+
 void CommStats::record(CollectiveType type, uint64_t bytes_sent,
                        uint64_t bytes_inter_supernode, double modeled_s,
                        double wall_s, double imbalance_s) {
@@ -67,12 +94,21 @@ void CommStats::merge(const CommStats& other) {
     entries_[i].wall_s += other.entries_[i].wall_s;
     entries_[i].imbalance_s += other.entries_[i].imbalance_s;
   }
+  for (int t = 0; t < kCollectiveTypeCount; ++t) {
+    for (int c = 0; c < kWireCodecCount; ++c) {
+      encodings_[t][c].blocks += other.encodings_[t][c].blocks;
+      encodings_[t][c].messages += other.encodings_[t][c].messages;
+      encodings_[t][c].raw_bytes += other.encodings_[t][c].raw_bytes;
+      encodings_[t][c].encoded_bytes += other.encodings_[t][c].encoded_bytes;
+    }
+  }
   checksums_verified_ += other.checksums_verified_;
   checksum_mismatches_ += other.checksum_mismatches_;
 }
 
 void CommStats::reset() {
   entries_ = {};
+  encodings_ = {};
   checksums_verified_ = 0;
   checksum_mismatches_ = 0;
 }
@@ -86,6 +122,16 @@ std::string CommStats::to_string() const {
        << " calls, " << e.bytes_sent << " B sent (" << e.bytes_inter_supernode
        << " B inter-supernode), modeled " << e.modeled_s << " s, wall "
        << e.wall_s << " s (" << e.imbalance_s << " s waiting)\n";
+  }
+  for (int t = 0; t < kCollectiveTypeCount; ++t) {
+    for (int c = 0; c < kWireCodecCount; ++c) {
+      const auto& e = encodings_[t][c];
+      if (e.blocks == 0) continue;
+      os << "  " << collective_type_name(CollectiveType(t)) << "/"
+         << wire_codec_name(WireCodec(c)) << ": " << e.blocks << " blocks, "
+         << e.messages << " messages, " << e.raw_bytes << " B raw -> "
+         << e.encoded_bytes << " B wire\n";
+    }
   }
   if (checksums_verified_ > 0)
     os << "  checksums: " << checksums_verified_ << " verified, "
@@ -112,6 +158,24 @@ void CommStats::to_report(obs::Report& report,
   report.add_counter(prefix + "total_bytes_sent", total_bytes_sent());
   report.add_counter(prefix + "total_bytes_inter_supernode",
                      total_bytes_inter_supernode());
+  bool any_encoding = false;
+  for (int t = 0; t < kCollectiveTypeCount; ++t) {
+    for (int c = 0; c < kWireCodecCount; ++c) {
+      const auto& e = encodings_[t][c];
+      if (e.blocks == 0) continue;
+      any_encoding = true;
+      std::string p = prefix + "encoding." +
+                      collective_type_name(CollectiveType(t)) + "." +
+                      wire_codec_name(WireCodec(c)) + ".";
+      report.add_counter(p + "blocks", e.blocks);
+      report.add_counter(p + "messages", e.messages);
+      report.add_counter(p + "raw_bytes", e.raw_bytes);
+      report.add_counter(p + "encoded_bytes", e.encoded_bytes);
+    }
+  }
+  if (any_encoding)
+    report.gauge(prefix + "encoding.saved_bytes",
+                 double(encoding_saved_bytes()));
   if (checksums_verified_ > 0) {
     report.add_counter(prefix + "checksums_verified", checksums_verified_);
     report.add_counter(prefix + "checksum_mismatches", checksum_mismatches_);

@@ -30,6 +30,28 @@ inline constexpr int kCollectiveTypeCount = 6;
 /// Human-readable name ("alltoallv", "allgather", ...).
 const char* collective_type_name(CollectiveType type);
 
+/// Wire encodings a staged payload block can travel as (sim/encoding.hpp):
+/// raw fixed-width structs, delta-sorted varint keys, or a dense key bitmap.
+/// The sender picks per block per level by measured size — the wire-level
+/// analogue of the paper's top-down/bottom-up frontier-format switch.
+enum class WireCodec : int {
+  Raw = 0,
+  Varint,
+  Bitmap,
+};
+inline constexpr int kWireCodecCount = 3;
+
+/// Human-readable codec name ("raw", "varint", "bitmap").
+const char* wire_codec_name(WireCodec codec);
+
+/// Accumulated per-(collective, codec) encoding histogram bucket.
+struct EncodingEntry {
+  uint64_t blocks = 0;         ///< destination blocks shipped with this codec
+  uint64_t messages = 0;       ///< messages (or frontier words) inside them
+  uint64_t raw_bytes = 0;      ///< pre-encoding fixed-width payload bytes
+  uint64_t encoded_bytes = 0;  ///< bytes actually published on the wire
+};
+
 /// Accumulated counters for one collective type.
 struct CollectiveEntry {
   uint64_t calls = 0;
@@ -69,6 +91,23 @@ class CommStats {
     return entries_[int(type)];
   }
 
+  /// Record one batch of payload blocks shipped under `codec` on `type`
+  /// collectives (sender side; raw_bytes is what the fixed-width structs
+  /// would have cost, encoded_bytes is what actually hit the wire).
+  void note_encoding(CollectiveType type, WireCodec codec, uint64_t blocks,
+                     uint64_t messages, uint64_t raw_bytes,
+                     uint64_t encoded_bytes);
+
+  const EncodingEntry& encoding_entry(CollectiveType type,
+                                      WireCodec codec) const {
+    return encodings_[int(type)][int(codec)];
+  }
+
+  /// Total wire bytes saved by encoding: sum over the histogram of
+  /// (raw_bytes - encoded_bytes).  Signed because blocks that stay raw pay
+  /// a small per-block header on the wire.
+  int64_t encoding_saved_bytes() const;
+
   /// Sum of modeled seconds over all collective types.
   double total_modeled_s() const;
   /// Sum of measured wall seconds over all collective types.
@@ -94,6 +133,8 @@ class CommStats {
 
  private:
   std::array<CollectiveEntry, kCollectiveTypeCount> entries_{};
+  std::array<std::array<EncodingEntry, kWireCodecCount>, kCollectiveTypeCount>
+      encodings_{};
   uint64_t checksums_verified_ = 0;
   uint64_t checksum_mismatches_ = 0;
 };

@@ -24,9 +24,10 @@ from pathlib import Path
 
 SCHEMA = "sunbfs.bench/1"
 
-# Substrings marking larger-is-better metrics (throughputs); everything else
-# is smaller-is-better (times, latencies, memory).
-HIGHER_IS_BETTER_SUBSTRINGS = ("gteps", "qps", "teps")
+# Substrings marking larger-is-better metrics (throughputs, savings);
+# everything else is smaller-is-better (times, latencies, memory, and the
+# wire byte counts of the encoding ablation).
+HIGHER_IS_BETTER_SUBSTRINGS = ("gteps", "qps", "teps", "reduction", "saved")
 
 
 def higher_is_better(key: str) -> bool:

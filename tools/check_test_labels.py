@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Audit ctest labels: every registered test must carry at least one label
+from the known list.
+
+Usage:
+
+    python3 tools/check_test_labels.py [--build-dir build]
+
+CI's label-driven jobs (ctest -L tsan / faults / service / differential)
+silently run *nothing* when a suite is unlabeled or typo-labeled.  The
+tests/CMakeLists.txt helper already rejects unknown labels at configure
+time; this script re-audits the *generated* ctest metadata
+(`ctest --show-only=json-v1`), so a test registered outside the helper — or
+a helper edit that drops the validation — still fails CI.  The known-label
+list is parsed from tests/CMakeLists.txt's SUNBFS_KNOWN_TEST_LABELS so
+there is exactly one place to extend.  Exit: 0 clean, 1 on any unlabeled or
+unknown-labeled test, 2 when ctest metadata cannot be read.  Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def known_labels(repo_root: Path) -> set:
+    text = (repo_root / "tests" / "CMakeLists.txt").read_text()
+    m = re.search(r"set\(SUNBFS_KNOWN_TEST_LABELS\s+([^)]*)\)", text)
+    if not m:
+        raise ValueError("SUNBFS_KNOWN_TEST_LABELS not found in tests/CMakeLists.txt")
+    labels = set(m.group(1).split())
+    if not labels:
+        raise ValueError("SUNBFS_KNOWN_TEST_LABELS is empty")
+    return labels
+
+
+def ctest_tests(build_dir: Path) -> list:
+    proc = subprocess.run(
+        ["ctest", "--show-only=json-v1"], cwd=build_dir,
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise ValueError(f"ctest --show-only failed in {build_dir}:\n{proc.stderr}")
+    return json.loads(proc.stdout).get("tests", [])
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", type=Path, default=Path("build"),
+                    help="CMake build directory (default: build)")
+    args = ap.parse_args()
+    repo_root = Path(__file__).resolve().parent.parent
+
+    try:
+        known = known_labels(repo_root)
+        tests = ctest_tests(args.build_dir)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_test_labels: {e}", file=sys.stderr)
+        return 2
+    if not tests:
+        print("check_test_labels: ctest reported no tests", file=sys.stderr)
+        return 2
+
+    bad = []
+    for t in tests:
+        name = t.get("name", "?")
+        labels = []
+        for prop in t.get("properties", []):
+            if prop.get("name") == "LABELS":
+                labels = prop.get("value", [])
+        if not labels:
+            bad.append(f"{name}: no labels")
+        for label in labels:
+            if label not in known:
+                bad.append(f"{name}: unknown label '{label}'")
+
+    if bad:
+        print("check_test_labels: FAILED", file=sys.stderr)
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        print(f"  known labels: {' '.join(sorted(known))}", file=sys.stderr)
+        return 1
+    print(f"check_test_labels: OK ({len(tests)} tests, "
+          f"{len(known)} known labels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,8 +104,30 @@ class BenchCompareTest(unittest.TestCase):
     def test_higher_is_better_classifier(self):
         self.assertTrue(bench_compare.higher_is_better("qps_open_low"))
         self.assertTrue(bench_compare.higher_is_better("harmonic_GTEPS"))
+        self.assertTrue(bench_compare.higher_is_better("alltoallv_reduction_pct"))
+        self.assertTrue(bench_compare.higher_is_better("encoding_saved_bytes"))
         self.assertFalse(bench_compare.higher_is_better("latency_p99_ms"))
         self.assertFalse(bench_compare.higher_is_better("peak_rss_bytes"))
+        self.assertFalse(bench_compare.higher_is_better("alltoallv_bytes"))
+
+    def test_lower_is_better_wire_bytes_regression(self):
+        # The encoding ablation's byte counts: growth is a regression, a
+        # shrink is an improvement.
+        old, new = doc({"alltoallv_bytes": 100000.0}), doc({"alltoallv_bytes": 130000.0})
+        code, out, _ = run_compare(old, new)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        code, _, _ = run_compare(new, old)
+        self.assertEqual(code, 0)
+
+    def test_higher_is_better_reduction_pct_regression(self):
+        # A shrinking reduction percentage means the encoder got worse.
+        code, _, _ = run_compare(doc({"alltoallv_reduction_pct": 50.0}),
+                                 doc({"alltoallv_reduction_pct": 30.0}))
+        self.assertEqual(code, 1)
+        code, _, _ = run_compare(doc({"alltoallv_reduction_pct": 50.0}),
+                                 doc({"alltoallv_reduction_pct": 60.0}))
+        self.assertEqual(code, 0)
 
 
 if __name__ == "__main__":
