@@ -6,6 +6,14 @@
 // The whole run is deterministic in its seeds: arrivals, roots, batch
 // formation and the virtual clock replay identically, so two invocations
 // with the same flags print the same latencies (docs/SERVICE.md).
+//
+// --faults LEVEL (1-3) injects a deterministic fault schedule of increasing
+// intensity, seeded by --fault-seed, mirroring graph500_runner: under the
+// default recover policy the engines checkpoint/replay, the broker retries
+// queries whose batch exhausted recovery, and recovered answers stay
+// bit-identical to a fault-free run.  --shed arms the overload breaker,
+// --hedge the straggler re-execution.  Fault runs are diagnostics, not
+// benchmark numbers.
 #include <cstdio>
 #include <string>
 
@@ -40,6 +48,18 @@ int main(int argc, char** argv) {
   cli.add("--mix-sssp", "F", "fraction of SSSP-root queries (default 0)");
   cli.add("--wl-seed", "S", "workload seed (default 1)");
   cli.add("--root-pool", "N", "root pool size (default 64)");
+  cli.add("--faults", "LEVEL",
+          "inject a deterministic fault schedule of intensity 1-3 (default "
+          "0 = off)");
+  cli.add("--fault-seed", "S", "fault schedule seed (default 1)");
+  cli.add("--fault-policy", "abort|report|recover",
+          "reaction to detected faults (default recover)");
+  cli.add("--retry-budget", "N",
+          "broker re-admissions per query after a failed batch (default 2)");
+  cli.add("--shed", "",
+          "enable the overload breaker (sheds priority-0 queries)");
+  cli.add("--hedge", "",
+          "enable hedged re-execution of straggling batches");
   cli.add("--trace-out", "PATH", "write Chrome trace_event JSON");
   cli.add("--metrics-out", "PATH", "write the sunbfs.metrics/1 report");
   std::string error;
@@ -73,10 +93,32 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0) wl.deadline_s = deadline_ms * 1e-3;
   wl.sssp_fraction = cli.f64("--mix-sssp", 0);
 
+  // Fault schedule by intensity level: 1 = one straggler, 2 = the
+  // graph500_runner acceptance mix (straggler + corruptions + one hard
+  // failure), 3 = a storm of all three kinds.
+  const int fault_level = int(cli.u64("--faults", 0));
+  if (fault_level > 0) {
+    const uint64_t fseed = cli.u64("--fault-seed", 1);
+    const int s = fault_level >= 3 ? 2 : 1;
+    const int c = fault_level >= 3 ? 4 : (fault_level >= 2 ? 2 : 1);
+    const int f = fault_level >= 3 ? 2 : (fault_level >= 2 ? 1 : 0);
+    cfg.faults = sim::FaultPlan::random(fseed, mesh.ranks(), s, c, f);
+    std::string policy = cli.str("--fault-policy", "recover");
+    if (policy == "abort")
+      cfg.fault_policy = sim::FaultPolicy::Abort;
+    else if (policy == "report")
+      cfg.fault_policy = sim::FaultPolicy::Report;
+    else
+      cfg.fault_policy = sim::FaultPolicy::Recover;
+  }
+  cfg.retry_budget = int(cli.u64("--retry-budget", 2));
+  cfg.hedge.enabled = cli.has("--hedge");
+
   service::BrokerConfig broker;
   broker.batch_width = int(cli.u64("--width", 64));
   broker.batch_age_s = cli.f64("--age-ms", 5) * 1e-3;
   broker.queue_capacity = cli.u64("--queue-cap", 1024);
+  broker.shed.enabled = cli.has("--shed");
 
   std::string trace_out = cli.str("--trace-out");
   std::string metrics_out = cli.str("--metrics-out");
@@ -90,12 +132,23 @@ int main(int argc, char** argv) {
               deadline_ms > 0 ? (std::to_string(deadline_ms) + " ms").c_str()
                               : "none",
               wl.sssp_fraction);
-  std::printf("broker: width %d, age %.1f ms, queue capacity %zu\n\n",
+  std::printf("broker: width %d, age %.1f ms, queue capacity %zu, "
+              "shedding %s, hedging %s\n\n",
               broker.batch_width, broker.batch_age_s * 1e3,
-              broker.queue_capacity);
+              broker.queue_capacity, broker.shed.enabled ? "on" : "off",
+              cfg.hedge.enabled ? "on" : "off");
+  if (fault_level > 0)
+    std::printf("fault plan (level %d):\n%s\n", fault_level,
+                cfg.faults.to_string().c_str());
 
   service::GraphSession session(topo, cfg);
-  service::ServiceReport report = session.serve(wl, broker);
+  service::ServiceReport report;
+  try {
+    report = session.serve(wl, broker);
+  } catch (const std::exception& e) {
+    std::printf("aborted: %s\n", e.what());
+    return 1;
+  }
   if (!report.spmd.ok()) {
     for (const auto& e : report.spmd.errors)
       std::printf("error: %s\n", e.c_str());
@@ -110,18 +163,35 @@ int main(int argc, char** argv) {
                 service::query_status_name(r.status), (long long)r.root,
                 r.latency_s * 1e3, (unsigned long long)r.traversed_edges);
 
-  std::printf("\nsubmitted %llu, accepted %llu, rejected %llu, "
-              "completed %llu, expired %llu (%llu queued + %llu late)\n",
+  std::printf("\nsubmitted %llu, accepted %llu, rejected %llu, shed %llu, "
+              "completed %llu, expired %llu (%llu queued + %llu late), "
+              "failed %llu\n",
               (unsigned long long)report.submitted,
               (unsigned long long)report.accepted,
               (unsigned long long)report.rejected,
+              (unsigned long long)report.shed,
               (unsigned long long)report.completed,
               (unsigned long long)report.expired_total(),
               (unsigned long long)report.expired_in_queue,
-              (unsigned long long)report.expired_late);
+              (unsigned long long)report.expired_late,
+              (unsigned long long)report.failed);
   std::printf("batches %llu, mean occupancy %.2f queries/batch\n",
               (unsigned long long)report.batches,
               report.mean_batch_occupancy);
+  if (fault_level > 0 || report.failed_batches > 0 || report.shed > 0 ||
+      report.hedged_batches > 0) {
+    std::printf("degraded: %llu failed batches, %llu retries, %llu hedged "
+                "batches, %llu breaker transitions, staging allocs "
+                "%llu warm / %llu steady\n",
+                (unsigned long long)report.failed_batches,
+                (unsigned long long)report.retried,
+                (unsigned long long)report.hedged_batches,
+                (unsigned long long)report.breaker_transitions,
+                (unsigned long long)report.staging_allocs_warmup,
+                (unsigned long long)report.staging_allocs_steady);
+    auto f = report.spmd.fault_totals();
+    std::printf("faults: %s\n", f.to_string().c_str());
+  }
   std::printf("virtual makespan %.6f s -> %.1f QPS\n", report.makespan_s,
               report.qps);
   std::printf("latency (modeled): mean %.4f ms, p50 %.4f ms, p95 %.4f ms, "
@@ -144,6 +214,8 @@ int main(int argc, char** argv) {
                              std::to_string(mesh.cols));
     metrics.info("mode",
                  wl.mode == service::ArrivalMode::Open ? "open" : "closed");
+    metrics.info("faults",
+                 fault_level > 0 ? std::to_string(fault_level) : "off");
     report.to_report(metrics);
     if (metrics.write_file(metrics_out))
       std::printf("metrics: wrote %s\n", metrics_out.c_str());

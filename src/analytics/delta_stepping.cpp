@@ -1,6 +1,7 @@
 #include "analytics/delta_stepping.hpp"
 
 #include "sim/comm_buffer.hpp"
+#include "sim/recover.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -136,14 +137,19 @@ class DeltaRelaxer {
   ThreadPool pool_{1};  // relaxation sweeps are serial; size-1 pools inline
 };
 
-}  // namespace
+/// One full delta-stepping attempt (the unit the replay driver commits or
+/// discards wholesale).  Distances, bucket bookkeeping and stats are all
+/// rebuilt per attempt; planned rank failures fire at the replicated
+/// bucket-epoch counter via the guard.
+struct DeltaAttempt {
+  std::vector<Dist> out;
+  DeltaSteppingStats stats;
+};
 
-std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
-                                const partition::Part15d& part, Vertex root,
-                                const DeltaSteppingOptions& options,
-                                DeltaSteppingStats* stats) {
-  SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
-  SUNBFS_CHECK(options.delta >= 1);
+DeltaAttempt run_delta_attempt(sim::RankContext& ctx,
+                               const partition::Part15d& part, Vertex root,
+                               const DeltaSteppingOptions& options,
+                               sim::ReplayGuard& guard) {
   const partition::EhlTable& cls = part.cls;
   const uint64_t k = cls.num_eh();
   const uint64_t nloc = part.local_count;
@@ -196,6 +202,7 @@ std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
   uint64_t bucket = next_bucket(0);
   while (bucket != ~uint64_t(0)) {
     ++local_stats.buckets_processed;
+    guard.epoch(local_stats.buckets_processed);
     // Inner light-edge rounds: first from all bucket members, then only
     // from members improved in the previous round.
     bool first = true;
@@ -227,14 +234,31 @@ std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
     bucket = next_bucket(bucket + 1);
   }
 
-  if (stats) *stats = local_stats;
-  std::vector<Dist> out(nloc);
+  DeltaAttempt done;
+  done.stats = local_stats;
+  done.out.resize(nloc);
   for (uint64_t l = 0; l < nloc; ++l) {
     Vertex g = part.space.to_global(ctx.rank, l);
     uint64_t eh = cls.eh_of(g);
-    out[l] = eh == partition::EhlTable::kNotEh ? l_dist[l] : eh_dist[eh];
+    done.out[l] = eh == partition::EhlTable::kNotEh ? l_dist[l] : eh_dist[eh];
   }
-  return out;
+  return done;
+}
+
+}  // namespace
+
+std::vector<Dist> sssp15d_delta(sim::RankContext& ctx,
+                                const partition::Part15d& part, Vertex root,
+                                const DeltaSteppingOptions& options,
+                                DeltaSteppingStats* stats) {
+  SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
+  SUNBFS_CHECK(options.delta >= 1);
+  DeltaAttempt attempt =
+      sim::run_with_replay(ctx, options.recovery, [&](sim::ReplayGuard& g) {
+        return run_delta_attempt(ctx, part, root, options, g);
+      });
+  if (stats) *stats = attempt.stats;
+  return std::move(attempt.out);
 }
 
 }  // namespace sunbfs::analytics

@@ -29,6 +29,9 @@ struct DeltaSteppingOptions {
   /// Adaptive wire encoding for the L-to-L relaxation alltoallv
   /// (sim/encoding.hpp).
   sim::EncodingOptions encoding;
+  /// Rollback-and-replay knobs under FaultPolicy::Recover (whole-query
+  /// replay, sim/recover.hpp); rank failures fire at bucket epochs.
+  sim::RecoveryOptions recovery;
 };
 
 /// One cross-rank L-to-L relaxation: candidate distance `dist` for global

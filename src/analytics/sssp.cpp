@@ -6,6 +6,7 @@
 #include "analytics/propagate.hpp"
 
 #include "graph/csr.hpp"
+#include "sim/recover.hpp"
 #include "support/check.hpp"
 #include "support/random.hpp"
 
@@ -49,13 +50,22 @@ std::vector<Dist> sssp15d(sim::RankContext& ctx,
                           const partition::Part15d& part, Vertex root,
                           const SsspOptions& options) {
   SUNBFS_CHECK(root >= 0 && uint64_t(root) < part.space.total);
-  PropagationEngine<RelaxProgram> engine(
-      ctx, part, RelaxProgram{options.weight_seed, options.max_weight},
-      {.incremental = true});
-  engine.initialize(
-      [&](Vertex v) { return v == root ? Dist(0) : kInfDist; });
-  engine.run();
-  return engine.owned_values();
+  // Whole-query rollback-and-replay (sim/recover.hpp): the engine is
+  // rebuilt per attempt, so a discarded attempt leaves no state behind; the
+  // guard fires planned rank failures at the replicated round counter.
+  return sim::run_with_replay(
+      ctx, options.recovery, [&](sim::ReplayGuard& guard) {
+        PropagationEngine<RelaxProgram> engine(
+            ctx, part, RelaxProgram{options.weight_seed, options.max_weight},
+            {.incremental = true});
+        engine.initialize(
+            [&](Vertex v) { return v == root ? Dist(0) : kInfDist; });
+        for (int round = 1; round <= (1 << 20); ++round) {
+          guard.epoch(round);
+          if (!engine.step()) break;
+        }
+        return engine.owned_values();
+      });
 }
 
 SsspValidation validate_sssp(uint64_t num_vertices,

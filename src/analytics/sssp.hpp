@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "partition/part15d.hpp"
+#include "sim/fault.hpp"
 #include "sim/runtime.hpp"
 
 /// Single-source shortest paths over the 1.5D partition (Graph 500's second
@@ -27,6 +28,11 @@ Dist edge_weight(graph::Vertex u, graph::Vertex v, uint64_t seed,
 struct SsspOptions {
   uint64_t weight_seed = 42;
   Dist max_weight = 255;
+  /// Rollback-and-replay knobs, honoured under FaultPolicy::Recover: the
+  /// whole query replays from its initial state after a dropped corrupted
+  /// contribution or a planned rank failure (sim/recover.hpp), with results
+  /// bit-identical to a fault-free run.
+  sim::RecoveryOptions recovery;
 };
 
 /// Distances of this rank's owned vertices (kInfDist if unreachable).

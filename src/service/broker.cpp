@@ -7,39 +7,116 @@ namespace sunbfs::service {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void fill_terminal(QueryResult& r, const Query& q, QueryStatus status,
+                   double done_s, std::string error) {
+  r.id = q.id;
+  r.kind = q.kind;
+  r.status = status;
+  r.root = q.root;
+  r.arrival_s = q.arrival_s;
+  r.deadline_s = q.deadline_s;
+  r.done_s = done_s;
+  r.latency_s = done_s - q.arrival_s;
+  r.retries = q.attempt;
+  r.error = std::move(error);
+}
+}  // namespace
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Shedding: return "shedding";
+    case BreakerState::Probing: return "probing";
+  }
+  return "?";
 }
 
 QueryResult make_expired(const Query& q, double now_s) {
-  QueryExpired err(q.id, q.deadline_s, now_s);
   QueryResult r;
-  r.id = q.id;
-  r.kind = q.kind;
-  r.status = QueryStatus::Expired;
-  r.root = q.root;
-  r.arrival_s = q.arrival_s;
-  r.done_s = now_s;
-  r.latency_s = now_s - q.arrival_s;
-  r.error = err.what();
+  fill_terminal(r, q, QueryStatus::Expired, now_s,
+                QueryExpired(q.id, q.arrival_s, q.deadline_s, now_s).what());
   return r;
 }
 
-bool QueryBroker::submit(const Query& q, QueryResult* rejection) {
-  if (queue_.size() >= config_.queue_capacity) {
-    if (rejection != nullptr) {
-      QueryRejected err(q.id, config_.queue_capacity);
-      rejection->id = q.id;
-      rejection->kind = q.kind;
-      rejection->status = QueryStatus::Rejected;
-      rejection->root = q.root;
-      rejection->arrival_s = q.arrival_s;
-      rejection->done_s = q.arrival_s;
-      rejection->latency_s = 0;
-      rejection->error = err.what();
+QueryResult make_failed(const Query& q, double now_s, const std::string& why) {
+  QueryResult r;
+  fill_terminal(r, q, QueryStatus::Failed, now_s,
+                QueryFailed(q.id, q.arrival_s, q.deadline_s, now_s,
+                            q.attempt + 1, why)
+                    .what());
+  return r;
+}
+
+void QueryBroker::transition(BreakerState next, double now_s) {
+  if (state_ == next) return;
+  state_ = next;
+  ++transitions_;
+  if (next == BreakerState::Shedding) {
+    shed_since_s_ = now_s;
+    window_.clear();  // fresh start: probe outcomes decide what happens next
+  }
+  if (next == BreakerState::Probing) probe_counter_ = 0;
+}
+
+bool QueryBroker::submit(const Query& q, QueryResult* rejection,
+                         double now_s) {
+  const ShedConfig& shed = config_.shed;
+  if (shed.enabled && state_ == BreakerState::Shedding &&
+      now_s >= shed_since_s_ + shed.probe_after_s)
+    transition(BreakerState::Probing, now_s);
+  if (shed.enabled && state_ != BreakerState::Closed && q.priority <= 0) {
+    const bool probe_admit =
+        state_ == BreakerState::Probing &&
+        probe_counter_++ % uint64_t(std::max(1, shed.probe_admit_every)) == 0;
+    if (!probe_admit) {
+      ++sheds_;
+      if (rejection != nullptr)
+        fill_terminal(
+            *rejection, q, QueryStatus::Rejected, now_s,
+            QueryShed(q.id, q.arrival_s, q.deadline_s, now_s).what());
+      return false;
     }
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    if (rejection != nullptr)
+      fill_terminal(*rejection, q, QueryStatus::Rejected, q.arrival_s,
+                    QueryRejected(q.id, q.arrival_s, q.deadline_s,
+                                  config_.queue_capacity)
+                        .what());
     return false;
   }
   queue_.push_back(q);
+  // Occupancy trip: the queue crossing the highwater mark is itself an
+  // overload signal, independent of misses already observed.
+  if (shed.enabled && state_ == BreakerState::Closed &&
+      double(queue_.size()) >=
+          shed.queue_highwater * double(config_.queue_capacity))
+    transition(BreakerState::Shedding, now_s);
   return true;
+}
+
+void QueryBroker::on_outcome(const QueryResult& result, double now_s) {
+  const ShedConfig& shed = config_.shed;
+  if (!shed.enabled) return;
+  const bool miss = result.status == QueryStatus::Expired;
+  const bool hit =
+      result.status == QueryStatus::Done && result.deadline_s != kNoDeadline;
+  if (!miss && !hit) return;  // rejections/failures are not overload signals
+  window_.push_back(miss);
+  while (int(window_.size()) > std::max(1, shed.window)) window_.pop_front();
+  const double rate =
+      double(std::count(window_.begin(), window_.end(), true)) /
+      double(window_.size());
+  const bool enough = int(window_.size()) >= std::max(1, shed.min_samples);
+  if (state_ == BreakerState::Closed && enough && rate >= shed.miss_rate_open) {
+    transition(BreakerState::Shedding, now_s);
+  } else if (state_ == BreakerState::Probing) {
+    if (enough && rate <= shed.miss_rate_close)
+      transition(BreakerState::Closed, now_s);
+    else if (miss)
+      transition(BreakerState::Shedding, now_s);  // probe failed, reopen
+  }
 }
 
 double QueryBroker::next_close_s() const {

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "bfs/workspace.hpp"
 #include "obs/trace.hpp"
 #include "service/query.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 
 namespace sunbfs::service {
 
@@ -176,35 +179,141 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     });
   };
 
+  // Checkpoint/rollback recovery, the bfs1d/bfs15d contract extended to the
+  // batch: snapshot {visited, frontier, parents, levels} every
+  // checkpoint_interval levels; when a corrupted contribution was dropped
+  // (agreed collectively below) or a planned rank failure fires (replicated
+  // plan — no agreement needed), every rank rolls back together after a
+  // capped exponential backoff.  Nothing is committed from a faulty pass, so
+  // the replayed batch stays bit-identical to a fault-free run.
+  const bool resilient = ctx.faults.recovering();
+  const sim::RecoveryOptions& rec = options.recovery;
+  std::vector<bool> fired_failures;
+  if (resilient) {
+    SUNBFS_CHECK(rec.checkpoint_interval >= 1);
+    fired_failures.assign(ctx.faults.plan->rank_failures().size(), false);
+  }
+  struct Checkpoint {
+    int iteration = 0;
+    std::vector<uint64_t> visited, curr;
+    std::vector<Vertex> parent;
+    std::vector<int> levels;
+    uint64_t bytes_sent = 0;
+  } ckpt;
+  int consecutive_retries = 0;
+  bool in_recovery = false;
+  auto save_checkpoint = [&](int it) {
+    ckpt.iteration = it;
+    ckpt.visited = visited;
+    ckpt.curr = curr;
+    ckpt.parent.assign(result.parent.begin(), result.parent.end());
+    ckpt.levels = result.levels;
+    ckpt.bytes_sent = ctx.stats.total_bytes_sent();
+  };
+  auto rollback = [&](int& it) {
+    obs::Span span("fault", "rollback", ckpt.iteration);
+    obs::instant("fault", "rollback_from", it);
+    ++consecutive_retries;
+    if (consecutive_retries > rec.max_retries)
+      throw sim::FaultDetected("fault: recovery retries exhausted after " +
+                               std::to_string(rec.max_retries) + " attempts");
+    auto& fs = ctx.faults.stats;
+    ++fs.retries;
+    in_recovery = true;
+    double delay = sim::backoff_delay_s(rec, consecutive_retries);
+    fs.backoff_s += delay;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    obs::Tracer::advance_modeled(delay);
+    fs.resent_bytes += ctx.stats.total_bytes_sent() - ckpt.bytes_sent;
+    visited = ckpt.visited;
+    curr = ckpt.curr;
+    std::fill(next.begin(), next.end(), uint64_t(0));
+    std::copy(ckpt.parent.begin(), ckpt.parent.end(), result.parent.begin());
+    result.levels = ckpt.levels;
+    it = ckpt.iteration;
+    log_debug("msbfs rank ", ctx.rank, ": rolled back to level checkpoint ",
+              ckpt.iteration, " (retry ", consecutive_retries, ")");
+  };
+  auto take_rank_failure = [&](int it) {
+    const auto& failures = ctx.faults.plan->rank_failures();
+    bool fired = false;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (fired_failures[i] || failures[i].level != it) continue;
+      fired_failures[i] = true;
+      fired = true;
+      if (failures[i].rank == ctx.rank) {
+        ++ctx.faults.stats.injected_failures;
+        log_debug("msbfs rank ", ctx.rank,
+                  ": injected hard failure at level ", it);
+        std::fill(visited.begin(), visited.end(), uint64_t(0));
+        std::fill(curr.begin(), curr.end(), uint64_t(0));
+        std::fill(next.begin(), next.end(), uint64_t(0));
+        std::fill(result.parent.begin(), result.parent.end(), kNoVertex);
+      }
+    }
+    return fired;
+  };
+
   obs::Span run_span("service", "msbfs", width);
+  if (resilient) save_checkpoint(0);
   int iteration = 0;
   for (;;) {
     ++iteration;
+    if (resilient && take_rank_failure(iteration)) {
+      rollback(iteration);
+      continue;
+    }
+    // Without the recover policy a scheduled failure simply kills the rank.
+    if (!resilient && ctx.faults.active())
+      for (const auto& f : ctx.faults.plan->rank_failures())
+        if (f.rank == ctx.rank && f.level == iteration)
+          throw sim::RankFailure(f.rank, f.level);
     uint64_t active = 0;
     for (uint64_t w : curr) active += uint64_t(std::popcount(w));
     active = ctx.world.allreduce_sum(active);
-    if (active == 0) break;
-    bool bottom_up = double(active) / (double(space.total) * width) >
-                     options.pull_ratio;
-    {
-      obs::Span level_span("service", bottom_up ? "level_pull" : "level_push",
-                           int64_t(active));
-      if (bottom_up)
-        run_pull();
-      else
-        run_push();
-    }
-    // Which queries discovered vertices this level (their depth grew to
-    // `iteration`) — replicated so every rank tracks the same levels.
+    const bool frontier_empty = active == 0;
     uint64_t newmask = 0;
-    for (uint64_t w : next) newmask |= w;
-    newmask = ctx.world.allreduce(
-        newmask, [](uint64_t a, uint64_t b) { return a | b; });
+    if (!frontier_empty) {
+      bool bottom_up = double(active) / (double(space.total) * width) >
+                       options.pull_ratio;
+      {
+        obs::Span level_span("service", bottom_up ? "level_pull" : "level_push",
+                             int64_t(active));
+        if (bottom_up)
+          run_pull();
+        else
+          run_push();
+      }
+      // Which queries discovered vertices this level (their depth grew to
+      // `iteration`) — replicated so every rank tracks the same levels.
+      for (uint64_t w : next) newmask |= w;
+      newmask = ctx.world.allreduce(
+          newmask, [](uint64_t a, uint64_t b) { return a | b; });
+    }
+    if (resilient) {
+      // Agree on the dropped-contribution flag; the pass commits nothing
+      // until every rank is known clean, so a rollback discards the level
+      // wholesale (including the possibly-poisoned `active`/newmask words).
+      bool faulty = ctx.world.allreduce_or(ctx.faults.take_pending());
+      faulty = ctx.faults.take_pending() || faulty;
+      if (faulty) {
+        rollback(iteration);
+        continue;
+      }
+      if (in_recovery) {
+        ++ctx.faults.stats.recovered;
+        in_recovery = false;
+        consecutive_retries = 0;
+      }
+    }
+    if (frontier_empty) break;
     for (int q = 0; q < width; ++q)
       if (newmask >> q & 1) result.levels[size_t(q)] = iteration;
     for (uint64_t i = 0; i < local_count; ++i) visited[i] |= next[i];
     std::swap(curr, next);
     std::fill(next.begin(), next.end(), uint64_t(0));
+    if (resilient && iteration % rec.checkpoint_interval == 0)
+      save_checkpoint(iteration);
   }
   result.num_iterations = iteration - 1;
   result.compute_model_s = double(result.work_edges) *

@@ -6,6 +6,7 @@
 
 #include "partition/part1d.hpp"
 #include "sim/comm_buffer.hpp"
+#include "sim/fault.hpp"
 #include "sim/runtime.hpp"
 
 /// Batched multi-source BFS (MS-BFS, Then et al., adapted to the distributed
@@ -63,6 +64,12 @@ struct MsbfsOptions {
   /// Adaptive wire encoding for the visit alltoallv and the frontier-word
   /// allgather (sim/encoding.hpp); applied to the pools each run.
   sim::EncodingOptions encoding;
+  /// Checkpoint/rollback recovery knobs, honoured when the rank runs under
+  /// FaultPolicy::Recover (same contract as bfs1d/bfs15d: per-level
+  /// checkpoints of the mask words + parents, collective agreement on the
+  /// pending-fault flag, capped exponential backoff).  Results stay
+  /// bit-identical to a fault-free run.
+  sim::RecoveryOptions recovery;
 };
 
 struct MsbfsResult {

@@ -3,15 +3,45 @@
 namespace sunbfs::service {
 namespace {
 
-std::string expired_message(uint64_t id, double deadline_s, double now_s) {
-  return "QueryExpired: query " + std::to_string(id) + " deadline " +
-         std::to_string(deadline_s) + "s passed at virtual time " +
+std::string stamp(uint64_t id, double arrival_s, double deadline_s) {
+  std::string s = "query " + std::to_string(id) + " (enqueued " +
+                  std::to_string(arrival_s) + "s, deadline ";
+  s += deadline_s == kNoDeadline ? "none" : std::to_string(deadline_s) + "s";
+  return s + ")";
+}
+
+std::string expired_message(uint64_t id, double arrival_s, double deadline_s,
+                            double now_s) {
+  return "QueryExpired: " + stamp(id, arrival_s, deadline_s) +
+         " passed at virtual time " + std::to_string(now_s) + "s";
+}
+
+std::string rejected_message(uint64_t id, double arrival_s, double deadline_s,
+                             size_t capacity) {
+  return "QueryRejected: " + stamp(id, arrival_s, deadline_s) +
+         " refused, admission queue at capacity " + std::to_string(capacity);
+}
+
+std::string shed_message(uint64_t id, double arrival_s, double deadline_s,
+                         double now_s) {
+  return "QueryShed: " + stamp(id, arrival_s, deadline_s) +
+         " shed by the overload breaker at virtual time " +
          std::to_string(now_s) + "s";
 }
 
-std::string rejected_message(uint64_t id, size_t capacity) {
-  return "QueryRejected: query " + std::to_string(id) +
-         " refused, admission queue at capacity " + std::to_string(capacity);
+std::string failed_message(uint64_t id, double arrival_s, double deadline_s,
+                           double now_s, int attempts,
+                           const std::string& why) {
+  return "QueryFailed: " + stamp(id, arrival_s, deadline_s) + " failed after " +
+         std::to_string(attempts) + " attempt(s) at virtual time " +
+         std::to_string(now_s) + "s: " + why;
+}
+
+std::string retried_message(uint64_t id, double arrival_s, double deadline_s,
+                            int attempt, double retry_at_s) {
+  return "QueryRetried: " + stamp(id, arrival_s, deadline_s) +
+         " re-admitted for attempt " + std::to_string(attempt) +
+         " at virtual time " + std::to_string(retry_at_s) + "s";
 }
 
 }  // namespace
@@ -29,19 +59,53 @@ const char* query_status_name(QueryStatus status) {
     case QueryStatus::Done: return "done";
     case QueryStatus::Expired: return "expired";
     case QueryStatus::Rejected: return "rejected";
+    case QueryStatus::Failed: return "failed";
   }
   return "?";
 }
 
-QueryExpired::QueryExpired(uint64_t id, double deadline_s, double now_s)
-    : std::runtime_error(expired_message(id, deadline_s, now_s)),
+QueryExpired::QueryExpired(uint64_t id, double arrival_s, double deadline_s,
+                           double now_s)
+    : std::runtime_error(expired_message(id, arrival_s, deadline_s, now_s)),
       id(id),
+      arrival_s(arrival_s),
       deadline_s(deadline_s),
       now_s(now_s) {}
 
-QueryRejected::QueryRejected(uint64_t id, size_t capacity)
-    : std::runtime_error(rejected_message(id, capacity)),
+QueryRejected::QueryRejected(uint64_t id, double arrival_s, double deadline_s,
+                             size_t capacity)
+    : std::runtime_error(rejected_message(id, arrival_s, deadline_s, capacity)),
       id(id),
+      arrival_s(arrival_s),
+      deadline_s(deadline_s),
       capacity(capacity) {}
+
+QueryShed::QueryShed(uint64_t id, double arrival_s, double deadline_s,
+                     double now_s)
+    : std::runtime_error(shed_message(id, arrival_s, deadline_s, now_s)),
+      id(id),
+      arrival_s(arrival_s),
+      deadline_s(deadline_s),
+      now_s(now_s) {}
+
+QueryFailed::QueryFailed(uint64_t id, double arrival_s, double deadline_s,
+                         double now_s, int attempts, const std::string& why)
+    : std::runtime_error(
+          failed_message(id, arrival_s, deadline_s, now_s, attempts, why)),
+      id(id),
+      arrival_s(arrival_s),
+      deadline_s(deadline_s),
+      now_s(now_s),
+      attempts(attempts) {}
+
+QueryRetried::QueryRetried(uint64_t id, double arrival_s, double deadline_s,
+                           int attempt, double retry_at_s)
+    : std::runtime_error(
+          retried_message(id, arrival_s, deadline_s, attempt, retry_at_s)),
+      id(id),
+      arrival_s(arrival_s),
+      deadline_s(deadline_s),
+      attempt(attempt),
+      retry_at_s(retry_at_s) {}
 
 }  // namespace sunbfs::service

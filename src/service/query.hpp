@@ -18,9 +18,15 @@
 ///
 /// Failure surface, mirroring the typed-fault style of sim/fault.hpp: a
 /// query that misses its deadline yields a QueryExpired-formatted result
-/// (status Expired) instead of stalling its batch, and a query refused by
-/// admission control yields QueryRejected (status Rejected).  Both carry the
-/// numbers a caller needs to diagnose the miss.
+/// (status Expired) instead of stalling its batch, a query refused by
+/// admission control yields QueryRejected (status Rejected), a query shed by
+/// the overload breaker yields QueryShed (status Rejected, a fast-failure
+/// instead of a slow expiry), and a query whose batch exhausted in-engine
+/// fault recovery is either re-admitted (QueryRetried, not terminal) or
+/// fails for good (QueryFailed, status Failed) once its retry budget or
+/// deadline rules another attempt out.  Every typed outcome carries the
+/// query id and its enqueue/deadline timestamps, so a workload replay log
+/// is self-describing (docs/SERVICE.md "Degraded modes").
 namespace sunbfs::service {
 
 /// Widest batch the multi-source BFS engine runs: one bit per query in each
@@ -38,7 +44,8 @@ const char* query_kind_name(QueryKind kind);
 enum class QueryStatus : int {
   Done = 0,  ///< executed, completed before its deadline
   Expired,   ///< deadline passed while queued, or completion came too late
-  Rejected,  ///< refused by admission control (queue at capacity)
+  Rejected,  ///< refused by admission control (queue full or load shed)
+  Failed,    ///< batch exhausted fault recovery and the retry budget ran out
 };
 const char* query_status_name(QueryStatus status);
 
@@ -48,6 +55,12 @@ struct Query {
   graph::Vertex root = 0;
   double arrival_s = 0;            ///< virtual arrival time
   double deadline_s = kNoDeadline; ///< absolute virtual deadline
+  /// Scheduling priority: 0 is the lowest (shed first when the overload
+  /// breaker opens); higher priorities are never shed.
+  int priority = 1;
+  /// Executions already attempted (0 on first admission; the broker retry
+  /// path re-admits with attempt + 1 after an in-engine recovery failure).
+  int attempt = 0;
 };
 
 /// Outcome of one query, recorded by the session in decision order.
@@ -57,12 +70,15 @@ struct QueryResult {
   QueryStatus status = QueryStatus::Done;
   graph::Vertex root = 0;
   double arrival_s = 0;
+  double deadline_s = kNoDeadline;  ///< absolute virtual deadline, replayable
   double start_s = 0;    ///< batch execution start (0 when never executed)
-  double done_s = 0;     ///< completion / expiry / rejection time
+  double done_s = 0;     ///< completion / expiry / rejection / failure time
   double latency_s = 0;  ///< done_s - arrival_s (queue wait + service)
   uint64_t traversed_edges = 0;
   int levels = 0;  ///< BFS levels (0 for SSSP / unexecuted queries)
-  std::string error;  ///< QueryExpired / QueryRejected message when not Done
+  int retries = 0;     ///< broker re-admissions before this terminal state
+  bool hedged = false; ///< batch was hedge-re-executed past the straggle cut
+  std::string error;  ///< typed outcome message when not Done
 
   bool ok() const { return status == QueryStatus::Done; }
 };
@@ -74,9 +90,10 @@ struct QueryResult {
 /// after the batch, so one slow query cannot stall its neighbours.
 class QueryExpired : public std::runtime_error {
  public:
-  QueryExpired(uint64_t id, double deadline_s, double now_s);
+  QueryExpired(uint64_t id, double arrival_s, double deadline_s, double now_s);
 
   uint64_t id;
+  double arrival_s;
   double deadline_s;
   double now_s;
 };
@@ -84,10 +101,56 @@ class QueryExpired : public std::runtime_error {
 /// Typed admission refusal: the bounded queue was at capacity.
 class QueryRejected : public std::runtime_error {
  public:
-  QueryRejected(uint64_t id, size_t capacity);
+  QueryRejected(uint64_t id, double arrival_s, double deadline_s,
+                size_t capacity);
 
   uint64_t id;
+  double arrival_s;
+  double deadline_s;
   size_t capacity;
+};
+
+/// Typed overload refusal: the circuit breaker was open (shedding or
+/// probing) and the query's priority made it sheddable.  A fast-failure the
+/// caller sees immediately, instead of queueing toward a certain expiry.
+class QueryShed : public std::runtime_error {
+ public:
+  QueryShed(uint64_t id, double arrival_s, double deadline_s, double now_s);
+
+  uint64_t id;
+  double arrival_s;
+  double deadline_s;
+  double now_s;
+};
+
+/// Typed permanent failure: the query's batch exhausted in-engine fault
+/// recovery (sim::FaultDetected) and no further attempt fits the retry
+/// budget or the deadline.
+class QueryFailed : public std::runtime_error {
+ public:
+  QueryFailed(uint64_t id, double arrival_s, double deadline_s, double now_s,
+              int attempts, const std::string& why);
+
+  uint64_t id;
+  double arrival_s;
+  double deadline_s;
+  double now_s;
+  int attempts;
+};
+
+/// Typed retry notice (not terminal): the query survived a failed batch and
+/// was re-admitted for attempt `attempt` at virtual time `retry_at_s`.  The
+/// session logs it; the eventual terminal result carries the retry count.
+class QueryRetried : public std::runtime_error {
+ public:
+  QueryRetried(uint64_t id, double arrival_s, double deadline_s, int attempt,
+               double retry_at_s);
+
+  uint64_t id;
+  double arrival_s;
+  double deadline_s;
+  int attempt;
+  double retry_at_s;
 };
 
 }  // namespace sunbfs::service

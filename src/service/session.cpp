@@ -10,6 +10,7 @@
 #include "partition/part15d.hpp"
 #include "partition/part1d.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 
 namespace sunbfs::service {
 
@@ -35,6 +36,15 @@ void ServiceReport::to_report(obs::Report& report) const {
   report.add_counter("service.expired_in_queue", expired_in_queue);
   report.add_counter("service.expired_late", expired_late);
   report.add_counter("service.batches", batches);
+  // Degraded-mode counters (docs/OBSERVABILITY.md "service.fault.*").
+  report.add_counter("service.fault.shed", shed);
+  report.add_counter("service.fault.failed", failed);
+  report.add_counter("service.fault.retried", retried);
+  report.add_counter("service.fault.failed_batches", failed_batches);
+  report.add_counter("service.fault.hedged_batches", hedged_batches);
+  report.add_counter("service.fault.breaker_transitions", breaker_transitions);
+  report.add_counter("service.staging_allocs_warmup", staging_allocs_warmup);
+  report.add_counter("service.staging_allocs", staging_allocs_steady);
   report.gauge("service.batch_occupancy", mean_batch_occupancy);
   report.gauge("service.makespan_s", makespan_s);
   report.gauge("service.qps", qps);
@@ -53,14 +63,27 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
   const graph::Graph500Config& g = config_.graph;
   partition::VertexSpace space{g.num_vertices(), nranks};
 
+  SUNBFS_CHECK(config_.retry_budget >= 0);
+
   ServiceReport report;
   // Rank 0's copies of the (replicated) serving outcome.
   std::vector<QueryResult> results0;
-  uint64_t submitted = 0, rejected = 0, expired_in_queue = 0;
-  uint64_t expired_late = 0, completed = 0, batches = 0;
+  uint64_t submitted = 0, accepted = 0, rejected = 0, shed = 0;
+  uint64_t expired_in_queue = 0, expired_late = 0, completed = 0, failed = 0;
+  uint64_t retried = 0, batches = 0, failed_batches = 0, hedged_batches = 0;
+  uint64_t breaker_transitions = 0, allocs_warm = 0, allocs_steady = 0;
   double occupancy_sum = 0, makespan = 0;
 
-  report.spmd = sim::run_spmd(topology_, [&](sim::RankContext& ctx) {
+  sim::SpmdOptions spmd_opts;
+  spmd_opts.policy = config_.fault_policy;
+  spmd_opts.faults = config_.faults.empty() ? nullptr : &config_.faults;
+  spmd_opts.checksums = config_.checksums;
+
+  const auto body = [&](sim::RankContext& ctx) {
+    // Faults stay disarmed outside engine executions: setup and the
+    // service-level reductions are not the recoverable surface, and the
+    // plan's call indices must count engine collectives alone.
+    ctx.faults.armed = false;
     // ---- Setup: once per session, resident for the whole workload. ------
     bfs::BfsWorkspace ws(resolve_threads_per_rank(config_.threads_per_rank,
                                                   size_t(nranks)));
@@ -103,28 +126,68 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
     QueryBroker broker(broker_cfg);
     std::vector<QueryResult> results;
     double now = 0;
-    uint64_t n_sub = 0, n_rej = 0, n_expq = 0, n_explate = 0, n_done = 0;
-    uint64_t n_batches = 0;
+    uint64_t n_sub = 0, n_acc = 0, n_rej = 0, n_expq = 0, n_explate = 0;
+    uint64_t n_done = 0, n_failed = 0, n_retried = 0, n_batches = 0;
+    uint64_t n_failed_batches = 0, n_hedged = 0;
     double occ_sum = 0;
+    uint64_t warm_allocs = 0;
+    bool warm_captured = false;
+    // Batch service times feeding the hedge straggle cut (replicated: every
+    // rank appends the same allreduced values).
+    std::vector<double> service_hist;
+    // Pending re-admissions after failed batches: (retry time, query).
+    std::vector<std::pair<double, Query>> retryq;
 
     auto finish = [&](QueryResult r) {
+      broker.on_outcome(r, now);
       gen.on_complete(r, now);
       results.push_back(std::move(r));
+    };
+    // Admit into the broker; a refusal (queue full or shed) is terminal.
+    auto admit = [&](const Query& q) {
+      QueryResult rej;
+      const uint64_t sheds0 = broker.shed_count();
+      if (broker.submit(q, &rej, now)) return true;
+      if (broker.shed_count() == sheds0) ++n_rej;
+      finish(std::move(rej));
+      return false;
+    };
+    auto next_retry_s = [&]() {
+      double t = kInf;
+      for (const auto& e : retryq) t = std::min(t, e.first);
+      return t;
+    };
+    auto note_allocs = [&]() {
+      if (warm_captured) return;
+      warm_captured = true;
+      warm_allocs = ws.staging_allocs() + staging.allocs();
     };
 
     for (;;) {
       if (!broker.batch_ready(now)) {
-        double t = std::min(gen.next_arrival_s(), broker.next_close_s());
-        if (t == kInf) break;  // drained: no arrivals, nothing queued
+        double t = std::min({gen.next_arrival_s(), broker.next_close_s(),
+                             next_retry_s()});
+        if (t == kInf) break;  // drained: no arrivals, retries or queue
         now = std::max(now, t);
       }
+      // Due re-admissions first (they carry the oldest arrivals), in
+      // (retry time, id) order so every rank replays them identically...
+      if (!retryq.empty()) {
+        std::sort(retryq.begin(), retryq.end(),
+                  [](const std::pair<double, Query>& a,
+                     const std::pair<double, Query>& b) {
+                    return a.first != b.first ? a.first < b.first
+                                              : a.second.id < b.second.id;
+                  });
+        size_t due = 0;
+        while (due < retryq.size() && retryq[due].first <= now) ++due;
+        for (size_t i = 0; i < due; ++i) admit(retryq[i].second);
+        retryq.erase(retryq.begin(), retryq.begin() + ptrdiff_t(due));
+      }
+      // ...then fresh arrivals.
       for (Query& q : gen.pop_ready(now)) {
         ++n_sub;
-        QueryResult rej;
-        if (!broker.submit(q, &rej)) {
-          ++n_rej;
-          finish(std::move(rej));
-        }
+        if (admit(q)) ++n_acc;
       }
       if (!broker.batch_ready(now)) continue;
       std::vector<QueryResult> swept;
@@ -142,47 +205,150 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       const int width = int(batch.size());
       std::vector<uint64_t> traversed(size_t(width), 0);
       std::vector<int> levels(size_t(width), 0);
-      double local_cost = 0;
-      const double comm0 = ctx.stats.total_modeled_s();
-      if (batch.front().kind == QueryKind::Bfs) {
-        std::vector<Vertex> broots(batch.size());
-        for (int i = 0; i < width; ++i) broots[size_t(i)] = batch[size_t(i)].root;
-        MsbfsResult r = msbfs_run(ctx, part1, broots, mopts);
-        local_cost += r.compute_model_s;
-        levels = r.levels;
-        // Degree-sum TEPS numerator per query (as in the Graph 500 runner:
-        // each in-component edge contributes twice).
-        for (int q = 0; q < width; ++q) {
-          uint64_t sum = 0;
-          const Vertex* parent = r.parent.data() + size_t(q) * local_count;
-          for (uint64_t l = 0; l < local_count; ++l)
-            if (parent[l] != graph::kNoVertex) sum += degrees[l];
-          traversed[size_t(q)] = sum;
+
+      // One full batch execution, faults armed around the engines only.
+      // Returns the batch's replicated service time; throws
+      // sim::FaultDetected when in-engine recovery is exhausted — the
+      // give-up point is collectively agreed, so every rank throws together
+      // and the SPMD collective order stays aligned.
+      auto execute_batch = [&](std::vector<uint64_t>& trav,
+                               std::vector<int>& lvls) -> double {
+        std::fill(trav.begin(), trav.end(), uint64_t(0));
+        std::fill(lvls.begin(), lvls.end(), 0);
+        double local_cost = 0;
+        const double comm0 = ctx.stats.total_modeled_s();
+        // Injected straggler delays and recovery backoff are deterministic
+        // (plan- and retry-schedule-driven) but do not enter the modeled
+        // network clock, so charge them into the batch cost explicitly —
+        // the slowest rank gates a synchronous batch.
+        const double fault0 =
+            ctx.faults.stats.straggler_delay_s + ctx.faults.stats.backoff_s;
+        (void)ctx.faults.take_pending();  // each attempt starts clean
+        ctx.faults.armed = true;
+        try {
+          if (batch.front().kind == QueryKind::Bfs) {
+            std::vector<Vertex> broots(batch.size());
+            for (int i = 0; i < width; ++i)
+              broots[size_t(i)] = batch[size_t(i)].root;
+            MsbfsResult r = msbfs_run(ctx, part1, broots, mopts);
+            local_cost += r.compute_model_s;
+            lvls = r.levels;
+            // Degree-sum TEPS numerator per query (as in the Graph 500
+            // runner: each in-component edge contributes twice).
+            for (int q = 0; q < width; ++q) {
+              uint64_t sum = 0;
+              const Vertex* parent = r.parent.data() + size_t(q) * local_count;
+              for (uint64_t l = 0; l < local_count; ++l)
+                if (parent[l] != graph::kNoVertex) sum += degrees[l];
+              trav[size_t(q)] = sum;
+            }
+          } else {
+            // SSSP-root queries share the batch's admission/deadline
+            // machinery but execute sequentially (no bit-parallel SSSP
+            // engine yet).
+            for (int i = 0; i < width; ++i) {
+              auto dist = analytics::sssp15d(
+                  ctx, *part15, batch[size_t(i)].root, config_.sssp);
+              uint64_t sum = 0;
+              for (uint64_t l = 0; l < dist.size(); ++l)
+                if (dist[l] != analytics::kInfDist) sum += degrees[l];
+              trav[size_t(i)] = sum;
+            }
+          }
+        } catch (...) {
+          ctx.faults.armed = false;
+          throw;
         }
-      } else {
-        // SSSP-root queries share the batch's admission/deadline machinery
-        // but execute sequentially (no bit-parallel SSSP engine yet).
-        for (int i = 0; i < width; ++i) {
-          auto dist = analytics::sssp15d(ctx, *part15, batch[size_t(i)].root,
-                                         config_.sssp);
-          uint64_t sum = 0;
-          for (uint64_t l = 0; l < dist.size(); ++l)
-            if (dist[l] != analytics::kInfDist) sum += degrees[l];
-          traversed[size_t(i)] = sum;
+        ctx.faults.armed = false;
+        const double comm_delta = ctx.stats.total_modeled_s() - comm0;
+        const double fault_delta = ctx.faults.stats.straggler_delay_s +
+                                   ctx.faults.stats.backoff_s - fault0;
+        // Service-level reductions run disarmed: they are bookkeeping, not
+        // part of the recoverable engine surface.
+        ctx.world.allreduce_inplace(
+            std::span<uint64_t>(trav),
+            [](uint64_t a, uint64_t b) { return a + b; });
+        for (uint64_t& t : trav) t /= 2;
+        double cost = local_cost;
+        if (batch.front().kind == QueryKind::SsspRoot)
+          for (uint64_t t : trav)
+            cost += double(t) * config_.sssp_seconds_per_edge /
+                    (double(nranks) * double(ws.pool().size()));
+        // Batch service time on the virtual clock: slowest rank's modeled
+        // network seconds plus its deterministic compute model and fault
+        // delays.  allreduce_max both replicates the clock and models the
+        // synchronous batch.
+        return ctx.world.allreduce_max(comm_delta + fault_delta + cost);
+      };
+
+      double service_s = 0;
+      bool batch_failed = false;
+      const double comm_before = ctx.stats.total_modeled_s();
+      const double fault_before =
+          ctx.faults.stats.straggler_delay_s + ctx.faults.stats.backoff_s;
+      try {
+        service_s = execute_batch(traversed, levels);
+      } catch (const sim::FaultDetected&) {
+        batch_failed = true;
+        // The doomed batch still burned virtual time: charge the slowest
+        // rank's modeled network seconds plus its deterministic fault
+        // delays (its compute never completed).
+        service_s = ctx.world.allreduce_max(
+            ctx.stats.total_modeled_s() - comm_before +
+            ctx.faults.stats.straggler_delay_s + ctx.faults.stats.backoff_s -
+            fault_before);
+      }
+      note_allocs();
+
+      if (batch_failed) {
+        ++n_failed_batches;
+        now = start + service_s;
+        for (const Query& q : batch) {
+          const double backoff = std::min(
+              config_.retry_backoff_cap_s,
+              config_.retry_backoff_s *
+                  double(uint64_t(1) << std::min(q.attempt, 20)));
+          const double retry_at = now + backoff;
+          if (q.attempt < config_.retry_budget && retry_at < q.deadline_s) {
+            Query rq = q;
+            ++rq.attempt;
+            ++n_retried;
+            retryq.emplace_back(retry_at, rq);
+            log_debug(QueryRetried(q.id, q.arrival_s, q.deadline_s, rq.attempt,
+                                   retry_at)
+                          .what());
+          } else {
+            ++n_failed;
+            finish(
+                make_failed(q, now, "batch exhausted in-engine fault recovery"));
+          }
+        }
+        continue;
+      }
+
+      // Hedge: re-execute a batch straggling past the latency-quantile cut
+      // and charge min(first, cut + second).  The engines are deterministic,
+      // so results are bit-identical — the hedge only wins time when the
+      // straggle came from injected faults the replay does not hit again.
+      bool hedged = false;
+      if (config_.hedge.enabled &&
+          int(service_hist.size()) >= std::max(1, config_.hedge.min_samples)) {
+        const double cut = config_.hedge.factor *
+                           percentile(service_hist, config_.hedge.quantile);
+        if (service_s > cut) {
+          hedged = true;
+          ++n_hedged;
+          std::vector<uint64_t> trav2(size_t(width), 0);
+          std::vector<int> lvls2(size_t(width), 0);
+          try {
+            const double second_s = execute_batch(trav2, lvls2);
+            service_s = std::min(service_s, cut + second_s);
+          } catch (const sim::FaultDetected&) {
+            // The hedge replica died too; the first result stands.
+          }
         }
       }
-      const double comm_delta = ctx.stats.total_modeled_s() - comm0;
-      ctx.world.allreduce_inplace(std::span<uint64_t>(traversed),
-                                  [](uint64_t a, uint64_t b) { return a + b; });
-      for (uint64_t& t : traversed) t /= 2;
-      if (batch.front().kind == QueryKind::SsspRoot)
-        for (uint64_t t : traversed)
-          local_cost += double(t) * config_.sssp_seconds_per_edge /
-                        (double(nranks) * double(ws.pool().size()));
-      // Batch service time on the virtual clock: slowest rank's modeled
-      // network seconds plus its deterministic compute model.  allreduce_max
-      // both replicates the clock and models the synchronous batch.
-      const double service_s = ctx.world.allreduce_max(comm_delta + local_cost);
+      service_hist.push_back(service_s);
       now = start + service_s;
 
       for (int i = 0; i < width; ++i) {
@@ -192,14 +358,17 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         r.kind = q.kind;
         r.root = q.root;
         r.arrival_s = q.arrival_s;
+        r.deadline_s = q.deadline_s;
         r.start_s = start;
         r.done_s = now;
         r.latency_s = now - q.arrival_s;
         r.traversed_edges = traversed[size_t(i)];
         r.levels = levels[size_t(i)];
+        r.retries = q.attempt;
+        r.hedged = hedged;
         if (now > q.deadline_s) {
           r.status = QueryStatus::Expired;
-          r.error = QueryExpired(q.id, q.deadline_s, now).what();
+          r.error = QueryExpired(q.id, q.arrival_s, q.deadline_s, now).what();
           ++n_explate;
         } else {
           r.status = QueryStatus::Done;
@@ -209,27 +378,53 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       }
     }
 
+    // Steady-state allocation proof: the resident pools must stop growing
+    // after the first executed batch, faults or not (the chaos suite gates
+    // the BFS-workload steady count at zero).
+    const uint64_t total_allocs = ws.staging_allocs() + staging.allocs();
+    const uint64_t warm = warm_captured ? warm_allocs : total_allocs;
+    const uint64_t warm_total = ctx.world.allreduce_sum(warm);
+    const uint64_t steady_total = ctx.world.allreduce_sum(total_allocs - warm);
+
     if (ctx.rank == 0) {
       results0 = std::move(results);
       submitted = n_sub;
+      accepted = n_acc;
       rejected = n_rej;
+      shed = broker.shed_count();
       expired_in_queue = n_expq;
       expired_late = n_explate;
       completed = n_done;
+      failed = n_failed;
+      retried = n_retried;
       batches = n_batches;
+      failed_batches = n_failed_batches;
+      hedged_batches = n_hedged;
+      breaker_transitions = broker.breaker_transitions();
+      allocs_warm = warm_total;
+      allocs_steady = steady_total;
       occupancy_sum = occ_sum;
       makespan = now;
     }
-  });
+  };
+  report.spmd = sim::run_spmd(topology_, body, spmd_opts);
 
   report.results = std::move(results0);
   report.submitted = submitted;
-  report.accepted = submitted - rejected;
+  report.accepted = accepted;
   report.rejected = rejected;
+  report.shed = shed;
   report.completed = completed;
   report.expired_in_queue = expired_in_queue;
   report.expired_late = expired_late;
+  report.failed = failed;
+  report.retried = retried;
   report.batches = batches;
+  report.failed_batches = failed_batches;
+  report.hedged_batches = hedged_batches;
+  report.breaker_transitions = breaker_transitions;
+  report.staging_allocs_warmup = allocs_warm;
+  report.staging_allocs_steady = allocs_steady;
   report.mean_batch_occupancy =
       batches > 0 ? occupancy_sum / double(batches) : 0;
   report.makespan_s = makespan;

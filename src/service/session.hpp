@@ -30,6 +30,23 @@
 /// of its own.  See docs/SERVICE.md.
 namespace sunbfs::service {
 
+/// Hedged re-execution of straggling batches: when a batch's service time
+/// exceeds `factor` x the `quantile`-th percentile of the service times seen
+/// so far (a replicated history — every rank computes the same cut), the
+/// session models a hedge replica launched at the cut and charges the batch
+/// min(first attempt, cut + second attempt).  The engines are deterministic,
+/// so the hedge only wins when the straggle came from injected faults the
+/// replay does not hit again — exactly the transient-straggler case hedging
+/// exists for.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Batches observed before the latency quantile is trusted.
+  int min_samples = 8;
+  /// Straggle cut: factor x percentile(service history, quantile).
+  double quantile = 95;
+  double factor = 3.0;
+};
+
 struct ServiceConfig {
   graph::Graph500Config graph;
   /// 1.5D thresholds for the SSSP partition (built only when the workload
@@ -44,6 +61,24 @@ struct ServiceConfig {
   /// Deterministic compute model for SSSP-root queries (they relax each
   /// in-component edge several times; BFS uses msbfs.sim_seconds_per_edge).
   double sssp_seconds_per_edge = 8e-9;
+
+  // ---- Fault tolerance (docs/SERVICE.md "Degraded modes"). ---------------
+  /// Deterministic fault schedule armed only around engine executions; an
+  /// empty plan keeps the session on the exact fault-free code path.
+  sim::FaultPlan faults;
+  /// Recover lets the engines checkpoint/replay and the broker retry; Abort
+  /// and Report keep the pre-fault-framework semantics.
+  sim::FaultPolicy fault_policy = sim::FaultPolicy::Recover;
+  sim::ChecksumMode checksums = sim::ChecksumMode::Auto;
+  /// Broker-level re-admissions allowed per query after its batch exhausted
+  /// in-engine recovery (0 fails immediately).
+  int retry_budget = 2;
+  /// Capped exponential backoff before a re-admission: base * 2^attempt,
+  /// capped.  A retry that cannot land before the query's deadline is not
+  /// scheduled — the query fails fast instead.
+  double retry_backoff_s = 1e-3;
+  double retry_backoff_cap_s = 8e-3;
+  HedgeConfig hedge;
 };
 
 /// Aggregate outcome of one served workload.
@@ -54,11 +89,22 @@ struct ServiceReport {
 
   uint64_t submitted = 0;
   uint64_t accepted = 0;
-  uint64_t rejected = 0;
+  uint64_t rejected = 0;           ///< queue-capacity refusals
+  uint64_t shed = 0;               ///< fast-failed by the overload breaker
   uint64_t completed = 0;          ///< Done before deadline
   uint64_t expired_in_queue = 0;   ///< swept at batch formation
   uint64_t expired_late = 0;       ///< executed but finished past deadline
+  uint64_t failed = 0;             ///< terminal Failed (retry budget ran out)
+  uint64_t retried = 0;            ///< broker re-admissions after failed batches
   uint64_t batches = 0;
+  uint64_t failed_batches = 0;     ///< batches that exhausted in-engine recovery
+  uint64_t hedged_batches = 0;     ///< batches hedge-re-executed past the cut
+  uint64_t breaker_transitions = 0;
+  /// Staging-pool growths (summed over ranks) during the first executed
+  /// batch vs. after it; steady must be 0 for BFS workloads (the resident
+  /// pools are primed once — the chaos suite gates this under faults too).
+  uint64_t staging_allocs_warmup = 0;
+  uint64_t staging_allocs_steady = 0;
   double mean_batch_occupancy = 0;  ///< queries per executed batch
   double makespan_s = 0;            ///< virtual clock at the last decision
   double qps = 0;                   ///< completed / makespan

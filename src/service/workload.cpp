@@ -55,6 +55,12 @@ Query WorkloadGen::make_query(Xoshiro256StarStar& rng, double arrival_s,
   // already past their deadline.
   if (config_.expire_every > 0 && (q.id + 1) % config_.expire_every == 0)
     q.deadline_s = arrival_s;
+  // Priority from a (seed, id) hash, not an RNG draw: the kind/root stream
+  // above must not shift when the priority mix changes.
+  uint64_t h = SplitMix64::mix(config_.seed ^
+                               (q.id * 0x9E3779B97F4A7C15ull + 0xA5A5ull));
+  double u = double(h >> 11) * 0x1.0p-53;
+  q.priority = u < config_.low_priority_fraction ? 0 : 1;
   user_of_id_.push_back(user);
   return q;
 }

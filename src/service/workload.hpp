@@ -41,6 +41,11 @@ struct WorkloadConfig {
   /// gets a zero relative deadline, so it is already expired when the broker
   /// sweeps.  0 disables.
   uint64_t expire_every = 0;
+  /// Fraction of queries issued at priority 0 (sheddable by the overload
+  /// breaker); the rest are priority 1.  Derived from a hash of (seed, id)
+  /// rather than an RNG draw so the query stream itself is unchanged by the
+  /// priority mix.  Inert unless ShedConfig::enabled.
+  double low_priority_fraction = 0.5;
 };
 
 /// Generates the query stream against a root pool (degree->=1 search keys

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/fault.hpp"
+#include "sim/runtime.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+/// Whole-attempt rollback-and-replay for collective engines without
+/// per-level checkpoints (the SSSP / delta-stepping query path).  The BFS
+/// engines checkpoint mid-search because a search is long; a single SSSP
+/// query is short enough that the cheapest consistent checkpoint is its
+/// initial state, so recovery is: run the attempt, agree collectively on
+/// the dropped-contribution flag, and either commit or discard the attempt
+/// wholesale, back off (capped exponential, on the modeled clock) and
+/// replay.  The decision inputs — the replicated fault plan and the agreed
+/// flag — are identical on every rank, so all ranks restart at the same
+/// point and the committed result is bit-identical to a fault-free run.
+namespace sunbfs::sim {
+
+/// Hands planned rank failures to the replay driver.  The body must call
+/// epoch(n) once per round/bucket sweep with a replicated counter n
+/// (starting at 1), at a collective-aligned point: failures fire there,
+/// mid-attempt, the way they fire mid-search in bfs1d/bfs15d.  Under
+/// FaultPolicy::Recover the attempt is discarded on every rank (the victim
+/// counts the injection); under other policies the victim rank dies with
+/// sim::RankFailure.
+class ReplayGuard {
+ public:
+  /// Internal control-flow signal thrown by epoch(); run_with_replay
+  /// catches it.  Never escapes to callers.
+  struct Aborted {};
+
+  ReplayGuard(RankContext& ctx, bool resilient)
+      : ctx_(ctx), resilient_(resilient) {
+    if (resilient_)
+      fired_.assign(ctx_.faults.plan->rank_failures().size(), false);
+  }
+
+  void epoch(int level) {
+    if (!resilient_) {
+      if (ctx_.faults.active())
+        for (const auto& f : ctx_.faults.plan->rank_failures())
+          if (f.rank == ctx_.rank && f.level == level)
+            throw RankFailure(f.rank, f.level);
+      return;
+    }
+    // Replicated plan, replicated epoch counter: every rank latches the
+    // same entries and aborts the attempt at the same program point.
+    const auto& failures = ctx_.faults.plan->rank_failures();
+    bool fired = false;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      if (fired_[i] || failures[i].level != level) continue;
+      fired_[i] = true;
+      fired = true;
+      if (failures[i].rank == ctx_.rank) {
+        ++ctx_.faults.stats.injected_failures;
+        log_debug("replay rank ", ctx_.rank,
+                  ": injected hard failure at epoch ", level);
+      }
+    }
+    if (fired) throw Aborted{};
+  }
+
+ private:
+  RankContext& ctx_;
+  bool resilient_;
+  std::vector<bool> fired_;
+};
+
+/// Run `body(guard)` — one full collective pass over ctx.world — under the
+/// rollback-and-replay contract described above.  Returns the first
+/// committed (fault-free) attempt's result; throws FaultDetected once
+/// rec.max_retries consecutive attempts were discarded.  Without the
+/// Recover policy the body runs exactly once (planned rank failures then
+/// kill their rank via the guard).
+template <typename Body>
+auto run_with_replay(RankContext& ctx, const RecoveryOptions& rec,
+                     Body&& body) {
+  const bool resilient = ctx.faults.recovering();
+  ReplayGuard guard(ctx, resilient);
+  if (!resilient) return body(guard);
+  int consecutive_retries = 0;
+  bool in_recovery = false;
+  auto rollback = [&](const char* why) {
+    obs::Span span("fault", "replay_restart");
+    ++consecutive_retries;
+    if (consecutive_retries > rec.max_retries)
+      throw FaultDetected("fault: recovery retries exhausted after " +
+                          std::to_string(rec.max_retries) + " attempts");
+    auto& fs = ctx.faults.stats;
+    ++fs.retries;
+    in_recovery = true;
+    double delay = backoff_delay_s(rec, consecutive_retries);
+    fs.backoff_s += delay;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    obs::Tracer::advance_modeled(delay);
+    log_debug("replay rank ", ctx.rank, ": attempt discarded (", why,
+              "), retry ", consecutive_retries);
+  };
+  for (;;) {
+    // The attempt starts clean: pending flags left over from a discarded
+    // attempt were accounted for by that attempt's rollback already.
+    (void)ctx.faults.take_pending();
+    const uint64_t bytes0 = ctx.stats.total_bytes_sent();
+    bool aborted = false;
+    using Result = decltype(body(guard));
+    Result result{};
+    try {
+      result = body(guard);
+    } catch (const ReplayGuard::Aborted&) {
+      aborted = true;
+    }
+    // Aborted or not, every rank reaches this agreement at the same program
+    // position (the abort decision is replicated), so it stays aligned.
+    bool faulty = ctx.world.allreduce_or(ctx.faults.take_pending());
+    faulty = ctx.faults.take_pending() || faulty;
+    if (aborted || faulty) {
+      ctx.faults.stats.resent_bytes += ctx.stats.total_bytes_sent() - bytes0;
+      rollback(aborted ? "rank failure" : "dropped contribution");
+      continue;
+    }
+    if (in_recovery) {
+      ++ctx.faults.stats.recovered;
+      in_recovery = false;
+      consecutive_retries = 0;
+    }
+    return result;
+  }
+}
+
+}  // namespace sunbfs::sim

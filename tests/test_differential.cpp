@@ -36,6 +36,7 @@
 #include "partition/part1d.hpp"
 #include "service/msbfs.hpp"
 #include "service/query.hpp"
+#include "sim/fault.hpp"
 #include "sim/runtime.hpp"
 #include "support/random.hpp"
 
@@ -251,6 +252,130 @@ INSTANTIATE_TEST_SUITE_P(
         MsbfsCase{22, 10, 2, 2, 5, 1, true, true},
         MsbfsCase{23, 9, 1, 2, 16, 4, false, false},
         MsbfsCase{24, 10, 2, 1, 33, 2, true, false}));
+
+// ----------------------------- MS-BFS recovery vs the canonical oracle
+
+// Rollback-and-replay must be invisible in the output: MS-BFS recovering
+// from each FaultKind returns parents bit-identical to the serial canonical
+// oracle — i.e. identical to a fault-free run — across thread counts and
+// with the wire encoding on and off (corruption then hits *encoded*
+// payloads and detection goes through the block checksums).
+struct MsbfsFaultCase {
+  sim::FaultKind kind;
+  int threads;
+  bool encoding;
+};
+
+class MsbfsFaultOracle : public ::testing::TestWithParam<MsbfsFaultCase> {};
+
+sim::FaultPlan plan_for(sim::FaultKind kind) {
+  sim::FaultPlan plan;
+  switch (kind) {
+    case sim::FaultKind::Straggler:
+      plan.add_straggler(1, sim::CollectiveType::Allreduce, 2, 1e-3);
+      break;
+    case sim::FaultKind::BitFlip:
+      plan.add_bitflip(1, sim::CollectiveType::Alltoallv, 1);
+      break;
+    case sim::FaultKind::Truncate:
+      plan.add_truncate(0, sim::CollectiveType::Alltoallv, 2);
+      break;
+    case sim::FaultKind::RankFailure:
+      plan.add_rank_failure(1, 2);
+      break;
+  }
+  return plan;
+}
+
+TEST_P(MsbfsFaultOracle, RecoveredParentsEqualCanonicalReference) {
+  const MsbfsFaultCase c = GetParam();
+  SCOPED_TRACE(std::string("kind ") + sim::fault_kind_name(c.kind) +
+               ", threads " + std::to_string(c.threads) + ", encoding " +
+               (c.encoding ? "on" : "off"));
+  Graph500Config cfg;
+  cfg.scale = 9;
+  cfg.seed = 31;
+  const sim::MeshShape mesh{2, 2};
+  partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+  const int width = 9;
+
+  const sim::FaultPlan plan = plan_for(c.kind);
+  sim::SpmdOptions opts;
+  opts.policy = sim::FaultPolicy::Recover;
+  opts.faults = &plan;
+
+  std::vector<Vertex> roots;
+  std::vector<std::vector<Vertex>> got_parent;
+  auto report = sim::run_spmd(sim::Topology(mesh), [&](sim::RankContext& ctx) {
+    // Setup is outside the recoverable surface: the plan's call indices
+    // must count the engine's collectives alone (the session layer uses
+    // the same arming discipline).
+    ctx.faults.armed = false;
+    auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+    auto part = partition::build_1d(ctx, space, slice);
+    auto keys = bfs::pick_search_keys(ctx, space, degrees, width, cfg.seed);
+    service::MsbfsOptions mopts;
+    mopts.threads_per_rank = c.threads;
+    mopts.encoding.enabled = c.encoding;
+    ctx.faults.armed = true;
+    auto batch = service::msbfs_run(ctx, part, keys, mopts);
+    ctx.faults.armed = false;
+    const uint64_t local = space.count(ctx.rank);
+    std::vector<std::vector<Vertex>> gathered(keys.size());
+    for (size_t q = 0; q < keys.size(); ++q)
+      gathered[q] = ctx.world.allgatherv(std::span<const Vertex>(
+          batch.parent.data() + q * local, local));
+    if (ctx.rank == 0) {
+      roots = keys;
+      got_parent = std::move(gathered);
+    }
+  }, opts);
+  ASSERT_TRUE(report.ok()) << report.errors.front();
+
+  // The plan must actually have fired, and the corrupting/fatal kinds must
+  // have gone through detection + rollback-and-replay.
+  const sim::FaultStats totals = report.fault_totals();
+  EXPECT_GE(totals.injected(), 1u);
+  if (c.kind != sim::FaultKind::Straggler) EXPECT_GE(totals.recovered, 1u);
+
+  auto edges = graph::generate_rmat(cfg);
+  std::vector<std::vector<Vertex>> adj(cfg.num_vertices());
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    adj[size_t(e.u)].push_back(e.v);
+    adj[size_t(e.v)].push_back(e.u);
+  }
+  ASSERT_EQ(roots.size(), size_t(width));
+  for (size_t q = 0; q < roots.size(); ++q) {
+    auto ref = graph::reference_bfs(cfg.num_vertices(), edges, roots[q]);
+    auto levels = graph::levels_from_parents(cfg.num_vertices(), ref, roots[q]);
+    auto want = canonical_parents(cfg.num_vertices(), adj, levels, roots[q]);
+    for (uint64_t v = 0; v < cfg.num_vertices(); ++v)
+      ASSERT_EQ(got_parent[q][v], want[v])
+          << "query " << q << " root " << roots[q] << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryFaultKind, MsbfsFaultOracle,
+    ::testing::Values(
+        MsbfsFaultCase{sim::FaultKind::Straggler, 1, true},
+        MsbfsFaultCase{sim::FaultKind::Straggler, 4, true},
+        MsbfsFaultCase{sim::FaultKind::Straggler, 1, false},
+        MsbfsFaultCase{sim::FaultKind::Straggler, 4, false},
+        MsbfsFaultCase{sim::FaultKind::BitFlip, 1, true},
+        MsbfsFaultCase{sim::FaultKind::BitFlip, 4, true},
+        MsbfsFaultCase{sim::FaultKind::BitFlip, 1, false},
+        MsbfsFaultCase{sim::FaultKind::BitFlip, 4, false},
+        MsbfsFaultCase{sim::FaultKind::Truncate, 1, true},
+        MsbfsFaultCase{sim::FaultKind::Truncate, 4, true},
+        MsbfsFaultCase{sim::FaultKind::Truncate, 1, false},
+        MsbfsFaultCase{sim::FaultKind::Truncate, 4, false},
+        MsbfsFaultCase{sim::FaultKind::RankFailure, 1, true},
+        MsbfsFaultCase{sim::FaultKind::RankFailure, 4, true},
+        MsbfsFaultCase{sim::FaultKind::RankFailure, 1, false},
+        MsbfsFaultCase{sim::FaultKind::RankFailure, 4, false}));
 
 // ------------------------------- acceptance: on/off bit-identity
 

@@ -259,6 +259,114 @@ TEST(Broker, BatchesAreKindHomogeneous) {
   EXPECT_EQ(next[0].kind, QueryKind::SsspRoot);
 }
 
+// ------------------------------------------------------ overload breaker
+
+BrokerConfig breaker_config() {
+  BrokerConfig cfg;
+  cfg.batch_width = 64;
+  cfg.queue_capacity = 10;
+  cfg.shed.enabled = true;
+  cfg.shed.queue_highwater = 0.5;  // occupancy trip at depth 5
+  cfg.shed.window = 4;
+  cfg.shed.min_samples = 2;
+  cfg.shed.probe_after_s = 0.01;
+  cfg.shed.probe_admit_every = 4;
+  return cfg;
+}
+
+Query sheddable(uint64_t id, double arrival_s) {
+  Query q = bfs_query(id, Vertex(id + 1), arrival_s);
+  q.priority = 0;
+  return q;
+}
+
+QueryResult outcome(QueryStatus status, double deadline_s) {
+  QueryResult r;
+  r.status = status;
+  r.deadline_s = deadline_s;
+  return r;
+}
+
+TEST(Breaker, OccupancyTripShedsOnlyLowPriority) {
+  QueryBroker broker(breaker_config());
+  for (uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(broker.submit(bfs_query(i, Vertex(i + 1), 0.0), nullptr, 0.0));
+  EXPECT_EQ(broker.breaker(), BreakerState::Shedding);  // depth 5 = highwater
+  EXPECT_EQ(broker.breaker_transitions(), 1u);
+
+  QueryResult rejection;
+  EXPECT_FALSE(broker.submit(sheddable(5, 0.0), &rejection, 0.0));
+  EXPECT_EQ(rejection.status, QueryStatus::Rejected);
+  EXPECT_NE(rejection.error.find("QueryShed"), std::string::npos)
+      << rejection.error;
+  EXPECT_EQ(broker.shed_count(), 1u);
+  EXPECT_EQ(broker.depth(), 5u);
+
+  // Default-priority queries ride through an open breaker untouched.
+  EXPECT_TRUE(broker.submit(bfs_query(6, 7, 0.0), nullptr, 0.0));
+  EXPECT_EQ(broker.depth(), 6u);
+}
+
+TEST(Breaker, MissRateOpensBreaker) {
+  QueryBroker broker(breaker_config());
+  EXPECT_EQ(broker.breaker(), BreakerState::Closed);
+  // One miss is below min_samples; the second opens (rate 1 >= 0.5).
+  broker.on_outcome(outcome(QueryStatus::Expired, 0.001), 0.002);
+  EXPECT_EQ(broker.breaker(), BreakerState::Closed);
+  broker.on_outcome(outcome(QueryStatus::Expired, 0.001), 0.003);
+  EXPECT_EQ(broker.breaker(), BreakerState::Shedding);
+  // Rejections and deadline-free completions are not overload signals.
+  broker.on_outcome(outcome(QueryStatus::Rejected, kNoDeadline), 0.004);
+  EXPECT_EQ(broker.breaker_transitions(), 1u);
+}
+
+TEST(Breaker, ProbingAdmitsTrickleThenHealthyWindowCloses) {
+  QueryBroker broker(breaker_config());
+  for (uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(broker.submit(bfs_query(i, Vertex(i + 1), 0.0), nullptr, 0.0));
+  ASSERT_EQ(broker.breaker(), BreakerState::Shedding);
+
+  // Past the probe timer, the first sheddable submission flips the breaker
+  // to Probing and is itself the probe (1 admitted in every 4).
+  EXPECT_TRUE(broker.submit(sheddable(10, 0.02), nullptr, 0.02));
+  EXPECT_EQ(broker.breaker(), BreakerState::Probing);
+  EXPECT_TRUE(broker.submit(bfs_query(11, 12, 0.02), nullptr, 0.02));
+  for (uint64_t i = 0; i < 3; ++i)
+    EXPECT_FALSE(broker.submit(sheddable(12 + i, 0.02), nullptr, 0.02));
+  EXPECT_TRUE(broker.submit(sheddable(15, 0.02), nullptr, 0.02));
+  EXPECT_EQ(broker.shed_count(), 3u);
+
+  // A healthy outcome window closes the breaker again.
+  broker.on_outcome(outcome(QueryStatus::Done, 0.5), 0.03);
+  broker.on_outcome(outcome(QueryStatus::Done, 0.5), 0.03);
+  EXPECT_EQ(broker.breaker(), BreakerState::Closed);
+  EXPECT_EQ(broker.breaker_transitions(), 3u);  // shed -> probe -> closed
+}
+
+TEST(Breaker, ProbeMissReopensImmediately) {
+  QueryBroker broker(breaker_config());
+  for (uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(broker.submit(bfs_query(i, Vertex(i + 1), 0.0), nullptr, 0.0));
+  EXPECT_TRUE(broker.submit(sheddable(10, 0.02), nullptr, 0.02));
+  ASSERT_EQ(broker.breaker(), BreakerState::Probing);
+  broker.on_outcome(outcome(QueryStatus::Expired, 0.001), 0.03);
+  EXPECT_EQ(broker.breaker(), BreakerState::Shedding);
+}
+
+TEST(Breaker, FailedResultCarriesAttemptsAndTimestamps) {
+  Query q = bfs_query(9, 4, /*arrival=*/0.001, /*deadline=*/0.010);
+  q.attempt = 2;
+  QueryResult r = make_failed(q, 0.006, "batch exhausted recovery");
+  EXPECT_EQ(r.status, QueryStatus::Failed);
+  EXPECT_EQ(r.id, 9u);
+  EXPECT_EQ(r.retries, 2);
+  EXPECT_EQ(r.deadline_s, 0.010);
+  EXPECT_DOUBLE_EQ(r.latency_s, 0.005);
+  EXPECT_NE(r.error.find("QueryFailed"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("3 attempt(s)"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("batch exhausted recovery"), std::string::npos);
+}
+
 // ------------------------------------------------------------ session
 
 ServiceConfig small_service(int scale = 9) {

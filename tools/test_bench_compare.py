@@ -120,6 +120,41 @@ class BenchCompareTest(unittest.TestCase):
         code, _, _ = run_compare(new, old)
         self.assertEqual(code, 0)
 
+    def test_fault_mode_counters_get_wider_band(self):
+        # Fault-mode counters (retries/sheds/failed of the service bench's
+        # fault points) compare at 3x --max-regress: +25% retries passes the
+        # default 10% gate, +40% still fails.
+        code, _, _ = run_compare(doc({"retries_fault_recover": 20.0}),
+                                 doc({"retries_fault_recover": 25.0}))
+        self.assertEqual(code, 0)
+        code, out, _ = run_compare(doc({"retries_fault_recover": 20.0}),
+                                   doc({"retries_fault_recover": 28.0}))
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        code, _, _ = run_compare(doc({"sheds_fault_shed": 40.0}),
+                                 doc({"sheds_fault_shed": 50.0}))
+        self.assertEqual(code, 0)
+
+    def test_fault_mode_p99_stays_tight_and_lower_is_better(self):
+        # The fault points' latency quantiles get NO widened band: the whole
+        # point of shedding is a bounded p99, so it gates like any latency.
+        old = doc({"latency_p99_ms_fault_shed": 5.0})
+        new = doc({"latency_p99_ms_fault_shed": 6.0})
+        code, out, _ = run_compare(old, new)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        code, _, _ = run_compare(new, old)  # improvement passes
+        self.assertEqual(code, 0)
+
+    def test_tolerance_multiplier_classifier(self):
+        self.assertEqual(bench_compare.tolerance_multiplier("retries_x"), 3.0)
+        self.assertEqual(bench_compare.tolerance_multiplier("sheds_fault"), 3.0)
+        self.assertEqual(bench_compare.tolerance_multiplier("failed_open"), 3.0)
+        self.assertEqual(
+            bench_compare.tolerance_multiplier("latency_p99_ms_fault_shed"),
+            1.0)
+        self.assertEqual(bench_compare.tolerance_multiplier("qps_open"), 1.0)
+
     def test_higher_is_better_reduction_pct_regression(self):
         # A shrinking reduction percentage means the encoder got worse.
         code, _, _ = run_compare(doc({"alltoallv_reduction_pct": 50.0}),
