@@ -101,6 +101,42 @@ int main(int argc, char** argv) {
     rep.add_counter(row + "encoding.allgather_bytes_raw",
                     raw.search_allgather_bytes);
     rep.gauge(row + "encoding.alltoallv_reduction_pct", a2a_red);
+
+    // Exchange-backend axis: the same mesh driven through each ExchangePlan
+    // (sim/exchange.hpp), compared on the inter-supernode subset of the
+    // search alltoallv bytes — the traffic that crosses the oversubscribed
+    // top-level links.  The axis pins the 1D engine top-down (pull levels
+    // use the allgather, which no exchange plan touches) so every level
+    // exercises the plan under test; bench_exchange is the full exhibit.
+    uint64_t exch_direct_inter = 0;
+    for (sim::ExchangeBackend backend :
+         {sim::ExchangeBackend::Direct, sim::ExchangeBackend::Butterfly,
+          sim::ExchangeBackend::TwoDCA}) {
+      bfs::RunnerConfig ecfg = cfg;
+      ecfg.engine = bfs::EngineKind::OneD;
+      ecfg.bfs1d.pull_ratio = 2.0;
+      ecfg.bfs1d.exchange.backend = backend;
+      ecfg.bfs.exchange.backend = backend;
+      auto eres = bfs::run_graph500(topo, ecfg);
+      if (backend == sim::ExchangeBackend::Direct)
+        exch_direct_inter = eres.search_alltoallv_inter_bytes;
+      const double red =
+          exch_direct_inter
+              ? 100.0 * (1.0 - double(eres.search_alltoallv_inter_bytes) /
+                                   double(exch_direct_inter))
+              : 0.0;
+      std::printf("%6s | exchange %-9s: alltoallv %llu bytes, "
+                  "%llu inter-supernode (%.1f%% vs direct)\n",
+                  "", sim::exchange_backend_name(backend),
+                  (unsigned long long)eres.search_alltoallv_bytes,
+                  (unsigned long long)eres.search_alltoallv_inter_bytes, red);
+      const std::string ekey =
+          row + "exchange." + sim::exchange_backend_name(backend) + ".";
+      rep.add_counter(ekey + "alltoallv_bytes", eres.search_alltoallv_bytes);
+      rep.add_counter(ekey + "alltoallv_inter_bytes",
+                      eres.search_alltoallv_inter_bytes);
+      rep.gauge(ekey + "inter_reduction_pct", red);
+    }
   }
   std::printf("\nnote: EH frontier unions run as allreduce on this "
               "implementation; the paper's reduce-scatter+allgather pair is "

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   cli.add("--no-validate", "", "skip host-side validation");
   cli.add("--no-encoding", "",
           "ship raw structs instead of adaptive wire encoding");
+  cli.add("--exchange", "direct|butterfly|2dca",
+          "exchange plan for the world-wide alltoallvs (default direct)");
   cli.add("--engine", "1d|1.5d", "BFS engine (default 1.5d)");
   cli.add("--baseline-direction", "",
           "disable per-sub-iteration direction choice (whole-level only)");
@@ -76,6 +78,15 @@ int main(int argc, char** argv) {
   cfg.validate = !cli.has("--no-validate");
   cfg.bfs.encoding.enabled = !cli.has("--no-encoding");
   cfg.bfs1d.encoding.enabled = cfg.bfs.encoding.enabled;
+  sim::ExchangeBackend backend = sim::ExchangeBackend::Direct;
+  if (!sim::parse_exchange_backend(cli.str("--exchange", "direct"),
+                                   &backend)) {
+    std::fprintf(stderr, "unknown --exchange backend '%s'\n\n%s",
+                 cli.str("--exchange").c_str(), cli.usage().c_str());
+    return 2;
+  }
+  cfg.bfs.exchange.backend = backend;
+  cfg.bfs1d.exchange.backend = backend;
   cfg.bfs.sub_iteration_direction = !cli.has("--baseline-direction");
   if (cli.str("--engine", "1.5d") == "1d") cfg.engine = bfs::EngineKind::OneD;
   sim::MeshShape mesh{int(cli.u64("--rows", 2)), int(cli.u64("--cols", 2))};
@@ -106,6 +117,7 @@ int main(int argc, char** argv) {
               cfg.graph.scale, cfg.graph.edge_factor,
               cfg.engine == bfs::EngineKind::OneFiveD ? "1.5D" : "1D");
   std::printf("machine: %s\n", topo.to_string().c_str());
+  std::printf("exchange: %s\n", sim::exchange_backend_name(backend));
   std::printf("thresholds: E >= %llu, H >= %llu; %d search keys; "
               "validation %s\n\n",
               (unsigned long long)cfg.thresholds.e,
@@ -169,11 +181,13 @@ int main(int argc, char** argv) {
     std::printf("  %-6s %5.1f%%\n  %-6s %5.1f%%\n", "reduce",
                 100 * reduce / total, "other", 100 * other / total);
   }
-  std::printf("\nsearch wire bytes: %llu alltoallv, %llu allgather "
-              "(encoding %s)\n",
+  std::printf("\nsearch wire bytes: %llu alltoallv (%llu inter-supernode), "
+              "%llu allgather (encoding %s, exchange %s)\n",
               (unsigned long long)result.search_alltoallv_bytes,
+              (unsigned long long)result.search_alltoallv_inter_bytes,
               (unsigned long long)result.search_allgather_bytes,
-              cfg.bfs.encoding.enabled ? "on" : "off");
+              cfg.bfs.encoding.enabled ? "on" : "off",
+              sim::exchange_backend_name(backend));
   std::printf("\nharmonic mean: %.3f GTEPS (modeled)\n",
               result.harmonic_gteps);
   if (cfg.validate)
@@ -197,6 +211,7 @@ int main(int argc, char** argv) {
                 cfg.engine == bfs::EngineKind::OneFiveD ? "1.5d" : "1d");
     report.info("faults", cfg.faults ? "on" : "off");
     report.info("encoding", cfg.bfs.encoding.enabled ? "on" : "off");
+    report.info("exchange", sim::exchange_backend_name(backend));
     result.to_report(report);
     if (report.write_file(metrics_out))
       std::printf("metrics: wrote %s\n", metrics_out.c_str());

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   cli.add("--age-ms", "MS", "batch age timeout (default 5)");
   cli.add("--queue-cap", "N", "admission queue capacity (default 1024)");
   cli.add("--mix-sssp", "F", "fraction of SSSP-root queries (default 0)");
+  cli.add("--exchange", "direct|butterfly|2dca",
+          "exchange plan for the batched-visit alltoallv (default direct)");
   cli.add("--wl-seed", "S", "workload seed (default 1)");
   cli.add("--root-pool", "N", "root pool size (default 64)");
   cli.add("--faults", "LEVEL",
@@ -77,6 +79,14 @@ int main(int argc, char** argv) {
   cfg.graph.seed = cli.u64("--seed", 1);
   cfg.threads_per_rank = int(cli.u64("--threads-per-rank", 0));
   cfg.root_pool = int(cli.u64("--root-pool", 64));
+  sim::ExchangeBackend backend = sim::ExchangeBackend::Direct;
+  if (!sim::parse_exchange_backend(cli.str("--exchange", "direct"),
+                                   &backend)) {
+    std::fprintf(stderr, "unknown --exchange backend '%s'\n\n%s",
+                 cli.str("--exchange").c_str(), cli.usage().c_str());
+    return 2;
+  }
+  cfg.msbfs.exchange.backend = backend;
   sim::MeshShape mesh{int(cli.u64("--rows", 2)), int(cli.u64("--cols", 2))};
   sim::Topology topo(mesh);
 
@@ -124,8 +134,9 @@ int main(int argc, char** argv) {
   std::string metrics_out = cli.str("--metrics-out");
   if (!trace_out.empty()) obs::Tracer::instance().enable();
 
-  std::printf("service_runner: SCALE %d graph resident on %s\n",
-              cfg.graph.scale, topo.to_string().c_str());
+  std::printf("service_runner: SCALE %d graph resident on %s (exchange %s)\n",
+              cfg.graph.scale, topo.to_string().c_str(),
+              sim::exchange_backend_name(backend));
   std::printf("workload: %llu queries, %s loop, deadline %s, sssp mix %.2f\n",
               (unsigned long long)wl.num_queries,
               wl.mode == service::ArrivalMode::Open ? "open" : "closed",
@@ -216,6 +227,7 @@ int main(int argc, char** argv) {
                  wl.mode == service::ArrivalMode::Open ? "open" : "closed");
     metrics.info("faults",
                  fault_level > 0 ? std::to_string(fault_level) : "off");
+    metrics.info("exchange", sim::exchange_backend_name(backend));
     report.to_report(metrics);
     if (metrics.write_file(metrics_out))
       std::printf("metrics: wrote %s\n", metrics_out.c_str());

@@ -1,6 +1,7 @@
 #include "analytics/delta_stepping.hpp"
 
 #include "sim/comm_buffer.hpp"
+#include "sim/exchange_channel.hpp"
 #include "sim/recover.hpp"
 #include "support/bitvector.hpp"
 #include "support/check.hpp"
@@ -24,7 +25,9 @@ class DeltaRelaxer {
         part_(part),
         opts_(opts),
         k_(part.cls.num_eh()),
-        nloc_(part.local_count) {
+        nloc_(part.local_count),
+        plan_(sim::ExchangePlan::build(opts.exchange.backend, ctx.nranks(),
+                                       ctx.mesh)) {
     staging_.set_encoding(opts.encoding);
   }
 
@@ -96,7 +99,7 @@ class DeltaRelaxer {
       }
     }
     // L -> L with messages through the staged (wire-encoded) pool.
-    staging_.begin(size_t(ctx_.nranks()), 1);
+    staging_.begin(size_t(ctx_.nranks()), 1, plan_, ctx_.rank);
     act_l.for_each_set([&](size_t l) {
       Vertex gl = part_.space.to_global(ctx_.rank, l);
       for (Vertex l2 : part_.l2l.neighbors(l)) {
@@ -133,7 +136,8 @@ class DeltaRelaxer {
   const partition::Part15d& part_;
   const DeltaSteppingOptions& opts_;
   uint64_t k_, nloc_;
-  sim::A2aStaging<DistMsg> staging_;
+  sim::ExchangePlan plan_;
+  sim::ExchangeChannel<DistMsg> staging_;
   ThreadPool pool_{1};  // relaxation sweeps are serial; size-1 pools inline
 };
 

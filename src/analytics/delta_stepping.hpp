@@ -2,6 +2,7 @@
 
 #include "analytics/sssp.hpp"
 #include "sim/encoding.hpp"
+#include "sim/exchange.hpp"
 
 /// Delta-stepping SSSP over the 1.5D partition (Meyer & Sanders; the
 /// algorithm behind the massively parallel SSSP the paper cites [5] and
@@ -29,6 +30,10 @@ struct DeltaSteppingOptions {
   /// Adaptive wire encoding for the L-to-L relaxation alltoallv
   /// (sim/encoding.hpp).
   sim::EncodingOptions encoding;
+  /// Exchange plan backend for the L-to-L relaxation alltoallv
+  /// (sim/exchange.hpp).  Distances stay bit-identical across backends
+  /// (ctest -L differential).
+  sim::ExchangeOptions exchange;
   /// Rollback-and-replay knobs under FaultPolicy::Recover (whole-query
   /// replay, sim/recover.hpp); rank failures fire at bucket epochs.
   sim::RecoveryOptions recovery;
@@ -83,6 +88,29 @@ struct WireFormat<analytics::DistMsg> {
     m.dst = graph::Vertex(key);
     m.dist = analytics::Dist(v);
     return p;
+  }
+};
+
+/// Staged-exchange fold for L-to-L relaxations: the receiver keeps the
+/// minimum candidate distance per destination, so an intermediate hop may
+/// take the min early.  Source ranks are irrelevant to the reduction.
+template <>
+struct ExchangeMergePolicy<analytics::DistMsg> {
+  static constexpr bool enabled = true;
+  static bool same(const analytics::DistMsg& a, uint32_t /*a_src_part*/,
+                   const analytics::DistMsg& b, uint32_t /*b_src_part*/) {
+    return a.dst == b.dst;
+  }
+  static void fold(analytics::DistMsg& into, uint32_t& into_src_part,
+                   const analytics::DistMsg& from, uint32_t from_src_part) {
+    // Keep the (dist, src_part) minimum so the surviving message is
+    // independent of fold order; the receiver's min over dist alone is
+    // unchanged by which src_part delivers it.
+    if (from.dist < into.dist ||
+        (from.dist == into.dist && from_src_part < into_src_part)) {
+      into.dist = from.dist;
+      into_src_part = from_src_part;
+    }
   }
 };
 

@@ -142,6 +142,15 @@ class Engine {
       // visit_along(): L2L forwarding hop 2 re-sorts hop 1's receipts.
       const size_t a_send = rows * row_total;
       ws_.visit_along().prime(cols, nt, lane(a_send), a_send, ranks * local);
+      // Staged exchange plan for the two world-wide exchanges (non-forwarded
+      // L2L, delayed-parent delivery); the row/column sub-exchanges above
+      // already are a manual mesh split and always run direct.
+      world_plan_ = sim::ExchangePlan::build(opts_.exchange.backend,
+                                             mesh_.ranks(), mesh_);
+      ws_.compact().prime_staged(world_plan_, ctx_.rank, nt, lane(c_send),
+                                 c_send);
+      ws_.visit_down().prime_staged(world_plan_, ctx_.rank, nt, lane(d_send),
+                                    d_send);
     }
   }
 
@@ -765,7 +774,8 @@ class Engine {
         } else {
           dedup_l_.reset();
           auto& staging = ws_.compact();
-          staging.begin(size_t(mesh_.ranks()), pool_.size());
+          staging.begin(size_t(mesh_.ranks()), pool_.size(), world_plan_,
+                        ctx_.rank);
           pool_.parallel_for(0, l_curr_.word_count(),
                              [&](size_t lo, size_t hi) {
             l_curr_.for_each_set_words(lo, hi, [&](size_t lloc) {
@@ -848,7 +858,8 @@ class Engine {
     // Deliver reduced parents to the owners of the original vertex ids
     // (destination vertices are unique, so receiver writes are race-free).
     auto& staging = ws_.visit_down();
-    staging.begin(size_t(ctx_.nranks()), pool_.size());
+    staging.begin(size_t(ctx_.nranks()), pool_.size(), world_plan_,
+                  ctx_.rank);
     par_ranges(size_t(part_.eh_space.count(ctx_.rank)),
                [&](size_t lane, size_t lo, size_t hi) {
       for (uint64_t i = lo; i < hi; ++i) {
@@ -997,6 +1008,9 @@ class Engine {
   int my_row_, my_col_;
   uint64_t k_, num_e_;
   Vertex root_;
+  /// Staged route for the two world-wide exchanges; degenerate (0 stages)
+  /// under the Direct backend.
+  sim::ExchangePlan world_plan_;
 
   /// Intra-rank resources: the worker pool (sized by
   /// resolve_threads_per_rank from the options — never a literal) plus the

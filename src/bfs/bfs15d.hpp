@@ -6,6 +6,7 @@
 #include "chip/chip.hpp"
 #include "partition/part15d.hpp"
 #include "sim/encoding.hpp"
+#include "sim/exchange.hpp"
 #include "sim/runtime.hpp"
 
 /// Distributed BFS over the 3-level degree-aware 1.5D partition (§4).
@@ -89,6 +90,13 @@ struct Bfs15dOptions {
   /// of the seven sub-kernels (sim/encoding.hpp); applied to the workspace
   /// pools at engine construction.
   sim::EncodingOptions encoding;
+
+  /// Exchange plan backend for the world-wide exchanges — the non-forwarded
+  /// L2L alltoallv and the delayed-parent delivery (sim/exchange.hpp).  The
+  /// row/column sub-exchanges (H2L, L2H, forwarded L2L) already are a manual
+  /// mesh split and always run direct.  Parents stay bit-identical across
+  /// backends (ctest -L differential).
+  sim::ExchangeOptions exchange;
 };
 
 struct Bfs15dResult {

@@ -49,6 +49,11 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
         options.threads_per_rank, size_t(ctx.nranks())));
   BfsWorkspace& ws = options.workspace ? *options.workspace : *owned_ws;
   ThreadPool& pool = ws.pool();
+  // Exchange plan for the push alltoallv; a degenerate plan (Direct backend,
+  // or a mesh the backend cannot split) keeps every round on the plain
+  // collective.
+  const sim::ExchangePlan plan = sim::ExchangePlan::build(
+      options.exchange.backend, ctx.nranks(), ctx.mesh);
   {
     // Prime the staging pool to its worst-case round so no exchange below
     // ever grows a buffer (comm.staging_allocs stays flat after the warmup
@@ -62,6 +67,7 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
     ws.frontier().set_encoding(options.encoding);
     ws.compact().prime(ranks, nt, total / nt + 65, total,
                        ranks * size_t(local_count));
+    ws.compact().prime_staged(plan, ctx.rank, nt, total / nt + 65, total);
   }
 
   std::vector<Vertex> parent(local_count, kNoVertex);
@@ -175,7 +181,7 @@ Bfs1dResult bfs1d_run(sim::RankContext& ctx, const partition::Part1d& part,
       // per target is the max sender candidate (thread-count independent).
       dedup.reset();
       auto& staging = ws.compact();
-      staging.begin(size_t(ctx.nranks()), pool.size());
+      staging.begin(size_t(ctx.nranks()), pool.size(), plan, ctx.rank);
       pool.parallel_for(0, curr.word_count(), [&](size_t lo, size_t hi) {
         curr.for_each_set_words(lo, hi, [&](size_t lloc) {
           for (Vertex v : part.adj.neighbors(lloc)) {

@@ -4,6 +4,7 @@
 
 #include "partition/part1d.hpp"
 #include "sim/encoding.hpp"
+#include "sim/exchange.hpp"
 #include "sim/runtime.hpp"
 
 /// Vanilla 1D-partitioned BFS with direction optimization (the Table 1 /
@@ -28,6 +29,10 @@ struct Bfs1dOptions {
   /// Adaptive wire encoding for the push alltoallv and the frontier
   /// allgather (sim/encoding.hpp); applied to the workspace pools each run.
   sim::EncodingOptions encoding;
+  /// Exchange plan backend for the push alltoallv (sim/exchange.hpp): the
+  /// direct collective, the log(P) butterfly, or the 2D row/column split.
+  /// Parents stay bit-identical across backends (ctest -L differential).
+  sim::ExchangeOptions exchange;
 };
 
 struct Bfs1dResult {

@@ -4,11 +4,14 @@
 
 #include "graph/types.hpp"
 #include "sim/encoding.hpp"
+#include "sim/exchange.hpp"
 
 /// Wire formats of the engines' visit messages (shared by bfs1d, bfs15d and
 /// the reusable staging pools in BfsWorkspace), plus their adaptive wire
 /// codecs (sim/encoding.hpp): the destination id is the sort/bitmap key and
-/// the remaining fields travel as varints.
+/// the remaining fields travel as varints.  The ExchangeMergePolicy
+/// specializations below are what staged exchange plans (sim/exchange.hpp)
+/// fold in flight; each reproduces the engines' store-max parent reduction.
 namespace sunbfs::bfs {
 
 /// Full-width visit message: set `dst`'s parent to `parent`.  Used where the
@@ -78,6 +81,47 @@ struct WireFormat<bfs::CompactMsg> {
     m.dst = uint32_t(key);
     m.src = uint32_t(v);
     return p;
+  }
+};
+
+/// Visit messages for the same destination collapse to the max parent — the
+/// engines' store_max claim makes the winning parent per (vertex, level)
+/// order-independent, so dropping the losers in flight changes nothing a
+/// receiver can observe.
+template <>
+struct ExchangeMergePolicy<bfs::VisitMsg> {
+  static constexpr bool enabled = true;
+  static bool same(const bfs::VisitMsg& a, uint32_t, const bfs::VisitMsg& b,
+                   uint32_t) {
+    return a.dst == b.dst;
+  }
+  static void fold(bfs::VisitMsg& into, uint32_t&, const bfs::VisitMsg& from,
+                   uint32_t) {
+    if (from.parent > into.parent) into.parent = from.parent;
+  }
+};
+
+/// Compact visits carry sender-local parents, so the fold compares and keeps
+/// the max (source rank, local id) pair — under the monotone block layout
+/// (to_global(rank, lloc) = base[rank] + lloc) that IS the max global
+/// parent, and the surviving source rank rides the route so the receiver's
+/// reconstruction still resolves it.  Only the world-communicator sites use
+/// staged plans: the H2L row exchange, whose src field is an EH id with a
+/// non-monotone global mapping, always runs direct.
+template <>
+struct ExchangeMergePolicy<bfs::CompactMsg> {
+  static constexpr bool enabled = true;
+  static bool same(const bfs::CompactMsg& a, uint32_t, const bfs::CompactMsg& b,
+                   uint32_t) {
+    return a.dst == b.dst;
+  }
+  static void fold(bfs::CompactMsg& into, uint32_t& into_src_part,
+                   const bfs::CompactMsg& from, uint32_t from_src_part) {
+    if (from_src_part > into_src_part ||
+        (from_src_part == into_src_part && from.src > into.src)) {
+      into.src = from.src;
+      into_src_part = from_src_part;
+    }
   }
 };
 

@@ -80,6 +80,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
   uint64_t threads_per_rank = 0;
   uint64_t allocs_warmup_total = 0, allocs_steady_total = 0;
   uint64_t search_a2a_bytes_total = 0, search_ag_bytes_total = 0;
+  uint64_t search_a2a_inter_bytes_total = 0;
 
   sim::SpmdOptions spmd_options;
   spmd_options.policy = config.fault_policy;
@@ -140,7 +141,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
     opts1.workspace = &ws;
 
     uint64_t warmup_allocs = 0;
-    uint64_t search_a2a = 0, search_ag = 0;
+    uint64_t search_a2a = 0, search_a2a_inter = 0, search_ag = 0;
     for (int i = 0; i < config.num_roots; ++i) {
       ctx.world.barrier();
       WallTimer run_wall;
@@ -150,6 +151,8 @@ RunnerResult run_graph500(const sim::Topology& topology,
       // the window).
       const uint64_t a2a0 =
           ctx.stats.entry(sim::CollectiveType::Alltoallv).bytes_sent;
+      const uint64_t a2ax0 = ctx.stats.entry(sim::CollectiveType::Alltoallv)
+                                 .bytes_inter_supernode;
       const uint64_t ag0 =
           ctx.stats.entry(sim::CollectiveType::Allgather).bytes_sent;
       ctx.faults.armed = true;
@@ -172,6 +175,9 @@ RunnerResult run_graph500(const sim::Topology& topology,
       ctx.faults.armed = false;
       search_a2a +=
           ctx.stats.entry(sim::CollectiveType::Alltoallv).bytes_sent - a2a0;
+      search_a2a_inter += ctx.stats.entry(sim::CollectiveType::Alltoallv)
+                              .bytes_inter_supernode -
+                          a2ax0;
       search_ag +=
           ctx.stats.entry(sim::CollectiveType::Allgather).bytes_sent - ag0;
       if (ctx.rank == 0) wall_s[size_t(i)] = run_wall.seconds();
@@ -194,11 +200,13 @@ RunnerResult run_graph500(const sim::Topology& topology,
     uint64_t st =
         ctx.world.allreduce_sum(ws.staging_allocs() - warmup_allocs);
     uint64_t a2a = ctx.world.allreduce_sum(search_a2a);
+    uint64_t a2ax = ctx.world.allreduce_sum(search_a2a_inter);
     uint64_t ag = ctx.world.allreduce_sum(search_ag);
     if (ctx.rank == 0) {
       allocs_warmup_total = wu;
       allocs_steady_total = st;
       search_a2a_bytes_total = a2a;
+      search_a2a_inter_bytes_total = a2ax;
       search_ag_bytes_total = ag;
     }
   }, spmd_options);
@@ -211,6 +219,7 @@ RunnerResult run_graph500(const sim::Topology& topology,
   result.staging_allocs_warmup = allocs_warmup_total;
   result.staging_allocs_steady = allocs_steady_total;
   result.search_alltoallv_bytes = search_a2a_bytes_total;
+  result.search_alltoallv_inter_bytes = search_a2a_inter_bytes_total;
   result.search_allgather_bytes = search_ag_bytes_total;
 
   if (!result.spmd.ok()) {
@@ -311,6 +320,8 @@ void RunnerResult::to_report(obs::Report& report) const {
   // wire encoding is on) — what the BENCH_encoding ablation gates.
   report.add_counter("graph500.search_alltoallv_bytes",
                      search_alltoallv_bytes);
+  report.add_counter("graph500.search_alltoallv_inter_bytes",
+                     search_alltoallv_inter_bytes);
   report.add_counter("graph500.search_allgather_bytes",
                      search_allgather_bytes);
   double modeled = 0, wall = 0;

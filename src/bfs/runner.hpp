@@ -80,6 +80,11 @@ struct RunnerResult {
   /// this is the quantity the BENCH_encoding ablation compares on/off.
   uint64_t search_alltoallv_bytes = 0;
   uint64_t search_allgather_bytes = 0;
+  /// Portion of search_alltoallv_bytes that crossed a supernode boundary —
+  /// the quantity the exchange-backend ablation compares: a staged plan
+  /// (butterfly, 2dca) merges messages on intra-supernode hops before they
+  /// reach the oversubscribed inter-supernode links (docs/COMM.md).
+  uint64_t search_alltoallv_inter_bytes = 0;
 
   /// Fold the whole benchmark into a metrics report: headline GTEPS and
   /// validation under "graph500.", summed per-subgraph BFS breakdown under

@@ -4,6 +4,7 @@
 
 #include "bfs/messages.hpp"
 #include "sim/comm_buffer.hpp"
+#include "sim/exchange_channel.hpp"
 #include "support/thread_pool.hpp"
 
 /// Per-rank reusable BFS resources: the intra-rank worker pool and the
@@ -14,6 +15,11 @@
 /// so staging capacities warm up on the first root and every later
 /// level/root stages and exchanges without allocating — staging_allocs()
 /// must stop moving after the warmup root.  See docs/PERF.md.
+///
+/// The pools are ExchangeChannels (sim/exchange_channel.hpp): a direct round
+/// behaves exactly like the old A2aStaging, and the engines' world-wide
+/// exchanges can open staged rounds under the configured ExchangePlan
+/// backend (docs/COMM.md).
 namespace sunbfs::bfs {
 
 class BfsWorkspace {
@@ -25,14 +31,14 @@ class BfsWorkspace {
   ThreadPool& pool() { return pool_; }
 
   /// Staging pool for compact 8-byte messages (H2L/L2H/L2L hot paths).
-  sim::A2aStaging<CompactMsg>& compact() { return compact_; }
+  sim::ExchangeChannel<CompactMsg>& compact() { return compact_; }
   /// Staging pool for full-width visit messages, first hop (column phase of
   /// L2L forwarding, delayed parent delivery, bfs1d push).
-  sim::A2aStaging<VisitMsg>& visit_down() { return visit_down_; }
+  sim::ExchangeChannel<VisitMsg>& visit_down() { return visit_down_; }
   /// Staging pool for full-width visit messages, second hop (row phase of
   /// L2L forwarding).  Separate from visit_down so the two hops of one
   /// sub-iteration never share lanes.
-  sim::A2aStaging<VisitMsg>& visit_along() { return visit_along_; }
+  sim::ExchangeChannel<VisitMsg>& visit_along() { return visit_along_; }
   /// Reused frontier-gather receive buffer for the pull kernels.
   sim::GatherBuffer<uint64_t>& frontier() { return frontier_; }
 
@@ -44,9 +50,9 @@ class BfsWorkspace {
 
  private:
   ThreadPool pool_;
-  sim::A2aStaging<CompactMsg> compact_;
-  sim::A2aStaging<VisitMsg> visit_down_;
-  sim::A2aStaging<VisitMsg> visit_along_;
+  sim::ExchangeChannel<CompactMsg> compact_;
+  sim::ExchangeChannel<VisitMsg> visit_down_;
+  sim::ExchangeChannel<VisitMsg> visit_along_;
   sim::GatherBuffer<uint64_t> frontier_;
 };
 

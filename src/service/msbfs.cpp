@@ -60,13 +60,15 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
         options.threads_per_rank, size_t(ctx.nranks())));
   bfs::BfsWorkspace& ws = options.workspace ? *options.workspace : *owned_ws;
   ThreadPool& pool = ws.pool();
-  std::unique_ptr<sim::A2aStaging<MsbfsMsg>> owned_staging;
+  std::unique_ptr<sim::ExchangeChannel<MsbfsMsg>> owned_staging;
   if (!options.staging)
-    owned_staging = std::make_unique<sim::A2aStaging<MsbfsMsg>>();
-  sim::A2aStaging<MsbfsMsg>& staging =
+    owned_staging = std::make_unique<sim::ExchangeChannel<MsbfsMsg>>();
+  sim::ExchangeChannel<MsbfsMsg>& staging =
       options.staging ? *options.staging : *owned_staging;
   staging.set_encoding(options.encoding);
   ws.frontier().set_encoding(options.encoding);
+  const sim::ExchangePlan plan = sim::ExchangePlan::build(
+      options.exchange.backend, ctx.nranks(), ctx.mesh);
 
   MsbfsResult result;
   result.width = width;
@@ -105,7 +107,7 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
   };
 
   auto run_push = [&] {
-    staging.begin(size_t(ctx.nranks()), pool.size());
+    staging.begin(size_t(ctx.nranks()), pool.size(), plan, ctx.rank);
     size_t parts = pool.size();
     pool.run_chunks(parts, [&](size_t lane) {
       uint64_t lo = local_count * lane / parts;

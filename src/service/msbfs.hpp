@@ -6,6 +6,7 @@
 
 #include "partition/part1d.hpp"
 #include "sim/comm_buffer.hpp"
+#include "sim/exchange_channel.hpp"
 #include "sim/fault.hpp"
 #include "sim/runtime.hpp"
 
@@ -58,12 +59,15 @@ struct MsbfsOptions {
   /// Optional resident per-rank workspace (pool + frontier gather buffer),
   /// shared across batches by the session.
   bfs::BfsWorkspace* workspace = nullptr;
-  /// Optional resident staging pool for the batched visit messages; null
+  /// Optional resident staging channel for the batched visit messages; null
   /// means a private pool per run (cold — the session keeps a warm one).
-  sim::A2aStaging<MsbfsMsg>* staging = nullptr;
+  sim::ExchangeChannel<MsbfsMsg>* staging = nullptr;
   /// Adaptive wire encoding for the visit alltoallv and the frontier-word
   /// allgather (sim/encoding.hpp); applied to the pools each run.
   sim::EncodingOptions encoding;
+  /// Exchange plan backend for the visit alltoallv (sim/exchange.hpp).
+  /// Results stay bit-identical across backends (ctest -L differential).
+  sim::ExchangeOptions exchange;
   /// Checkpoint/rollback recovery knobs, honoured when the rank runs under
   /// FaultPolicy::Recover (same contract as bfs1d/bfs15d: per-level
   /// checkpoints of the mask words + parents, collective agreement on the
@@ -124,6 +128,25 @@ struct WireFormat<service::MsbfsMsg> {
     m.src = uint32_t(src);
     m.mask = mask;
     return p;
+  }
+};
+
+/// Staged-exchange fold for batched visits: two messages for the same
+/// (target, source) pair carry query masks the receiver ORs into the same
+/// next-frontier word, so an intermediate hop may OR them early.  `src` is
+/// *sender-local*, so equality is only meaningful within one source rank —
+/// messages from different src_parts must never merge (same src, different
+/// global vertex), which the src_part guard enforces.
+template <>
+struct ExchangeMergePolicy<service::MsbfsMsg> {
+  static constexpr bool enabled = true;
+  static bool same(const service::MsbfsMsg& a, uint32_t a_src_part,
+                   const service::MsbfsMsg& b, uint32_t b_src_part) {
+    return a_src_part == b_src_part && a.dst == b.dst && a.src == b.src;
+  }
+  static void fold(service::MsbfsMsg& into, uint32_t& /*into_src_part*/,
+                   const service::MsbfsMsg& from, uint32_t /*from_src_part*/) {
+    into.mask |= from.mask;
   }
 };
 

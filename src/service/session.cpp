@@ -106,12 +106,16 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
 
     // Warm staging for the batched visits: one message per cross-rank
     // frontier edge, bounded by this rank's arc count.
-    sim::A2aStaging<MsbfsMsg> staging;
+    sim::ExchangeChannel<MsbfsMsg> staging;
+    const sim::ExchangePlan msbfs_plan = sim::ExchangePlan::build(
+        config_.msbfs.exchange.backend, ctx.nranks(), ctx.mesh);
     {
       const size_t nt = ws.pool().size();
       const size_t arcs = size_t(part1.adj.num_arcs());
       staging.set_encoding(config_.msbfs.encoding);
       staging.prime(size_t(nranks), nt, arcs / nt + 64, arcs + 64, arcs + 64);
+      staging.prime_staged(msbfs_plan, ctx.rank, nt, arcs / nt + 64,
+                           arcs + 64);
     }
     MsbfsOptions mopts = config_.msbfs;
     mopts.threads_per_rank = config_.threads_per_rank;

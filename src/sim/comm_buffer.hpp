@@ -35,6 +35,18 @@
 /// re-ordering safe.
 namespace sunbfs::sim {
 
+/// In-flight merge hook for staged exchange plans (sim/exchange.hpp): when
+/// enabled for a message type, A2aStaging::exchange() with set_merge(true)
+/// sorts each destination block (WireFormat<T>::less) and folds adjacent
+/// same()-group messages into one before anything ships.  The primary
+/// template disables merging; Routed<T> bridges to the payload's
+/// ExchangeMergePolicy.  same() groups must be contiguous under the wire
+/// order — i.e. same(a, b) implies equal sort keys.
+template <typename T>
+struct ExchangeFold {
+  static constexpr bool enabled = false;
+};
+
 /// Flat alltoallv staging pool: stage with push(), then exchange().
 template <typename T>
 class A2aStaging {
@@ -109,6 +121,24 @@ class A2aStaging {
   void set_encoding(const EncodingOptions& enc) { enc_ = enc; }
   const EncodingOptions& encoding() const { return enc_; }
 
+  /// Enable the in-flight merge pass (no-op unless ExchangeFold<T> opts in).
+  /// Only ever set on staged-exchange hop pools: the direct path must ship
+  /// byte-identical traffic whether or not the type is mergeable.
+  void set_merge(bool merge) { merge_ = merge; }
+
+  /// Reserve one specific lane's capacity (counted like any growth).  The
+  /// staged-exchange channel uses this to prime exactly the hop lanes a plan
+  /// can reach instead of every (thread, destination) pair.  `nparts` fixes
+  /// the round shape the lane index is computed against, as in prime().
+  void prime_lane(size_t nparts, size_t thread, size_t dst, size_t cap) {
+    const size_t lane = thread * nparts + dst;
+    SUNBFS_ASSERT(lane < lanes_.size());
+    if (lanes_[lane].capacity() < cap) {
+      ++allocs_;
+      lanes_[lane].reserve(cap);
+    }
+  }
+
   /// Append one message for destination `dst` from writer lane `thread`.
   /// Lanes are single-writer: each thread only pushes to its own lane index.
   void push(size_t thread, size_t dst, const T& msg) {
@@ -145,6 +175,9 @@ class A2aStaging {
         }
       }
     });
+    if constexpr (ExchangeFold<T>::enabled) {
+      if (merge_ && total > 0) fold_blocks(pool);
+    }
     if (!enc_.enabled) {
       comm.alltoallv_flat<T>(send_, offsets_, recv_, &src_offsets_, &allocs_);
       return recv_;
@@ -169,6 +202,44 @@ class A2aStaging {
     }
   }
   void reserve_bytes(std::vector<uint8_t>& v, size_t n) { reserve_n(v, n); }
+
+  /// Merge pass: sort each destination block into wire order, fold adjacent
+  /// same()-group messages (the policy reproduces the receiver's reduction),
+  /// then compact the flat payload and its offsets in place.  Sorting here
+  /// means the later encoded leg re-sorts already-ordered blocks — cheap —
+  /// and the raw leg ships sorted blocks, which every receive path tolerates
+  /// (they are order-insensitive by contract).
+  void fold_blocks(ThreadPool& pool) {
+    reserve_n(fold_counts_, nparts_);
+    fold_counts_.assign(nparts_, 0);
+    pool.parallel_for(0, nparts_, [&](size_t lo, size_t hi) {
+      for (size_t d = lo; d < hi; ++d) {
+        T* block = send_.data() + offsets_[d];
+        const size_t n = offsets_[d + 1] - offsets_[d];
+        std::sort(block, block + n, WireFormat<T>::less);
+        size_t w = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (w > 0 && ExchangeFold<T>::same(block[w - 1], block[i]))
+            ExchangeFold<T>::fold(block[w - 1], block[i]);
+          else
+            block[w++] = block[i];
+        }
+        fold_counts_[d] = w;
+      }
+    });
+    size_t out = 0;
+    for (size_t d = 0; d < nparts_; ++d) {
+      const size_t from = offsets_[d];
+      const size_t n = fold_counts_[d];
+      if (from != out)
+        std::move(send_.begin() + long(from), send_.begin() + long(from + n),
+                  send_.begin() + long(out));
+      offsets_[d] = out;
+      out += n;
+    }
+    offsets_[nparts_] = out;
+    send_.resize(out);
+  }
 
   /// Encoded leg of exchange(): sort + plan each destination block, write
   /// the winning codec into the pooled byte buffer, move bytes, decode.
@@ -262,6 +333,8 @@ class A2aStaging {
   std::vector<T> recv_;                // reused receive buffer
   std::vector<size_t> src_offsets_;
   EncodingOptions enc_{};
+  bool merge_ = false;                 // staged-hop in-flight merging
+  std::vector<uint64_t> fold_counts_;  // post-merge block sizes
   std::vector<BlockPlan> plans_;         // per-destination codec decisions
   std::vector<BlockHeader> headers_;     // per-source parsed headers
   std::vector<uint8_t> enc_send_;        // encoded flat payload

@@ -1,0 +1,67 @@
+#include "sim/exchange.hpp"
+
+#include <algorithm>
+
+namespace sunbfs::sim {
+
+/// Uniform-traffic volume model: every rank starts with `bytes_per_rank`
+/// spread evenly over all destinations, and each stage routes every held
+/// (destination-rank) flow one hop.  Per stage we charge
+/// Topology::transfer_time with the most loaded rank's intra/inter split —
+/// the same max-semantics the collectives use — and accumulate the link
+/// bytes.  Merging is deliberately not modeled: the score is the price of a
+/// plan's hops, the measured benches show what in-flight merging buys back.
+ExchangeScore score_exchange_plan(const Topology& topo,
+                                  const ExchangePlan& plan,
+                                  uint64_t bytes_per_rank) {
+  const int nparts = std::max(plan.nparts(), 1);
+  const double per_flow = double(bytes_per_rank) / double(nparts);
+  ExchangeScore score;
+  score.stages = plan.stages();
+
+  // vol[h * nparts + d]: bytes held at rank h destined for rank d.
+  std::vector<double> vol(size_t(nparts) * size_t(nparts), per_flow);
+  std::vector<double> next(vol.size());
+  std::vector<double> intra(size_t(nparts), 0.0);
+  std::vector<double> inter(size_t(nparts), 0.0);
+
+  auto charge = [&](auto hop_of) {
+    std::fill(next.begin(), next.end(), 0.0);
+    std::fill(intra.begin(), intra.end(), 0.0);
+    std::fill(inter.begin(), inter.end(), 0.0);
+    for (int h = 0; h < nparts; ++h)
+      for (int d = 0; d < nparts; ++d) {
+        const double v = vol[size_t(h) * size_t(nparts) + size_t(d)];
+        if (v == 0) continue;
+        const int to = hop_of(h, d);
+        next[size_t(to) * size_t(nparts) + size_t(d)] += v;
+        if (to == h) continue;  // self-hops are free, as in Comm
+        if (topo.same_supernode(h, to))
+          intra[size_t(h)] += v;
+        else
+          inter[size_t(h)] += v;
+      }
+    double max_intra = 0, max_inter = 0, sum_intra = 0, sum_inter = 0;
+    for (int h = 0; h < nparts; ++h) {
+      max_intra = std::max(max_intra, intra[size_t(h)]);
+      max_inter = std::max(max_inter, inter[size_t(h)]);
+      sum_intra += intra[size_t(h)];
+      sum_inter += inter[size_t(h)];
+    }
+    score.total_bytes += uint64_t(sum_intra + sum_inter);
+    score.inter_bytes += uint64_t(sum_inter);
+    score.modeled_s += topo.transfer_time(nparts, uint64_t(max_intra),
+                                          uint64_t(max_inter));
+    vol.swap(next);
+  };
+
+  if (plan.stages() == 0) {
+    charge([&](int /*h*/, int d) { return d; });
+    return score;
+  }
+  for (int s = 0; s < plan.stages(); ++s)
+    charge([&](int h, int d) { return plan.hop(s, h, d); });
+  return score;
+}
+
+}  // namespace sunbfs::sim

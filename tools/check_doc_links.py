@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Audit relative links in the repo's markdown: every target must exist.
+
+Usage:
+
+    python3 tools/check_doc_links.py [--root .]
+
+The docs cross-reference each other heavily (README -> docs/COMM.md ->
+docs/OBSERVABILITY.md -> ...), and a rename or move silently strands
+readers: nothing in the build touches markdown, so tier-1 stays green
+while the tour dead-ends.  This script walks every tracked-looking
+`*.md` file (skipping build trees and dot-directories) and audits two
+kinds of reference:
+
+* inline markdown links `[text](target)` — each relative target must
+  resolve to an existing file or directory from the linking file's
+  location.  External schemes (http/https/mailto) and pure in-page
+  `#anchors` are skipped; `path#anchor` targets are checked for the path
+  part only.  Fenced code blocks and inline code spans are stripped
+  first so link-syntax *examples* don't trip the audit.
+* backticked repo paths — the house style writes cross-references as
+  `docs/COMM.md` or `src/sim/exchange.hpp` in code spans, not as
+  markdown links.  Any code span matching `<known-top-dir>/<path>` with
+  no placeholder characters must exist relative to the repo root.  A
+  path naming a built runner (`examples/graph500_runner`) also passes
+  when the matching `.cpp` source exists.
+
+Exit: 0 clean, 1 on any broken reference, 2 when no markdown is found.
+Stdlib only.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", "build-tsan", ".git", ".github"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+CODE_SPAN_RE = re.compile(r"`([^`\n]*)`")
+
+# Backticked repo paths: root-relative, starting at a known top-level
+# directory, with no glob/placeholder characters.  `reports/` holds
+# committed baselines the docs point CI at, so it is audited too.
+PATH_TOP_DIRS = ("src", "docs", "tools", "tests", "bench", "examples",
+                 "reports")
+PATH_RE = re.compile(
+    r"^(?:%s)/[A-Za-z0-9_./-]*$" % "|".join(PATH_TOP_DIRS))
+
+
+def markdown_files(root: Path) -> list:
+    out = []
+    for path in sorted(root.rglob("*.md")):
+        rel_parts = path.relative_to(root).parts
+        if any(p in SKIP_DIRS or p.startswith(".") for p in rel_parts[:-1]):
+            continue
+        out.append(path)
+    return out
+
+
+def links_in(text: str) -> list:
+    text = FENCE_RE.sub("", text)
+    text = CODE_SPAN_RE.sub("", text)
+    return LINK_RE.findall(text)
+
+
+def backticked_paths_in(text: str) -> list:
+    text = FENCE_RE.sub("", text)
+    return [span for span in CODE_SPAN_RE.findall(text)
+            if PATH_RE.match(span)]
+
+
+def check_file(path: Path, root: Path) -> tuple:
+    text = path.read_text()
+    rel_name = path.relative_to(root)
+    broken, checked = [], 0
+
+    for target in links_in(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        checked += 1
+        resolved = (path.parent / rel).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            broken.append(f"{rel_name}: [..]({target}) escapes the repo")
+            continue
+        if not resolved.exists():
+            broken.append(f"{rel_name}: [..]({target}) -> missing "
+                          f"{resolved.relative_to(root.resolve())}")
+
+    for span in backticked_paths_in(text):
+        checked += 1
+        target = root / span
+        if not (target.exists() or target.with_suffix(".cpp").exists()):
+            broken.append(f"{rel_name}: `{span}` does not exist")
+
+    return broken, checked
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root to scan (default: the repo)")
+    args = ap.parse_args()
+    root = args.root
+
+    files = markdown_files(root)
+    if not files:
+        print(f"check_doc_links: no markdown under {root}", file=sys.stderr)
+        return 2
+
+    broken = []
+    nchecked = 0
+    for path in files:
+        bad, checked = check_file(path, root)
+        broken.extend(bad)
+        nchecked += checked
+
+    if broken:
+        print("check_doc_links: FAILED", file=sys.stderr)
+        for line in broken:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} files, "
+          f"{nchecked} references)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
