@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
           "ship raw structs instead of adaptive wire encoding");
   cli.add("--exchange", "direct|butterfly|2dca",
           "exchange plan for the world-wide alltoallvs (default direct)");
-  cli.add("--engine", "1d|1.5d", "BFS engine (default 1.5d)");
+  cli.add("--engine", "1d|1.5d|async", "BFS engine (default 1.5d)");
   cli.add("--baseline-direction", "",
           "disable per-sub-iteration direction choice (whole-level only)");
   cli.add("--threads-per-rank", "T",
@@ -75,20 +75,34 @@ int main(int argc, char** argv) {
   cfg.num_roots = int(cli.u64("--roots", 8));
   cfg.bfs.threads_per_rank = int(cli.u64("--threads-per-rank", 0));
   cfg.bfs1d.threads_per_rank = cfg.bfs.threads_per_rank;
+  cfg.bfsasync.threads_per_rank = cfg.bfs.threads_per_rank;
   cfg.validate = !cli.has("--no-validate");
   cfg.bfs.encoding.enabled = !cli.has("--no-encoding");
   cfg.bfs1d.encoding.enabled = cfg.bfs.encoding.enabled;
+  cfg.bfsasync.encoding.enabled = cfg.bfs.encoding.enabled;
   sim::ExchangeBackend backend = sim::ExchangeBackend::Direct;
   if (!sim::parse_exchange_backend(cli.str("--exchange", "direct"),
                                    &backend)) {
-    std::fprintf(stderr, "unknown --exchange backend '%s'\n\n%s",
-                 cli.str("--exchange").c_str(), cli.usage().c_str());
+    std::fprintf(stderr, "%s\n\n%s",
+                 bfs::unknown_choice_error("--exchange",
+                                           cli.str("--exchange"),
+                                           "direct, butterfly, 2dca")
+                     .c_str(),
+                 cli.usage().c_str());
     return 2;
   }
   cfg.bfs.exchange.backend = backend;
   cfg.bfs1d.exchange.backend = backend;
+  cfg.bfsasync.exchange.backend = backend;
   cfg.bfs.sub_iteration_direction = !cli.has("--baseline-direction");
-  if (cli.str("--engine", "1.5d") == "1d") cfg.engine = bfs::EngineKind::OneD;
+  if (!bfs::parse_engine_kind(cli.str("--engine", "1.5d"), &cfg.engine)) {
+    std::fprintf(stderr, "%s\n\n%s",
+                 bfs::unknown_choice_error("--engine", cli.str("--engine"),
+                                           bfs::engine_kind_choices())
+                     .c_str(),
+                 cli.usage().c_str());
+    return 2;
+  }
   sim::MeshShape mesh{int(cli.u64("--rows", 2)), int(cli.u64("--cols", 2))};
   sim::Topology topo(mesh);
 
@@ -115,7 +129,7 @@ int main(int argc, char** argv) {
 
   std::printf("graph500_runner: SCALE %d, edge factor %d, %s engine\n",
               cfg.graph.scale, cfg.graph.edge_factor,
-              cfg.engine == bfs::EngineKind::OneFiveD ? "1.5D" : "1D");
+              bfs::engine_kind_name(cfg.engine));
   std::printf("machine: %s\n", topo.to_string().c_str());
   std::printf("exchange: %s\n", sim::exchange_backend_name(backend));
   std::printf("thresholds: E >= %llu, H >= %llu; %d search keys; "
@@ -207,8 +221,7 @@ int main(int argc, char** argv) {
     report.info("edge_factor", int64_t(cfg.graph.edge_factor));
     report.info("mesh", std::to_string(mesh.rows) + "x" +
                             std::to_string(mesh.cols));
-    report.info("engine",
-                cfg.engine == bfs::EngineKind::OneFiveD ? "1.5d" : "1d");
+    report.info("engine", bfs::engine_kind_name(cfg.engine));
     report.info("faults", cfg.faults ? "on" : "off");
     report.info("encoding", cfg.bfs.encoding.enabled ? "on" : "off");
     report.info("exchange", sim::exchange_backend_name(backend));

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bfs/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/session.hpp"
@@ -82,8 +83,12 @@ int main(int argc, char** argv) {
   sim::ExchangeBackend backend = sim::ExchangeBackend::Direct;
   if (!sim::parse_exchange_backend(cli.str("--exchange", "direct"),
                                    &backend)) {
-    std::fprintf(stderr, "unknown --exchange backend '%s'\n\n%s",
-                 cli.str("--exchange").c_str(), cli.usage().c_str());
+    std::fprintf(stderr, "%s\n\n%s",
+                 bfs::unknown_choice_error("--exchange",
+                                           cli.str("--exchange"),
+                                           "direct, butterfly, 2dca")
+                     .c_str(),
+                 cli.usage().c_str());
     return 2;
   }
   cfg.msbfs.exchange.backend = backend;

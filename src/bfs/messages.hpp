@@ -32,6 +32,18 @@ struct CompactMsg {
   uint32_t src;
 };
 
+/// Speculative visit of the asynchronous engine (bfs/bfsasync.cpp): claim
+/// depth `depth` for receiver-local vertex `dst` with global parent
+/// `parent`.  Unlike the level-synchronous messages the depth must travel —
+/// one exchange round carries claims from many BFS levels at once, and a
+/// vertex may be re-claimed by a shallower visit later.  The engine checks
+/// that the vertex space fits 32 bits before staging these.
+struct AsyncVisitMsg {
+  uint32_t dst;     ///< receiver-local vertex index
+  uint32_t parent;  ///< global parent id
+  uint32_t depth;   ///< speculative depth claimed for dst
+};
+
 }  // namespace sunbfs::bfs
 
 namespace sunbfs::sim {
@@ -101,6 +113,36 @@ struct ExchangeMergePolicy<bfs::VisitMsg> {
   }
 };
 
+template <>
+struct WireFormat<bfs::AsyncVisitMsg> {
+  static uint64_t key(const bfs::AsyncVisitMsg& m) { return m.dst; }
+  static bool less(const bfs::AsyncVisitMsg& a, const bfs::AsyncVisitMsg& b) {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.parent < b.parent;
+  }
+  static size_t rest_size(const bfs::AsyncVisitMsg& m) {
+    return varint_size(m.depth) + varint_size(m.parent);
+  }
+  static uint8_t* put_rest(const bfs::AsyncVisitMsg& m, uint8_t* p) {
+    p = put_varint(p, m.depth);
+    return put_varint(p, m.parent);
+  }
+  static const uint8_t* get_rest(const uint8_t* p, const uint8_t* end,
+                                 uint64_t key, bfs::AsyncVisitMsg& m) {
+    if (key > UINT32_MAX) return nullptr;
+    uint64_t depth = 0, parent = 0;
+    p = get_varint(p, end, &depth);
+    if (p == nullptr || depth > UINT32_MAX) return nullptr;
+    p = get_varint(p, end, &parent);
+    if (p == nullptr || parent > UINT32_MAX) return nullptr;
+    m.dst = uint32_t(key);
+    m.depth = uint32_t(depth);
+    m.parent = uint32_t(parent);
+    return p;
+  }
+};
+
 /// Compact visits carry sender-local parents, so the fold compares and keeps
 /// the max (source rank, local id) pair — under the monotone block layout
 /// (to_global(rank, lloc) = base[rank] + lloc) that IS the max global
@@ -121,6 +163,28 @@ struct ExchangeMergePolicy<bfs::CompactMsg> {
         (from_src_part == into_src_part && from.src > into.src)) {
       into.src = from.src;
       into_src_part = from_src_part;
+    }
+  }
+};
+
+/// Async visits fold to the minimum depth (max global parent on ties) — the
+/// same compare-and-lower rule the receiving rank's claim slot applies, so
+/// collapsing speculative duplicates in flight changes nothing a receiver
+/// can observe.  Unlike CompactMsg the parent is already a global id, so the
+/// surviving source rank is irrelevant to reconstruction.
+template <>
+struct ExchangeMergePolicy<bfs::AsyncVisitMsg> {
+  static constexpr bool enabled = true;
+  static bool same(const bfs::AsyncVisitMsg& a, uint32_t,
+                   const bfs::AsyncVisitMsg& b, uint32_t) {
+    return a.dst == b.dst;
+  }
+  static void fold(bfs::AsyncVisitMsg& into, uint32_t&,
+                   const bfs::AsyncVisitMsg& from, uint32_t) {
+    if (from.depth < into.depth ||
+        (from.depth == into.depth && from.parent > into.parent)) {
+      into.depth = from.depth;
+      into.parent = from.parent;
     }
   }
 };

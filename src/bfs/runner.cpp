@@ -93,10 +93,14 @@ RunnerResult run_graph500(const sim::Topology& topology,
     // One warm workspace (worker pool + staging buffer pools) per rank for
     // the whole run: capacities grow during the first root and stay put, so
     // steady-state searches stage and exchange without allocating.
-    int tpr_request = config.engine == EngineKind::OneFiveD
-                          ? config.bfs.threads_per_rank
-                          : config.bfs1d.threads_per_rank;
-    BfsWorkspace ws(resolve_threads_per_rank(tpr_request, size_t(nranks)));
+    EngineConfig ecfg;
+    ecfg.kind = config.engine;
+    ecfg.thresholds = config.thresholds;
+    ecfg.bfs15 = config.bfs;
+    ecfg.bfs1d = config.bfs1d;
+    ecfg.async = config.bfsasync;
+    BfsWorkspace ws(
+        resolve_threads_per_rank(ecfg.threads_request(), size_t(nranks)));
     if (ctx.rank == 0) threads_per_rank = ws.pool().size();
     WallTimer setup_wall;
     uint64_t m = g.num_edges();
@@ -105,11 +109,22 @@ RunnerResult run_graph500(const sim::Topology& topology,
         m * uint64_t(ctx.rank + 1) / uint64_t(nranks), &ws.pool());
     auto degrees = partition::compute_local_degrees(ctx, space, slice);
 
-    std::optional<partition::Part15d> part15;
-    std::optional<partition::Part1d> part1;
-    if (config.engine == EngineKind::OneFiveD) {
-      part15 = partition::build_15d(ctx, space, slice, degrees,
-                                    config.thresholds);
+    // Engine-specific resources first (the options go into make_engine by
+    // value): the chip backing a chip-executed 1.5D pull kernel must outlive
+    // the engine.
+    std::optional<chip::Chip> chip;
+    ecfg.bfs15.workspace = &ws;
+    if (ecfg.kind == EngineKind::OneFiveD &&
+        ecfg.bfs15.pull_kernel != Bfs15dOptions::EhPullKernel::Host) {
+      chip.emplace(config.chip_geometry);
+      ecfg.bfs15.chip = &*chip;
+    }
+    ecfg.bfs1d.workspace = &ws;
+    ecfg.async.workspace = &ws;
+    // Build the partition the selected engine needs and bind it (collective).
+    std::unique_ptr<TraversalEngine> engine =
+        make_engine(ctx, space, slice, degrees, ecfg);
+    if (const partition::Part15d* part15 = engine->part15()) {
       if (ctx.rank == 0) {
         num_eh = part15->cls.num_eh();
         num_e = part15->cls.num_e();
@@ -117,8 +132,6 @@ RunnerResult run_graph500(const sim::Topology& topology,
       // Collective: every rank participates, only rank 0 keeps the result.
       auto bal = partition::gather_balance(ctx, *part15);
       if (ctx.rank == 0) balance = std::move(bal);
-    } else {
-      part1 = partition::build_1d(ctx, space, slice);
     }
     slice.clear();
     slice.shrink_to_fit();
@@ -129,16 +142,6 @@ RunnerResult run_graph500(const sim::Topology& topology,
     std::vector<Vertex> chosen = pick_search_keys(
         ctx, space, degrees, config.num_roots, config.root_seed ^ g.seed);
     if (ctx.rank == 0) roots = chosen;
-
-    std::optional<chip::Chip> chip;
-    Bfs15dOptions opts = config.bfs;
-    opts.workspace = &ws;
-    if (opts.pull_kernel != Bfs15dOptions::EhPullKernel::Host) {
-      chip.emplace(config.chip_geometry);
-      opts.chip = &*chip;
-    }
-    Bfs1dOptions opts1 = config.bfs1d;
-    opts1.workspace = &ws;
 
     uint64_t warmup_allocs = 0;
     uint64_t search_a2a = 0, search_a2a_inter = 0, search_ag = 0;
@@ -156,16 +159,10 @@ RunnerResult run_graph500(const sim::Topology& topology,
       const uint64_t ag0 =
           ctx.stats.entry(sim::CollectiveType::Allgather).bytes_sent;
       ctx.faults.armed = true;
-      if (config.engine == EngineKind::OneFiveD) {
-        auto r = bfs15d_run(ctx, *part15, chosen[size_t(i)], opts);
-        stats[size_t(i)][size_t(ctx.rank)] = std::move(r.stats);
-        cpu_s[size_t(i)][size_t(ctx.rank)] =
-            stats[size_t(i)][size_t(ctx.rank)].total_cpu_s();
-        comm_s[size_t(i)][size_t(ctx.rank)] =
-            stats[size_t(i)][size_t(ctx.rank)].total_comm_modeled_s();
-        local_parent = std::move(r.parent);
-      } else {
-        auto r = bfs1d_run(ctx, *part1, chosen[size_t(i)], opts1);
+      {
+        EngineRun r = engine->run(ctx, chosen[size_t(i)]);
+        if (r.has_stats)
+          stats[size_t(i)][size_t(ctx.rank)] = std::move(r.stats);
         cpu_s[size_t(i)][size_t(ctx.rank)] = r.cpu_s;
         comm_s[size_t(i)][size_t(ctx.rank)] = r.comm_modeled_s;
         local_parent = std::move(r.parent);

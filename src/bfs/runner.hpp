@@ -3,8 +3,7 @@
 #include <optional>
 #include <vector>
 
-#include "bfs/bfs15d.hpp"
-#include "bfs/bfs1d.hpp"
+#include "bfs/engine.hpp"
 #include "chip/arch.hpp"
 #include "graph/gteps.hpp"
 #include "graph/rmat.hpp"
@@ -17,18 +16,15 @@
 /// end-to-end pipeline behind the headline result and most figures.
 namespace sunbfs::bfs {
 
-/// Which BFS engine to run.
-enum class EngineKind {
-  OneD,      ///< vanilla 1D baseline
-  OneFiveD,  ///< degree-aware 1.5D (the paper's system)
-};
-
 struct RunnerConfig {
   graph::Graph500Config graph;
   partition::DegreeThresholds thresholds;
+  /// Engine selection (bfs/engine.hpp: EngineKind, parse_engine_kind,
+  /// make_engine).
   EngineKind engine = EngineKind::OneFiveD;
   Bfs15dOptions bfs;  ///< chip field ignored; see chip_geometry
   Bfs1dOptions bfs1d;
+  BfsAsyncOptions bfsasync;
   int num_roots = 8;
   uint64_t root_seed = 7;
   bool validate = true;

@@ -41,11 +41,15 @@ class BfsWorkspace {
   sim::ExchangeChannel<VisitMsg>& visit_along() { return visit_along_; }
   /// Reused frontier-gather receive buffer for the pull kernels.
   sim::GatherBuffer<uint64_t>& frontier() { return frontier_; }
+  /// Staging pool for the asynchronous engine's speculative visit rounds
+  /// (bfs/bfsasync.cpp): depth-carrying messages with a min-depth in-flight
+  /// fold.
+  sim::ExchangeChannel<AsyncVisitMsg>& async_visits() { return async_; }
 
   /// Total capacity growths across all pools since construction.
   uint64_t staging_allocs() const {
     return compact_.allocs() + visit_down_.allocs() + visit_along_.allocs() +
-           frontier_.allocs();
+           frontier_.allocs() + async_.allocs();
   }
 
  private:
@@ -54,6 +58,7 @@ class BfsWorkspace {
   sim::ExchangeChannel<VisitMsg> visit_down_;
   sim::ExchangeChannel<VisitMsg> visit_along_;
   sim::GatherBuffer<uint64_t> frontier_;
+  sim::ExchangeChannel<AsyncVisitMsg> async_;
 };
 
 }  // namespace sunbfs::bfs

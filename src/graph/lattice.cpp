@@ -1,0 +1,73 @@
+#include "graph/lattice.hpp"
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sunbfs::graph {
+
+namespace {
+
+/// Torus wrap edges exist only along dimensions of length >= 3: length 1
+/// would wrap to a self loop and length 2 would duplicate the lattice edge.
+uint64_t wrap_rows(const LatticeConfig& c) {
+  return c.kind == LatticeConfig::Kind::Torus && c.cols >= 3 ? c.rows : 0;
+}
+uint64_t wrap_cols(const LatticeConfig& c) {
+  return c.kind == LatticeConfig::Kind::Torus && c.rows >= 3 ? c.cols : 0;
+}
+
+}  // namespace
+
+uint64_t LatticeConfig::num_edges() const {
+  SUNBFS_CHECK(rows >= 1 && cols >= 1);
+  return rows * (cols - 1) + (rows - 1) * cols + wrap_rows(*this) +
+         wrap_cols(*this);
+}
+
+uint64_t LatticeConfig::diameter() const {
+  uint64_t h = kind == Kind::Torus && cols >= 3 ? cols / 2 : cols - 1;
+  uint64_t v = kind == Kind::Torus && rows >= 3 ? rows / 2 : rows - 1;
+  return h + v;
+}
+
+Edge LatticeConfig::edge(uint64_t index) const {
+  const uint64_t horizontal = rows * (cols - 1);
+  const uint64_t vertical = (rows - 1) * cols;
+  if (index < horizontal) {
+    uint64_t r = index / (cols - 1), c = index % (cols - 1);
+    return Edge{Vertex(r * cols + c), Vertex(r * cols + c + 1)};
+  }
+  index -= horizontal;
+  if (index < vertical) {
+    uint64_t r = index / cols, c = index % cols;
+    return Edge{Vertex(r * cols + c), Vertex((r + 1) * cols + c)};
+  }
+  index -= vertical;
+  if (index < wrap_rows(*this))
+    return Edge{Vertex(index * cols + cols - 1), Vertex(index * cols)};
+  index -= wrap_rows(*this);
+  SUNBFS_CHECK(index < wrap_cols(*this));
+  return Edge{Vertex((rows - 1) * cols + index), Vertex(index)};
+}
+
+std::vector<Edge> generate_lattice_range(const LatticeConfig& config,
+                                         uint64_t begin, uint64_t end,
+                                         ThreadPool* pool) {
+  SUNBFS_CHECK(begin <= end && end <= config.num_edges());
+  std::vector<Edge> out(end - begin);
+  auto fill = [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) out[i] = config.edge(begin + i);
+  };
+  if (pool != nullptr && out.size() > 1)
+    pool->parallel_for(0, out.size(), fill);
+  else
+    fill(0, out.size());
+  return out;
+}
+
+std::vector<Edge> generate_lattice(const LatticeConfig& config,
+                                   ThreadPool* pool) {
+  return generate_lattice_range(config, 0, config.num_edges(), pool);
+}
+
+}  // namespace sunbfs::graph

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sunbfs {
+class ThreadPool;
+}
+
+/// Deterministic high-diameter graph generators: path, 2D grid and 2D torus.
+///
+/// The R-MAT generator produces the benchmark's low-diameter inputs; the
+/// sync-vs-async crossover suite (bench_async_crossover, docs/PERF.md) needs
+/// the opposite regime — graphs whose diameter dwarfs the rank count, where
+/// per-level barriers dominate a level-synchronous traversal.  These
+/// lattices are that regime: a path of n vertices has diameter n - 1, an
+/// r x c grid has diameter r + c - 2.
+///
+/// Same generation contract as R-MAT (graph/rmat.hpp): edge i is a pure
+/// function of (config, i), so every rank generates exactly its slice of
+/// the global edge list independently and the concatenation of disjoint
+/// ranges is the canonical list.  No scrambling — the lattice ids ARE the
+/// structure, and BFS correctness oracles never depend on labeling.
+namespace sunbfs::graph {
+
+struct LatticeConfig {
+  enum class Kind { Path, Grid, Torus };
+
+  Kind kind = Kind::Path;
+  /// Grid shape; a path is a 1 x n grid.  Vertex (r, c) has id r*cols + c.
+  uint64_t rows = 1;
+  uint64_t cols = 2;
+
+  static LatticeConfig path(uint64_t n) {
+    return LatticeConfig{Kind::Path, 1, n};
+  }
+  static LatticeConfig grid(uint64_t rows, uint64_t cols) {
+    return LatticeConfig{Kind::Grid, rows, cols};
+  }
+  static LatticeConfig torus(uint64_t rows, uint64_t cols) {
+    return LatticeConfig{Kind::Torus, rows, cols};
+  }
+
+  uint64_t num_vertices() const { return rows * cols; }
+  /// Edge-list length: horizontal + vertical lattice edges, plus the
+  /// wrap-around edges for the torus.
+  uint64_t num_edges() const;
+  /// Graph diameter (torus: exact for the even wrap lengths used here).
+  uint64_t diameter() const;
+
+  /// Edge `index` of the canonical list, index in [0, num_edges()).
+  Edge edge(uint64_t index) const;
+};
+
+/// Generate edges [begin, end) of the canonical edge list.  When `pool` is
+/// given the range is filled by its workers (bit-identical output at any
+/// thread count).
+std::vector<Edge> generate_lattice_range(const LatticeConfig& config,
+                                         uint64_t begin, uint64_t end,
+                                         ThreadPool* pool = nullptr);
+
+/// Convenience: the whole edge list.
+std::vector<Edge> generate_lattice(const LatticeConfig& config,
+                                   ThreadPool* pool = nullptr);
+
+}  // namespace sunbfs::graph

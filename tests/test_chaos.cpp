@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "bfs/runner.hpp"
 #include "service/broker.hpp"
 #include "service/session.hpp"
 #include "service/workload.hpp"
@@ -192,6 +193,45 @@ TEST(ChaosSoak, FaultyRunsAreDeterministic) {
   ASSERT_TRUE(first.spmd.ok());
   ASSERT_TRUE(second.spmd.ok());
   check_identical_reports(first, second);
+}
+
+// The asynchronous relaxed-frontier engine under the same chaos treatment:
+// randomized fault plans (the graph500_runner --faults mix: one straggler,
+// two corruptions, one hard rank failure) against the full pipeline, every
+// root still validating against the host reference.  The async engine's
+// recoverable surface is different from the level-synchronous engines' —
+// round-indexed checkpoints, termination-credit restore — so the soak pins
+// that rollback-and-replay is equally invisible there.
+TEST(ChaosSoak, AsyncEngineSurvivesRandomFaultPlans) {
+  sim::Topology topo(sim::MeshShape{2, 2});
+  uint64_t injected_total = 0, recovered_total = 0;
+  for (uint64_t fault_seed : {3ull, 13ull, 21ull}) {
+    bfs::RunnerConfig cfg;
+    cfg.graph.scale = 9;
+    cfg.graph.seed = 5;
+    cfg.engine = bfs::EngineKind::Async;
+    cfg.num_roots = 2;
+    cfg.bfsasync.threads_per_rank = 2;
+    cfg.validate = true;
+    sim::FaultPlan plan = sim::FaultPlan::random(
+        fault_seed, topo.mesh().ranks(), /*stragglers=*/1, /*corruptions=*/2,
+        /*failures=*/1);
+    cfg.faults = &plan;
+    cfg.fault_policy = sim::FaultPolicy::Recover;
+    SCOPED_TRACE("repro: graph500_runner --scale 9 --seed 5 --rows 2 --cols 2"
+                 " --roots 2 --threads-per-rank 2 --engine async --faults " +
+                 std::to_string(fault_seed));
+    bfs::RunnerResult result = bfs::run_graph500(topo, cfg);
+    ASSERT_TRUE(result.spmd.ok())
+        << result.spmd.errors.front();
+    EXPECT_TRUE(result.all_valid);
+    const sim::FaultStats totals = result.spmd.fault_totals();
+    injected_total += totals.injected();
+    recovered_total += totals.recovered;
+  }
+  // The soak must actually have exercised injection and rollback-and-replay.
+  EXPECT_GT(injected_total, 0u);
+  EXPECT_GT(recovered_total, 0u);
 }
 
 // Broker retry path end to end: with the in-engine retry budget at zero,

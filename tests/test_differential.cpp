@@ -425,15 +425,19 @@ TEST(RandomizedSweep, SampledPipelinesValidateOrPrintRepro) {
     bfs::RunnerConfig cfg;
     cfg.graph.scale = int(9 + rng.next() % 3);
     cfg.graph.seed = 1 + rng.next() % 1000;
-    cfg.engine = (rng.next() % 2 == 0) ? bfs::EngineKind::OneFiveD
-                                       : bfs::EngineKind::OneD;
+    static const bfs::EngineKind kKinds[] = {
+        bfs::EngineKind::OneFiveD, bfs::EngineKind::OneD,
+        bfs::EngineKind::Async};
+    cfg.engine = kKinds[rng.next() % 3];
     cfg.num_roots = int(1 + rng.next() % 3);
     const int threads = kThreads[rng.next() % 3];
     cfg.bfs.threads_per_rank = threads;
     cfg.bfs1d.threads_per_rank = threads;
+    cfg.bfsasync.threads_per_rank = threads;
     const bool encoding = rng.next() % 2 == 0;
     cfg.bfs.encoding.enabled = encoding;
     cfg.bfs1d.encoding.enabled = encoding;
+    cfg.bfsasync.encoding.enabled = encoding;
     const sim::MeshShape mesh = kMeshes[rng.next() % 4];
     const bool faulty = rng.next() % 2 == 0;
     const uint64_t fault_seed = 1 + rng.next() % 64;
@@ -453,7 +457,7 @@ TEST(RandomizedSweep, SampledPipelinesValidateOrPrintRepro) {
         std::to_string(mesh.rows) + " --cols " + std::to_string(mesh.cols) +
         " --roots " + std::to_string(cfg.num_roots) + " --threads-per-rank " +
         std::to_string(threads) + " --engine " +
-        (cfg.engine == bfs::EngineKind::OneD ? "1d" : "1.5d");
+        bfs::engine_kind_name(cfg.engine);
     if (faulty)
       repro += " --faults " + std::to_string(fault_seed) +
                " --fault-policy recover";

@@ -3,6 +3,7 @@
 // and TEPS accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <set>
@@ -10,6 +11,7 @@
 #include "graph/csr.hpp"
 #include "graph/gteps.hpp"
 #include "graph/io.hpp"
+#include "graph/lattice.hpp"
 #include "graph/rmat.hpp"
 #include "graph/validate.hpp"
 #include "support/check.hpp"
@@ -313,6 +315,78 @@ TEST(EdgeListIo, TextParserSkipsCommentsAndWhitespace) {
   EXPECT_EQ(edges[0], (Edge{0, 5}));
   EXPECT_EQ(edges[1], (Edge{5, 9}));
   EXPECT_EQ(n, 10u);
+}
+
+// ------------------------------------- deterministic lattice generators
+
+// Simple, well-formed edge lists: endpoints in range, no self loops, no
+// duplicates in either orientation, and exactly the advertised count.
+void expect_simple_lattice(const LatticeConfig& cfg) {
+  auto edges = generate_lattice(cfg);
+  ASSERT_EQ(edges.size(), cfg.num_edges());
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const Edge& e : edges) {
+    ASSERT_GE(e.u, 0);
+    ASSERT_GE(e.v, 0);
+    ASSERT_LT(uint64_t(e.u), cfg.num_vertices());
+    ASSERT_LT(uint64_t(e.v), cfg.num_vertices());
+    ASSERT_NE(e.u, e.v) << "self loop";
+    auto key = std::minmax(e.u, e.v);
+    ASSERT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(Lattice, GeneratesSimpleGraphsOfTheAdvertisedSize) {
+  expect_simple_lattice(LatticeConfig::path(2));
+  expect_simple_lattice(LatticeConfig::path(257));
+  expect_simple_lattice(LatticeConfig::grid(1, 7));
+  expect_simple_lattice(LatticeConfig::grid(8, 13));
+  expect_simple_lattice(LatticeConfig::torus(5, 9));
+  // Short torus dimensions must not emit self loops or duplicate wraps.
+  expect_simple_lattice(LatticeConfig::torus(2, 6));
+  expect_simple_lattice(LatticeConfig::torus(1, 6));
+  expect_simple_lattice(LatticeConfig::torus(2, 2));
+}
+
+// Same contract as the R-MAT generator: edge i is a pure function of
+// (config, i), so disjoint ranges concatenate to the canonical list.
+TEST(Lattice, RangeConcatenationIsTheCanonicalList) {
+  const LatticeConfig cfg = LatticeConfig::torus(6, 8);
+  auto full = generate_lattice(cfg);
+  for (int parts : {2, 3, 5}) {
+    std::vector<Edge> cat;
+    uint64_t m = cfg.num_edges();
+    for (int p = 0; p < parts; ++p) {
+      auto range = generate_lattice_range(
+          cfg, m * uint64_t(p) / uint64_t(parts),
+          m * uint64_t(p + 1) / uint64_t(parts));
+      cat.insert(cat.end(), range.begin(), range.end());
+    }
+    ASSERT_EQ(cat.size(), full.size());
+    for (size_t i = 0; i < full.size(); ++i) ASSERT_EQ(cat[i], full[i]);
+  }
+}
+
+// The diameter helper against the serial reference: the BFS eccentricity of
+// a corner (path/grid) or any vertex (torus is vertex-transitive) is the
+// diameter.
+TEST(Lattice, DiameterMatchesReferenceBfsEccentricity) {
+  for (const LatticeConfig& cfg :
+       {LatticeConfig::path(97), LatticeConfig::grid(9, 14),
+        LatticeConfig::torus(8, 11), LatticeConfig::torus(2, 9)}) {
+    auto edges = generate_lattice(cfg);
+    auto parent = reference_bfs(cfg.num_vertices(), edges, 0);
+    auto levels = levels_from_parents(cfg.num_vertices(), parent, 0);
+    int64_t ecc = 0;
+    for (int64_t l : levels) {
+      ASSERT_GE(l, 0) << "lattice must be connected";
+      ecc = std::max(ecc, l);
+    }
+    EXPECT_EQ(uint64_t(ecc), cfg.diameter())
+        << cfg.rows << "x" << cfg.cols << " kind "
+        << int(cfg.kind);
+  }
 }
 
 }  // namespace
