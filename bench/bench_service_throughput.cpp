@@ -64,8 +64,14 @@ bool write_bench_json(const char* path, int scale, int ranks,
                  (unsigned long long)p.report.retried);
     std::fprintf(f, "    \"sheds_%s\": %llu,\n", p.name.c_str(),
                  (unsigned long long)p.report.shed);
-    std::fprintf(f, "    \"failed_%s\": %llu%s\n", p.name.c_str(),
-                 (unsigned long long)p.report.failed, sep);
+    std::fprintf(f, "    \"failed_%s\": %llu,\n", p.name.c_str(),
+                 (unsigned long long)p.report.failed);
+    // Distance-oracle effectiveness (0 on cache-off points); hit_rate/hits
+    // are higher-is-better in tools/bench_compare.py.
+    std::fprintf(f, "    \"hits_%s\": %llu,\n", p.name.c_str(),
+                 (unsigned long long)p.report.cache.hits);
+    std::fprintf(f, "    \"hit_rate_%s\": %.6f%s\n", p.name.c_str(),
+                 p.report.cache.hit_rate(), sep);
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -76,11 +82,13 @@ void print_point(const LoadPoint& p) {
   const auto& r = p.report;
   std::printf(
       "%-14s %8.1f qps  p50 %8.4f ms  p95 %8.4f ms  p99 %8.4f ms  "
-      "occ %5.2f  expired %llu  retries %llu  shed %llu  failed %llu\n",
+      "occ %5.2f  expired %llu  retries %llu  shed %llu  failed %llu  "
+      "hit%% %5.1f\n",
       p.name.c_str(), r.qps, r.latency_p50_s * 1e3, r.latency_p95_s * 1e3,
       r.latency_p99_s * 1e3, r.mean_batch_occupancy,
       (unsigned long long)r.expired_total(), (unsigned long long)r.retried,
-      (unsigned long long)r.shed, (unsigned long long)r.failed);
+      (unsigned long long)r.shed, (unsigned long long)r.failed,
+      r.cache.hit_rate() * 100.0);
 }
 
 bool same_stats(const service::ServiceReport& a,
@@ -123,6 +131,19 @@ int main(int argc, char** argv) {
                              /*stragglers=*/1, /*corruptions=*/2,
                              /*failures=*/1);
   service::GraphSession faulty_session(topo, faulty_cfg);
+
+  // Cached session: the distance oracle on, sized for the zipfian hot set
+  // (landmarks pin the 16 hottest pool roots; leases outlast the run so the
+  // point measures steady-state hit rate, not churn — test_oracle covers
+  // expiry).  The zipf_nocache point serves the identical workload through
+  // `session` as the ablation leg.
+  service::ServiceConfig cached_cfg = cfg;
+  cached_cfg.cache.enabled = true;
+  cached_cfg.cache.tree_capacity = 64;
+  cached_cfg.cache.landmarks = 16;
+  cached_cfg.cache.tree_lease_s = 60.0;
+  cached_cfg.cache.sketch_lease_s = 60.0;
+  service::GraphSession cached_session(topo, cached_cfg);
 
   service::BrokerConfig broker;  // width 64, 5 ms age, 1024-deep queue
 
@@ -200,6 +221,36 @@ int main(int argc, char** argv) {
     p.broker.shed.min_samples = 4;
     points.push_back(std::move(p));
   }
+  // Zipfian-root skew (YCSB-style hot set) with a point-to-point mix, cache
+  // on vs off on the same workload: the headline for the distance oracle —
+  // hot roots hit cached trees, hot targets close on landmark bounds.
+  service::WorkloadConfig zipf;
+  // Closed loop: users resubmit on completion, so throughput self-limits to
+  // service speed and every cache hit (instant completion) buys QPS
+  // directly — the honest way to measure a cache, where an open loop's
+  // makespan is dominated by the fixed arrival span instead.
+  zipf.mode = service::ArrivalMode::Closed;
+  zipf.seed = 13;
+  zipf.num_queries = queries;
+  zipf.users = 16;
+  zipf.think_s = 1e-3;
+  zipf.root_dist = service::RootDist::Zipfian;
+  zipf.zipf_theta = 0.99;
+  zipf.distance_fraction = 0.2;
+  zipf.reachable_fraction = 0.1;
+  {
+    LoadPoint p;
+    p.name = "zipf_cache";
+    p.workload = zipf;
+    p.session = &cached_session;
+    points.push_back(std::move(p));
+  }
+  {
+    LoadPoint p;
+    p.name = "zipf_nocache";
+    p.workload = zipf;
+    points.push_back(std::move(p));
+  }
 
   std::printf("SCALE %d graph resident on %d ranks; %llu queries per point\n\n",
               cfg.graph.scale, topo.mesh().ranks(),
@@ -245,6 +296,33 @@ int main(int argc, char** argv) {
               unshed != nullptr ? unshed->latency_p99_s * 1e3 : 0.0,
               shed != nullptr ? (unsigned long long)shed->shed : 0ull);
 
+  // Oracle acceptance: on the zipfian point the cache must hit at least half
+  // of its probes AND beat the cache-off ablation on QPS, and the cached
+  // point must replay bit-identically (hits included) — caching must not
+  // cost determinism.
+  const service::ServiceReport* zc = nullptr;
+  const service::ServiceReport* zn = nullptr;
+  const LoadPoint* zc_point = nullptr;
+  for (const auto& p : points) {
+    if (p.name == "zipf_cache") { zc = &p.report; zc_point = &p; }
+    if (p.name == "zipf_nocache") zn = &p.report;
+  }
+  bool cache_wins = zc != nullptr && zn != nullptr &&
+                    zc->cache.hit_rate() >= 0.5 && zc->qps > zn->qps;
+  std::printf("distance oracle: %s (hit rate %.1f%%, %.1f qps cached vs %.1f "
+              "uncached)\n",
+              cache_wins ? "hit-rate + qps win" : "NOT WINNING — regression",
+              zc != nullptr ? zc->cache.hit_rate() * 100.0 : 0.0,
+              zc != nullptr ? zc->qps : 0.0, zn != nullptr ? zn->qps : 0.0);
+  service::ServiceReport zc_replay =
+      cached_session.serve(zc_point->workload, zc_point->broker);
+  bool cache_reproducible = same_stats(*zc, zc_replay) &&
+                            zc->cache.hits == zc_replay.cache.hits &&
+                            zc->cache.probes == zc_replay.cache.probes;
+  std::printf("replay of zipf_cache: %s\n",
+              cache_reproducible ? "bit-identical (stats + cache counters)"
+                                 : "MISMATCH — determinism regression");
+
   bench::shape_line(
       "higher offered load raises occupancy (collectives amortize over more "
       "queries per batch) and queueing pushes tail latency up; every point "
@@ -267,6 +345,10 @@ int main(int argc, char** argv) {
     bench::report().add_counter("service." + p.name + ".shed", p.report.shed);
     bench::report().add_counter("service." + p.name + ".failed",
                                 p.report.failed);
+    bench::report().add_counter("service." + p.name + ".cache_hits",
+                                p.report.cache.hits);
+    bench::report().gauge("service." + p.name + ".cache_hit_rate",
+                          p.report.cache.hit_rate());
   }
 
   const char* out = std::getenv("SUNBFS_BENCH_OUT");
@@ -277,5 +359,7 @@ int main(int argc, char** argv) {
     std::printf("bench json: FAILED writing %s\n", path);
     return bench::finish(1);
   }
-  return bench::finish(reproducible && shed_bounded ? 0 : 1);
+  return bench::finish(
+      reproducible && shed_bounded && cache_wins && cache_reproducible ? 0
+                                                                       : 1);
 }

@@ -47,6 +47,21 @@ int main(int argc, char** argv) {
   cli.add("--age-ms", "MS", "batch age timeout (default 5)");
   cli.add("--queue-cap", "N", "admission queue capacity (default 1024)");
   cli.add("--mix-sssp", "F", "fraction of SSSP-root queries (default 0)");
+  cli.add("--mix-distance", "F",
+          "fraction of point-to-point distance queries (default 0)");
+  cli.add("--mix-reachable", "F",
+          "fraction of point-to-point reachability queries (default 0)");
+  cli.add("--root-dist", "uniform|zipfian",
+          "root/target distribution over the pool (default uniform)");
+  cli.add("--zipf-theta", "T", "zipfian skew exponent (default 0.99)");
+  cli.add("--cache", "",
+          "enable the distance-oracle cache (trees + landmark sketches)");
+  cli.add("--cache-capacity", "N",
+          "exact-tree LRU capacity (default 32)");
+  cli.add("--landmarks", "K",
+          "pinned landmark roots for the sketch, <= 64 (default 16)");
+  cli.add("--lease-ms", "MS", "exact-tree lease (default 250)");
+  cli.add("--sketch-lease-ms", "MS", "landmark-sketch lease (default 1000)");
   cli.add("--exchange", "direct|butterfly|2dca",
           "exchange plan for the batched-visit alltoallv (default direct)");
   cli.add("--wl-seed", "S", "workload seed (default 1)");
@@ -107,6 +122,26 @@ int main(int argc, char** argv) {
   double deadline_ms = cli.f64("--deadline-ms", 0);
   if (deadline_ms > 0) wl.deadline_s = deadline_ms * 1e-3;
   wl.sssp_fraction = cli.f64("--mix-sssp", 0);
+  wl.distance_fraction = cli.f64("--mix-distance", 0);
+  wl.reachable_fraction = cli.f64("--mix-reachable", 0);
+  std::string root_dist = cli.str("--root-dist", "uniform");
+  if (root_dist != "uniform" && root_dist != "zipfian") {
+    std::fprintf(stderr, "%s\n\n%s",
+                 bfs::unknown_choice_error("--root-dist", root_dist,
+                                           "uniform, zipfian")
+                     .c_str(),
+                 cli.usage().c_str());
+    return 2;
+  }
+  wl.root_dist = root_dist == "zipfian" ? service::RootDist::Zipfian
+                                        : service::RootDist::Uniform;
+  wl.zipf_theta = cli.f64("--zipf-theta", 0.99);
+
+  cfg.cache.enabled = cli.has("--cache");
+  cfg.cache.tree_capacity = cli.u64("--cache-capacity", 32);
+  cfg.cache.landmarks = int(cli.u64("--landmarks", 16));
+  cfg.cache.tree_lease_s = cli.f64("--lease-ms", 250) * 1e-3;
+  cfg.cache.sketch_lease_s = cli.f64("--sketch-lease-ms", 1000) * 1e-3;
 
   // Fault schedule by intensity level: 1 = one straggler, 2 = the
   // graph500_runner acceptance mix (straggler + corruptions + one hard
@@ -171,13 +206,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%6s %5s %9s %14s %12s %12s\n", "id", "kind", "status", "root",
-              "latency ms", "trav. edges");
+  std::printf("%6s %5s %9s %14s %12s %12s %6s %5s\n", "id", "kind", "status",
+              "root", "latency ms", "trav. edges", "dist", "cache");
   for (const auto& r : report.results)
-    std::printf("%6llu %5s %9s %14lld %12.4f %12llu\n",
+    std::printf("%6llu %5s %9s %14lld %12.4f %12llu %6lld %5s\n",
                 (unsigned long long)r.id, service::query_kind_name(r.kind),
                 service::query_status_name(r.status), (long long)r.root,
-                r.latency_s * 1e3, (unsigned long long)r.traversed_edges);
+                r.latency_s * 1e3, (unsigned long long)r.traversed_edges,
+                (long long)r.distance, r.cache_hit ? "hit" : "-");
 
   std::printf("\nsubmitted %llu, accepted %llu, rejected %llu, shed %llu, "
               "completed %llu, expired %llu (%llu queued + %llu late), "
@@ -207,6 +243,16 @@ int main(int argc, char** argv) {
                 (unsigned long long)report.staging_allocs_steady);
     auto f = report.spmd.fault_totals();
     std::printf("faults: %s\n", f.to_string().c_str());
+  }
+  if (cfg.cache.enabled) {
+    const auto& c = report.cache;
+    std::printf("cache: %llu probes, %llu hits (%.1f%%; %llu tree + %llu "
+                "sketch), %llu expired leases, %llu sketch refreshes\n",
+                (unsigned long long)c.probes, (unsigned long long)c.hits,
+                c.hit_rate() * 100.0, (unsigned long long)c.tree_hits,
+                (unsigned long long)c.sketch_answers,
+                (unsigned long long)c.expired,
+                (unsigned long long)c.refreshes);
   }
   std::printf("virtual makespan %.6f s -> %.1f QPS\n", report.makespan_s,
               report.qps);

@@ -14,6 +14,7 @@ void fill_terminal(QueryResult& r, const Query& q, QueryStatus status,
   r.kind = q.kind;
   r.status = status;
   r.root = q.root;
+  r.target = q.target;
   r.arrival_s = q.arrival_s;
   r.deadline_s = q.deadline_s;
   r.done_s = done_s;
@@ -61,6 +62,15 @@ void QueryBroker::transition(BreakerState next, double now_s) {
 
 bool QueryBroker::submit(const Query& q, QueryResult* rejection,
                          double now_s) {
+  // Cache-probe admission: a hit is a terminal Done (or late-Expired)
+  // result served without touching the queue, the breaker or a batch slot.
+  if (probe_) {
+    QueryResult served;
+    if (probe_(q, &served)) {
+      if (rejection != nullptr) *rejection = std::move(served);
+      return false;
+    }
+  }
   const ShedConfig& shed = config_.shed;
   if (shed.enabled && state_ == BreakerState::Shedding &&
       now_s >= shed_since_s_ + shed.probe_after_s)

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,17 @@ class QueryBroker {
 
   const BrokerConfig& config() const { return config_; }
 
+  /// Cache-probe admission step (docs/SERVICE.md "The distance oracle"):
+  /// when set, submit() consults the probe FIRST — a probe returning true
+  /// has filled `*result` with a terminal cache-served answer, and the query
+  /// bypasses shedding, the queue and batch formation entirely.  Probes run
+  /// before the shed check deliberately: a hit adds no engine load, so
+  /// serving it is correct even while the breaker is open.  The probe must
+  /// be replicated (same decision on every rank) like every other broker
+  /// input.
+  using CacheProbe = std::function<bool(const Query&, QueryResult*)>;
+  void set_cache_probe(CacheProbe probe) { probe_ = std::move(probe); }
+
   /// Admit `q`, or refuse it: returns false and (when `rejection` is
   /// non-null) fills it with a typed Rejected result — QueryRejected when
   /// the queue is full, QueryShed when the breaker shed it.  `now_s` drives
@@ -110,6 +122,7 @@ class QueryBroker {
   void transition(BreakerState next, double now_s);
 
   BrokerConfig config_;
+  CacheProbe probe_;
   std::deque<Query> queue_;
   // Breaker state (replicated: inputs are the virtual clock and outcomes).
   BreakerState state_ = BreakerState::Closed;

@@ -74,6 +74,8 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
   result.width = width;
   result.parent.assign(size_t(width) * local_count, kNoVertex);
   result.levels.assign(size_t(width), 0);
+  if (options.record_depths)
+    result.depth.assign(size_t(width) * local_count, int32_t(-1));
   Vertex* parent = result.parent.data();
 
   // One query-mask word per owned vertex: bit q belongs to query q.
@@ -89,6 +91,7 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     visited[lloc] |= uint64_t(1) << q;
     curr[lloc] |= uint64_t(1) << q;
     parent[size_t(q) * local_count + lloc] = root;
+    if (options.record_depths) result.depth[size_t(q) * local_count + lloc] = 0;
   }
 
   // Thread-safe visit: `visited` only moves in the serial per-level commit,
@@ -200,6 +203,7 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     std::vector<uint64_t> visited, curr;
     std::vector<Vertex> parent;
     std::vector<int> levels;
+    std::vector<int32_t> depth;
     uint64_t bytes_sent = 0;
   } ckpt;
   int consecutive_retries = 0;
@@ -210,6 +214,7 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     ckpt.curr = curr;
     ckpt.parent.assign(result.parent.begin(), result.parent.end());
     ckpt.levels = result.levels;
+    ckpt.depth = result.depth;
     ckpt.bytes_sent = ctx.stats.total_bytes_sent();
   };
   auto rollback = [&](int& it) {
@@ -232,6 +237,7 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     std::fill(next.begin(), next.end(), uint64_t(0));
     std::copy(ckpt.parent.begin(), ckpt.parent.end(), result.parent.begin());
     result.levels = ckpt.levels;
+    result.depth = ckpt.depth;
     it = ckpt.iteration;
     log_debug("msbfs rank ", ctx.rank, ": rolled back to level checkpoint ",
               ckpt.iteration, " (retry ", consecutive_retries, ")");
@@ -311,6 +317,17 @@ MsbfsResult msbfs_run(sim::RankContext& ctx, const partition::Part1d& part,
     if (frontier_empty) break;
     for (int q = 0; q < width; ++q)
       if (newmask >> q & 1) result.levels[size_t(q)] = iteration;
+    // Depth stamping rides the serial commit: every bit in `next` is fresh
+    // (visit/pull only set unvisited bits), so its depth is this level.
+    if (options.record_depths)
+      for (uint64_t i = 0; i < local_count; ++i) {
+        uint64_t bits = next[i];
+        while (bits != 0) {
+          int q = std::countr_zero(bits);
+          bits &= bits - 1;
+          result.depth[size_t(q) * local_count + i] = int32_t(iteration);
+        }
+      }
     for (uint64_t i = 0; i < local_count; ++i) visited[i] |= next[i];
     std::swap(curr, next);
     std::fill(next.begin(), next.end(), uint64_t(0));

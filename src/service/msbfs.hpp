@@ -74,6 +74,11 @@ struct MsbfsOptions {
   /// pending-fault flag, capped exponential backoff).  Results stay
   /// bit-identical to a fault-free run.
   sim::RecoveryOptions recovery;
+  /// Also record per-vertex hop depths into MsbfsResult::depth (query-major,
+  /// -1 = unreached).  Free of extra collectives: depths are stamped in the
+  /// serial per-level commit.  The distance oracle's sketches and cached
+  /// trees are built from these rows (src/service/oracle/).
+  bool record_depths = false;
 };
 
 struct MsbfsResult {
@@ -83,6 +88,9 @@ struct MsbfsResult {
   std::vector<graph::Vertex> parent;
   /// BFS levels (eccentricity from the root within its component) per query.
   std::vector<int> levels;
+  /// Owned-slice hop depths, query-major like `parent` (only populated when
+  /// MsbfsOptions::record_depths): -1 where query q never reached the vertex.
+  std::vector<int32_t> depth;
   int num_iterations = 0;    ///< shared level-loop sweeps for the batch
   uint64_t work_edges = 0;   ///< this rank's examined-edge count
   double compute_model_s = 0;  ///< work_edges x sim_seconds_per_edge / threads

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+/// Lease-aware LRU map for the distance-oracle cache (docs/SERVICE.md
+/// "The distance oracle").
+///
+/// Every entry carries a *lease*: an absolute expiry on the service's
+/// virtual clock plus the graph epoch it was built at.  Expiry is purely
+/// local — a probe that touches a stale entry evicts it and reports a lease
+/// expiry, so invalidation never needs a broadcast round (the Tardis-style
+/// logical-lease idea: readers self-invalidate on their own clock, writers
+/// only ever bump the epoch).  All state is replicated across ranks because
+/// every mutation is driven by replicated quantities (the virtual clock,
+/// the seeded workload, the shared epoch), which keeps the SPMD collective
+/// order trivially aligned when some ranks would otherwise "hit" and others
+/// "miss".
+namespace sunbfs::service::oracle {
+
+template <typename Key, typename Value>
+class LeaseLru {
+ public:
+  struct Entry {
+    Key key{};
+    Value value{};
+    double expires_s = 0;  ///< absolute virtual-clock lease expiry
+    uint64_t epoch = 0;    ///< graph epoch the artifact was computed at
+  };
+
+  explicit LeaseLru(size_t capacity) : capacity_(capacity) {}
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Look up `key`; a live hit is promoted to most-recently-used and
+  /// returned.  An entry whose lease passed or whose epoch is stale is
+  /// evicted instead (reported via `expired_out`) and the lookup misses.
+  Value* find_live(const Key& key, double now_s, uint64_t epoch,
+                   uint64_t* expired_out = nullptr) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    if (it->second->expires_s <= now_s || it->second->epoch != epoch) {
+      if (expired_out != nullptr) ++*expired_out;
+      order_.erase(it->second);
+      index_.erase(it);
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return &order_.front().value;
+  }
+
+  /// Insert or overwrite `key` as most-recently-used; the least-recently
+  /// used entry is evicted when the cache is full.
+  void insert(const Key& key, Value value, double expires_s, uint64_t epoch) {
+    SUNBFS_CHECK(capacity_ >= 1);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      it->second->expires_s = expires_s;
+      it->second->epoch = epoch;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+    order_.push_front(Entry{key, std::move(value), expires_s, epoch});
+    index_[key] = order_.begin();
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace sunbfs::service::oracle

@@ -1,0 +1,118 @@
+#include "service/oracle/oracle.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace sunbfs::service::oracle {
+
+namespace {
+
+/// Fill a point-to-point answer from an exact hop distance.
+void fill_point(DistanceOracle::Answer& a, QueryKind kind, int64_t distance) {
+  if (kind == QueryKind::Distance) {
+    a.distance = distance;
+    a.reachable = distance >= 0;
+  } else {
+    // Reachable answers never carry a distance — the engine fallback does
+    // not either, which keeps cache-served and engine answers bit-identical.
+    a.distance = -1;
+    a.reachable = distance >= 0;
+  }
+}
+
+}  // namespace
+
+DistanceOracle::Answer DistanceOracle::probe(const Query& q, double now_s) {
+  Answer a;
+  if (!config_.enabled || q.kind == QueryKind::SsspRoot) return a;
+  ++stats_.probes;
+
+  // Class 1: an exact tree on the query's root answers everything.
+  if (const CachedTree* t =
+          trees_.find_live(q.root, now_s, epoch_, &stats_.expired)) {
+    ++stats_.hits;
+    ++stats_.tree_hits;
+    a.hit = true;
+    if (q.kind == QueryKind::Bfs) {
+      a.traversed_edges = t->traversed_edges;
+      a.levels = t->levels;
+    } else {
+      fill_point(a, q.kind, t->depth[size_t(q.target)]);
+    }
+    return a;
+  }
+  if (q.kind == QueryKind::Bfs) {
+    ++stats_.misses;
+    return a;
+  }
+
+  // Undirected symmetry: a tree rooted at the *target* knows d(target, root)
+  // = d(root, target).
+  if (const CachedTree* t =
+          trees_.find_live(q.target, now_s, epoch_, &stats_.expired)) {
+    ++stats_.hits;
+    ++stats_.tree_hits;
+    a.hit = true;
+    fill_point(a, q.kind, t->depth[size_t(q.root)]);
+    return a;
+  }
+
+  // Class 2: landmark triangle bounds (the session refreshed an expired
+  // sketch before probing, so a live sketch is the common case here).
+  if (!sketch_.empty() && sketch_expires_s_ > now_s) {
+    const SketchProbe p = sketch_.probe(q.root, q.target);
+    const bool closes = q.kind == QueryKind::Reachable ? p.resolved()
+                                                       : p.exact_distance();
+    if (closes) {
+      ++stats_.hits;
+      ++stats_.sketch_answers;
+      a.hit = true;
+      a.sketch = true;
+      fill_point(a, q.kind, p.known_reachable ? p.lower : int64_t(-1));
+      return a;
+    }
+  }
+
+  ++stats_.misses;
+  return a;
+}
+
+void DistanceOracle::install_sketch(std::vector<graph::Vertex> landmarks,
+                                    std::vector<int32_t> rows, double now_s) {
+  // A re-install only ever happens after the previous lease lapsed (the
+  // session refreshes on sketch_due), so it doubles as the expiry record.
+  if (!sketch_.empty()) ++stats_.expired;
+  ++stats_.refreshes;
+  sketch_.install(std::move(landmarks), std::move(rows), num_vertices_);
+  sketch_expires_s_ = now_s + config_.sketch_lease_s;
+}
+
+void DistanceOracle::insert_tree(graph::Vertex root, CachedTree tree,
+                                 double now_s) {
+  if (!config_.enabled || config_.tree_capacity == 0) return;
+  SUNBFS_CHECK(tree.depth.size() == num_vertices_);
+  trees_.insert(root, std::move(tree), now_s + config_.tree_lease_s, epoch_);
+}
+
+std::vector<int32_t> assemble_depth_rows(const partition::VertexSpace& space,
+                                         int width,
+                                         std::span<const int32_t> gathered,
+                                         std::span<const size_t> offsets) {
+  SUNBFS_CHECK(width >= 1);
+  SUNBFS_CHECK(offsets.size() == size_t(space.nranks) + 1);
+  std::vector<int32_t> rows(size_t(width) * space.total);
+  for (int r = 0; r < space.nranks; ++r) {
+    const uint64_t count = space.count(r);
+    const uint64_t begin = space.begin(r);
+    const int32_t* block = gathered.data() + offsets[size_t(r)];
+    SUNBFS_CHECK(offsets[size_t(r) + 1] - offsets[size_t(r)] ==
+                 size_t(width) * count);
+    for (int q = 0; q < width; ++q)
+      std::copy(block + size_t(q) * count, block + size_t(q + 1) * count,
+                rows.data() + size_t(q) * space.total + begin);
+  }
+  return rows;
+}
+
+}  // namespace sunbfs::service::oracle

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/space.hpp"
+#include "service/oracle/lru.hpp"
+#include "service/oracle/sketch.hpp"
+#include "service/query.hpp"
+
+/// The distance-oracle cache: a subsystem layered between the QueryBroker
+/// and the traversal engines (docs/SERVICE.md "The distance oracle").
+///
+/// Three artifact classes:
+///  1. **Exact BFS trees** — an LRU of recent engine answers keyed by root.
+///     A hit answers any query on that root (BFS scalars, dist(root, t),
+///     reachability) with zero engine work.
+///  2. **Landmark sketches** — k pinned roots traversed in one bit-parallel
+///     MS-BFS batch; triangle bounds over their depth rows answer
+///     point-to-point queries whose bounds close (LandmarkSketch).
+///  3. **Leases** — every artifact expires at an absolute virtual-clock
+///     time, locally and without a broadcast invalidation round; the next
+///     probe that touches a stale entry evicts it (trees) or triggers one
+///     batched refresh (the sketch).
+///
+/// Replication contract: every rank holds an identical oracle driven by
+/// identical inputs (the virtual clock, the replicated query stream, depth
+/// rows allgathered after each engine batch), so probes are pure-local and
+/// hit/miss decisions never disturb the SPMD collective order.
+namespace sunbfs::service::oracle {
+
+struct CacheConfig {
+  bool enabled = false;
+  /// LRU capacity of the exact-tree cache (entries are V-length depth rows).
+  size_t tree_capacity = 32;
+  /// Lease on a cached exact tree (virtual seconds).
+  double tree_lease_s = 0.25;
+  /// Pinned landmark roots (<= kMaxBatchWidth, one bit-parallel batch).
+  int landmarks = 16;
+  /// Lease on the landmark sketch; expiry triggers one batched refresh.
+  double sketch_lease_s = 1.0;
+  /// Modeled service time charged to a cache hit (the probe is a local
+  /// memory lookup, not an engine round).
+  double probe_cost_s = 2e-6;
+};
+
+/// Cache telemetry, surfaced as service.cache.* (docs/OBSERVABILITY.md).
+struct CacheStats {
+  uint64_t probes = 0;          ///< cacheable-kind admissions probed
+  uint64_t hits = 0;            ///< queries served with zero engine work
+  uint64_t misses = 0;          ///< probes that fell through to the engines
+  uint64_t expired = 0;         ///< lease expiries observed (trees + sketch)
+  uint64_t refreshes = 0;       ///< landmark sketch (re)builds
+  uint64_t sketch_answers = 0;  ///< hits closed by landmark triangle bounds
+  uint64_t tree_hits = 0;       ///< hits served from a cached exact tree
+
+  double hit_rate() const {
+    return probes > 0 ? double(hits) / double(probes) : 0;
+  }
+};
+
+/// One cached exact answer: the full replicated depth row from its root,
+/// plus the engine-grade scalars a BFS result reports.
+struct CachedTree {
+  std::vector<int32_t> depth;   ///< full V-length hop depths (kNoDepth = unreached)
+  uint64_t traversed_edges = 0; ///< degree-sum TEPS numerator (global, halved)
+  int levels = 0;               ///< BFS levels from the root
+};
+
+class DistanceOracle {
+ public:
+  DistanceOracle(const CacheConfig& config, uint64_t num_vertices)
+      : config_(config),
+        num_vertices_(num_vertices),
+        trees_(config.tree_capacity) {}
+
+  const CacheConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+  const CacheStats& stats() const { return stats_; }
+  size_t tree_count() const { return trees_.size(); }
+
+  /// A probed query's cache-served answer.  `hit` false means engine work is
+  /// required; the other fields are then meaningless.
+  struct Answer {
+    bool hit = false;
+    bool sketch = false;  ///< closed by landmark bounds (else an exact tree)
+    int64_t distance = -1;
+    bool reachable = false;
+    uint64_t traversed_edges = 0;
+    int levels = 0;
+  };
+
+  /// Probe all artifact classes for `q` at virtual time `now_s`.  Order:
+  /// exact tree on the root, exact tree on the target (undirected symmetry),
+  /// then landmark bounds.  Expired entries encountered on the way are
+  /// evicted and counted.  SSSP queries are not cacheable and never probed.
+  Answer probe(const Query& q, double now_s);
+
+  /// True when point-to-point probes need a sketch the oracle does not have
+  /// (never built, lease passed, or stale epoch) — the session must refresh
+  /// before probing.
+  bool sketch_due(double now_s) const {
+    return config_.enabled && config_.landmarks > 0 &&
+           (sketch_.empty() || sketch_expires_s_ <= now_s);
+  }
+
+  /// Install freshly gathered landmark rows at virtual time `now_s`; the new
+  /// lease runs to now_s + sketch_lease_s.
+  void install_sketch(std::vector<graph::Vertex> landmarks,
+                      std::vector<int32_t> rows, double now_s);
+
+  /// Cache the exact tree for `root` computed by an engine batch at virtual
+  /// time `now_s`; the lease runs to now_s + tree_lease_s.
+  void insert_tree(graph::Vertex root, CachedTree tree, double now_s);
+
+ private:
+  CacheConfig config_;
+  uint64_t num_vertices_;
+  uint64_t epoch_ = 0;  ///< graph epoch (static snapshot: always 0 for now)
+  CacheStats stats_;
+  LeaseLru<graph::Vertex, CachedTree> trees_;
+  LandmarkSketch sketch_;
+  double sketch_expires_s_ = 0;
+};
+
+/// Reshuffle the allgathered per-rank depth blocks (each rank contributes
+/// its owned slice query-major: block[q * count(r) + lloc]) into full
+/// landmark-major rows: out[q * space.total + global].  `offsets` is the
+/// per-rank offset table the allgatherv produced.
+std::vector<int32_t> assemble_depth_rows(const partition::VertexSpace& space,
+                                         int width,
+                                         std::span<const int32_t> gathered,
+                                         std::span<const size_t> offsets);
+
+}  // namespace sunbfs::service::oracle

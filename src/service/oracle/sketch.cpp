@@ -1,0 +1,47 @@
+#include "service/oracle/sketch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace sunbfs::service::oracle {
+
+void LandmarkSketch::install(std::vector<graph::Vertex> landmarks,
+                             std::vector<int32_t> rows,
+                             uint64_t num_vertices) {
+  SUNBFS_CHECK(rows.size() == landmarks.size() * num_vertices);
+  landmarks_ = std::move(landmarks);
+  rows_ = std::move(rows);
+  num_vertices_ = num_vertices;
+}
+
+SketchProbe LandmarkSketch::probe(graph::Vertex u, graph::Vertex v) const {
+  SketchProbe p;
+  if (u == v) {
+    // d(v, v) = 0 trivially, landmark coverage or not.
+    p.known_reachable = true;
+    p.lower = p.upper = 0;
+    return p;
+  }
+  for (int l = 0; l < num_landmarks(); ++l) {
+    const int64_t du = depth(l, u);
+    const int64_t dv = depth(l, v);
+    const bool fu = du != kNoDepth;
+    const bool fv = dv != kNoDepth;
+    if (fu != fv) {
+      // Undirected graph: one endpoint shares this landmark's component and
+      // the other does not, so they are in different components — definitive.
+      p.known_unreachable = true;
+      p.known_reachable = false;
+      return p;
+    }
+    if (!fu) continue;  // landmark sees neither endpoint: no information
+    p.known_reachable = true;
+    p.upper = std::min(p.upper, du + dv);
+    p.lower = std::max(p.lower, std::abs(du - dv));
+  }
+  return p;
+}
+
+}  // namespace sunbfs::service::oracle

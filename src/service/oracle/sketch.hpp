@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// Landmark distance sketches for the distance-oracle cache.
+///
+/// k pinned landmark roots are run through the bit-parallel MS-BFS engine in
+/// ONE batched traversal (one collective round per level for all k — the
+/// same amortization the query batches buy), and their full depth rows are
+/// replicated on every rank.  A point-to-point probe then answers from the
+/// triangle inequality over hop distances:
+///
+///   upper(u,v) = min_L d(u,L) + d(L,v)
+///   lower(u,v) = max_L |d(u,L) - d(L,v)|
+///
+/// On the service's undirected graphs, connectivity is an equivalence: one
+/// endpoint sharing a landmark's component while the other does not *proves*
+/// unreachability, and any landmark seeing both endpoints proves
+/// reachability.  When an endpoint IS a landmark (or lower == upper), the
+/// bounds collapse and the probe is exact — otherwise the caller falls back
+/// to an exact BFS through the engines.
+namespace sunbfs::service::oracle {
+
+/// Depth value for an unreached vertex (matches MsbfsResult::depth).
+inline constexpr int32_t kNoDepth = -1;
+
+/// Outcome of one landmark probe.  `lower`/`upper` are only meaningful when
+/// `known_reachable`; an unresolved probe has neither flag set.
+struct SketchProbe {
+  bool known_reachable = false;
+  bool known_unreachable = false;
+  int64_t lower = 0;
+  int64_t upper = std::numeric_limits<int64_t>::max();
+
+  /// The probe closes a Distance query exactly.
+  bool exact_distance() const {
+    return known_unreachable || (known_reachable && lower == upper);
+  }
+  /// The probe closes a Reachable query.
+  bool resolved() const { return known_reachable || known_unreachable; }
+};
+
+/// Replicated landmark depth rows (landmark-major: rows[l * V + v]).
+class LandmarkSketch {
+ public:
+  LandmarkSketch() = default;
+
+  /// Replace the sketch with `rows` for `landmarks` over `num_vertices`
+  /// global vertices.  `rows` is landmark-major and replicated — every rank
+  /// installs an identical copy, so probes stay communication-free.
+  void install(std::vector<graph::Vertex> landmarks, std::vector<int32_t> rows,
+               uint64_t num_vertices);
+
+  bool empty() const { return landmarks_.empty(); }
+  int num_landmarks() const { return int(landmarks_.size()); }
+  const std::vector<graph::Vertex>& landmarks() const { return landmarks_; }
+
+  /// Hop depth of `v` from landmark `l` (kNoDepth when unreached).
+  int32_t depth(int l, graph::Vertex v) const {
+    return rows_[std::size_t(l) * num_vertices_ + std::size_t(v)];
+  }
+
+  SketchProbe probe(graph::Vertex u, graph::Vertex v) const;
+
+ private:
+  std::vector<graph::Vertex> landmarks_;
+  std::vector<int32_t> rows_;
+  uint64_t num_vertices_ = 0;
+};
+
+}  // namespace sunbfs::service::oracle

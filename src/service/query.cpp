@@ -50,6 +50,8 @@ const char* query_kind_name(QueryKind kind) {
   switch (kind) {
     case QueryKind::Bfs: return "bfs";
     case QueryKind::SsspRoot: return "sssp";
+    case QueryKind::Distance: return "dist";
+    case QueryKind::Reachable: return "reach";
   }
   return "?";
 }

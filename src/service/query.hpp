@@ -38,8 +38,16 @@ inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 enum class QueryKind : int {
   Bfs = 0,       ///< BFS parent tree from one root (batched, bit-parallel)
   SsspRoot = 1,  ///< single-source shortest paths from one root
+  Distance = 2,  ///< point-to-point hop distance root -> target
+  Reachable = 3, ///< point-to-point reachability root -> target
 };
 const char* query_kind_name(QueryKind kind);
+
+/// Point-to-point kinds carry a target and are answerable by the distance
+/// oracle's landmark sketches (src/service/oracle/).
+inline bool query_kind_point_to_point(QueryKind kind) {
+  return kind == QueryKind::Distance || kind == QueryKind::Reachable;
+}
 
 enum class QueryStatus : int {
   Done = 0,  ///< executed, completed before its deadline
@@ -53,6 +61,8 @@ struct Query {
   uint64_t id = 0;
   QueryKind kind = QueryKind::Bfs;
   graph::Vertex root = 0;
+  /// Distance/Reachable endpoint (kNoVertex for whole-tree kinds).
+  graph::Vertex target = graph::kNoVertex;
   double arrival_s = 0;            ///< virtual arrival time
   double deadline_s = kNoDeadline; ///< absolute virtual deadline
   /// Scheduling priority: 0 is the lowest (shed first when the overload
@@ -69,13 +79,24 @@ struct QueryResult {
   QueryKind kind = QueryKind::Bfs;
   QueryStatus status = QueryStatus::Done;
   graph::Vertex root = 0;
+  graph::Vertex target = graph::kNoVertex;  ///< Distance/Reachable endpoint
   double arrival_s = 0;
   double deadline_s = kNoDeadline;  ///< absolute virtual deadline, replayable
   double start_s = 0;    ///< batch execution start (0 when never executed)
   double done_s = 0;     ///< completion / expiry / rejection / failure time
   double latency_s = 0;  ///< done_s - arrival_s (queue wait + service)
   uint64_t traversed_edges = 0;
-  int levels = 0;  ///< BFS levels (0 for SSSP / unexecuted queries)
+  int levels = 0;  ///< BFS levels (0 for SSSP / point / unexecuted queries)
+  /// Distance: hop count root -> target, -1 when unreachable.  Always -1 for
+  /// other kinds (Reachable answers deliberately carry no distance, so the
+  /// cache-served and engine-computed forms are bit-identical).
+  int64_t distance = -1;
+  /// Distance/Reachable: whether target is reachable from root.
+  bool reachable = false;
+  /// Served by the distance oracle with zero engine work (docs/SERVICE.md
+  /// "The distance oracle"): the query bypassed batch formation and was
+  /// charged the modeled probe cost instead of an engine round.
+  bool cache_hit = false;
   int retries = 0;     ///< broker re-admissions before this terminal state
   bool hedged = false; ///< batch was hedge-re-executed past the straggle cut
   std::string error;  ///< typed outcome message when not Done

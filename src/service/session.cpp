@@ -45,6 +45,15 @@ void ServiceReport::to_report(obs::Report& report) const {
   report.add_counter("service.fault.breaker_transitions", breaker_transitions);
   report.add_counter("service.staging_allocs_warmup", staging_allocs_warmup);
   report.add_counter("service.staging_allocs", staging_allocs_steady);
+  // Distance-oracle counters (docs/OBSERVABILITY.md "service.cache.*").
+  report.add_counter("service.cache.probes", cache.probes);
+  report.add_counter("service.cache.hits", cache.hits);
+  report.add_counter("service.cache.misses", cache.misses);
+  report.add_counter("service.cache.expired", cache.expired);
+  report.add_counter("service.cache.refreshes", cache.refreshes);
+  report.add_counter("service.cache.sketch_answers", cache.sketch_answers);
+  report.add_counter("service.cache.tree_hits", cache.tree_hits);
+  report.gauge("service.cache.hit_rate", cache.hit_rate());
   report.gauge("service.batch_occupancy", mean_batch_occupancy);
   report.gauge("service.makespan_s", makespan_s);
   report.gauge("service.qps", qps);
@@ -73,6 +82,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
   uint64_t retried = 0, batches = 0, failed_batches = 0, hedged_batches = 0;
   uint64_t breaker_transitions = 0, allocs_warm = 0, allocs_steady = 0;
   double occupancy_sum = 0, makespan = 0;
+  oracle::CacheStats cache_stats;
 
   sim::SpmdOptions spmd_opts;
   spmd_opts.policy = config_.fault_policy;
@@ -103,6 +113,26 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
 
     std::vector<Vertex> roots = bfs::pick_search_keys(
         ctx, space, degrees, config_.root_pool, config_.root_seed ^ g.seed);
+
+    // ---- Distance-oracle cache (src/service/oracle/). -------------------
+    // Landmarks pin the hot prefix of the root pool (under a zipfian
+    // workload those ARE the hot roots and targets); their sketch is built
+    // lazily on the first point-to-point probe and refreshed on lease
+    // expiry.  The oracle is replicated on every rank: its inputs are the
+    // virtual clock, the replicated query stream and depth rows allgathered
+    // after each engine batch, so hit/miss decisions never diverge and the
+    // SPMD collective order stays aligned.
+    oracle::DistanceOracle cache(config_.cache, space.total);
+    std::vector<Vertex> landmarks;
+    if (config_.cache.enabled && config_.cache.landmarks > 0) {
+      const size_t k = std::min({size_t(config_.cache.landmarks), roots.size(),
+                                 size_t(kMaxBatchWidth)});
+      landmarks.assign(roots.begin(), roots.begin() + ptrdiff_t(k));
+    }
+    // Resident scratch for the depth-row allgathers (reused across batches —
+    // no steady-state growth).
+    std::vector<int32_t> depth_gather;
+    std::vector<size_t> depth_off;
 
     // Warm staging for the batched visits: one message per cross-rank
     // frontier edge, bounded by this rank's arc count.
@@ -147,13 +177,22 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       gen.on_complete(r, now);
       results.push_back(std::move(r));
     };
-    // Admit into the broker; a refusal (queue full or shed) is terminal.
+    // Admit into the broker.  submit() returning false is either a terminal
+    // refusal (queue full or shed) or a cache-served answer from the
+    // oracle's probe step — the hit bypassed batch formation entirely.
     auto admit = [&](const Query& q) {
-      QueryResult rej;
+      QueryResult out;
       const uint64_t sheds0 = broker.shed_count();
-      if (broker.submit(q, &rej, now)) return true;
-      if (broker.shed_count() == sheds0) ++n_rej;
-      finish(std::move(rej));
+      if (broker.submit(q, &out, now)) return true;
+      if (out.cache_hit) {
+        if (out.status == QueryStatus::Done)
+          ++n_done;
+        else
+          ++n_explate;
+      } else if (broker.shed_count() == sheds0) {
+        ++n_rej;
+      }
+      finish(std::move(out));
       return false;
     };
     auto next_retry_s = [&]() {
@@ -166,6 +205,72 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       warm_captured = true;
       warm_allocs = ws.staging_allocs() + staging.allocs();
     };
+
+    // Cache-probe admission (docs/SERVICE.md "The distance oracle"): the
+    // broker consults the oracle before shedding/queueing.  Every input is
+    // replicated (virtual clock, replicated query stream, allgathered depth
+    // rows), so all ranks reach the same hit/miss decision and — crucially —
+    // enter the sketch-refresh collectives together.
+    if (config_.cache.enabled) {
+      broker.set_cache_probe([&](const Query& q, QueryResult* out) {
+        if (q.kind == QueryKind::SsspRoot) return false;
+        if (query_kind_point_to_point(q.kind) && !landmarks.empty() &&
+            cache.sketch_due(now)) {
+          // Lazy sketch (re)build: one bit-parallel MS-BFS over the pinned
+          // landmarks plus one depth-row allgather, charged to the virtual
+          // clock like a batch.  Cache maintenance is not part of the
+          // recoverable engine surface, so the fault plan is parked for its
+          // duration (msbfs's rank-failure schedule fires by level whenever
+          // a plan is installed under Recover, independent of `armed`).
+          const sim::FaultPlan* plan = ctx.faults.plan;
+          ctx.faults.plan = nullptr;
+          const double comm0 = ctx.stats.total_modeled_s();
+          MsbfsOptions sopts = mopts;
+          sopts.record_depths = true;
+          MsbfsResult sk = msbfs_run(ctx, part1, landmarks, sopts);
+          ctx.world.allgatherv_into(std::span<const int32_t>(sk.depth),
+                                    depth_gather, &depth_off);
+          now += ctx.world.allreduce_max(ctx.stats.total_modeled_s() - comm0 +
+                                         sk.compute_model_s);
+          ctx.faults.plan = plan;
+          cache.install_sketch(landmarks,
+                               oracle::assemble_depth_rows(
+                                   space, int(landmarks.size()), depth_gather,
+                                   depth_off),
+                               now);
+        }
+        const oracle::DistanceOracle::Answer ans = cache.probe(q, now);
+        if (!ans.hit) return false;
+        QueryResult r;
+        r.id = q.id;
+        r.kind = q.kind;
+        r.root = q.root;
+        r.target = q.target;
+        r.arrival_s = q.arrival_s;
+        r.deadline_s = q.deadline_s;
+        r.start_s = now;
+        // Hits bypass batch formation: charge only the modeled probe cost,
+        // without advancing the global clock — probes are rank-local reads
+        // of replicated state, not a synchronous batch.
+        r.done_s = now + config_.cache.probe_cost_s;
+        r.latency_s = r.done_s - q.arrival_s;
+        r.traversed_edges = ans.traversed_edges;
+        r.levels = ans.levels;
+        r.distance = ans.distance;
+        r.reachable = ans.reachable;
+        r.cache_hit = true;
+        r.retries = q.attempt;
+        if (r.done_s > q.deadline_s) {
+          r.status = QueryStatus::Expired;
+          r.error =
+              QueryExpired(q.id, q.arrival_s, q.deadline_s, r.done_s).what();
+        } else {
+          r.status = QueryStatus::Done;
+        }
+        *out = std::move(r);
+        return true;
+      });
+    }
 
     for (;;) {
       if (!broker.batch_ready(now)) {
@@ -207,8 +312,12 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       occ_sum += double(batch.size());
       const double start = now;
       const int width = int(batch.size());
+      const QueryKind bkind = batch.front().kind;
       std::vector<uint64_t> traversed(size_t(width), 0);
       std::vector<int> levels(size_t(width), 0);
+      // Point-to-point answers: per-query distance, -1 unreached (the target
+      // owner fills its slot, an allreduce-max replicates it).
+      std::vector<int64_t> pdist(size_t(width), -1);
 
       // One full batch execution, faults armed around the engines only.
       // Returns the batch's replicated service time; throws
@@ -216,9 +325,11 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       // give-up point is collectively agreed, so every rank throws together
       // and the SPMD collective order stays aligned.
       auto execute_batch = [&](std::vector<uint64_t>& trav,
-                               std::vector<int>& lvls) -> double {
+                               std::vector<int>& lvls,
+                               std::vector<int64_t>& pd) -> double {
         std::fill(trav.begin(), trav.end(), uint64_t(0));
         std::fill(lvls.begin(), lvls.end(), 0);
+        std::fill(pd.begin(), pd.end(), int64_t(-1));
         double local_cost = 0;
         const double comm0 = ctx.stats.total_modeled_s();
         // Injected straggler delays and recovery backoff are deterministic
@@ -229,16 +340,25 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
             ctx.faults.stats.straggler_delay_s + ctx.faults.stats.backoff_s;
         (void)ctx.faults.take_pending();  // each attempt starts clean
         ctx.faults.armed = true;
+        // Local depth rows (query-major) when the oracle or a point-to-point
+        // batch needs them; stays empty otherwise.
+        std::vector<int32_t> batch_depth;
         try {
-          if (batch.front().kind == QueryKind::Bfs) {
+          if (bkind != QueryKind::SsspRoot) {
             std::vector<Vertex> broots(batch.size());
             for (int i = 0; i < width; ++i)
               broots[size_t(i)] = batch[size_t(i)].root;
-            MsbfsResult r = msbfs_run(ctx, part1, broots, mopts);
+            MsbfsOptions bopts = mopts;
+            bopts.record_depths =
+                config_.cache.enabled || query_kind_point_to_point(bkind);
+            MsbfsResult r = msbfs_run(ctx, part1, broots, bopts);
             local_cost += r.compute_model_s;
             lvls = r.levels;
+            batch_depth = std::move(r.depth);
             // Degree-sum TEPS numerator per query (as in the Graph 500
-            // runner: each in-component edge contributes twice).
+            // runner: each in-component edge contributes twice).  Point
+            // results report 0 traversed edges, but cached trees keep the
+            // engine-grade value so a later BFS hit answers bit-identically.
             for (int q = 0; q < width; ++q) {
               uint64_t sum = 0;
               const Vertex* parent = r.parent.data() + size_t(q) * local_count;
@@ -273,8 +393,41 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
             std::span<uint64_t>(trav),
             [](uint64_t a, uint64_t b) { return a + b; });
         for (uint64_t& t : trav) t /= 2;
+        if (query_kind_point_to_point(bkind)) {
+          for (int i = 0; i < width; ++i) {
+            const Vertex t = batch[size_t(i)].target;
+            if (space.owner(t) == ctx.rank) {
+              const int32_t d =
+                  batch_depth[size_t(i) * local_count +
+                              size_t(space.to_local(ctx.rank, t))];
+              pd[size_t(i)] = int64_t(d);
+            }
+          }
+          ctx.world.allreduce_inplace(
+              std::span<int64_t>(pd),
+              [](int64_t a, int64_t b) { return a > b ? a : b; });
+        }
+        if (config_.cache.enabled && bkind != QueryKind::SsspRoot) {
+          // Feed the oracle: allgather the batch's depth rows and cache each
+          // root's exact tree, leased from the batch's start time.  Runs on
+          // the successful path only (a throw above skips it), so cached
+          // trees are always engine-grade.
+          ctx.world.allgatherv_into(std::span<const int32_t>(batch_depth),
+                                    depth_gather, &depth_off);
+          std::vector<int32_t> rows = oracle::assemble_depth_rows(
+              space, width, depth_gather, depth_off);
+          for (int i = 0; i < width; ++i) {
+            oracle::CachedTree tree;
+            tree.depth.assign(
+                rows.begin() + ptrdiff_t(size_t(i) * space.total),
+                rows.begin() + ptrdiff_t(size_t(i + 1) * space.total));
+            tree.traversed_edges = trav[size_t(i)];
+            tree.levels = lvls[size_t(i)];
+            cache.insert_tree(batch[size_t(i)].root, std::move(tree), now);
+          }
+        }
         double cost = local_cost;
-        if (batch.front().kind == QueryKind::SsspRoot)
+        if (bkind == QueryKind::SsspRoot)
           for (uint64_t t : trav)
             cost += double(t) * config_.sssp_seconds_per_edge /
                     (double(nranks) * double(ws.pool().size()));
@@ -291,7 +444,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       const double fault_before =
           ctx.faults.stats.straggler_delay_s + ctx.faults.stats.backoff_s;
       try {
-        service_s = execute_batch(traversed, levels);
+        service_s = execute_batch(traversed, levels, pdist);
       } catch (const sim::FaultDetected&) {
         batch_failed = true;
         // The doomed batch still burned virtual time: charge the slowest
@@ -344,8 +497,9 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
           ++n_hedged;
           std::vector<uint64_t> trav2(size_t(width), 0);
           std::vector<int> lvls2(size_t(width), 0);
+          std::vector<int64_t> pd2(size_t(width), -1);
           try {
-            const double second_s = execute_batch(trav2, lvls2);
+            const double second_s = execute_batch(trav2, lvls2, pd2);
             service_s = std::min(service_s, cut + second_s);
           } catch (const sim::FaultDetected&) {
             // The hedge replica died too; the first result stands.
@@ -361,13 +515,23 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         r.id = q.id;
         r.kind = q.kind;
         r.root = q.root;
+        r.target = q.target;
         r.arrival_s = q.arrival_s;
         r.deadline_s = q.deadline_s;
         r.start_s = start;
         r.done_s = now;
         r.latency_s = now - q.arrival_s;
-        r.traversed_edges = traversed[size_t(i)];
-        r.levels = levels[size_t(i)];
+        // Point-to-point results carry no per-tree scalars (the bit-identity
+        // convention cache-served answers follow too — see QueryResult).
+        const bool point = query_kind_point_to_point(q.kind);
+        r.traversed_edges = point ? 0 : traversed[size_t(i)];
+        r.levels = point ? 0 : levels[size_t(i)];
+        if (q.kind == QueryKind::Distance) {
+          r.distance = pdist[size_t(i)];
+          r.reachable = r.distance >= 0;
+        } else if (q.kind == QueryKind::Reachable) {
+          r.reachable = pdist[size_t(i)] >= 0;
+        }
         r.retries = q.attempt;
         r.hedged = hedged;
         if (now > q.deadline_s) {
@@ -409,6 +573,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       allocs_steady = steady_total;
       occupancy_sum = occ_sum;
       makespan = now;
+      cache_stats = cache.stats();
     }
   };
   report.spmd = sim::run_spmd(topology_, body, spmd_opts);
@@ -429,6 +594,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
   report.breaker_transitions = breaker_transitions;
   report.staging_allocs_warmup = allocs_warm;
   report.staging_allocs_steady = allocs_steady;
+  report.cache = cache_stats;
   report.mean_batch_occupancy =
       batches > 0 ? occupancy_sum / double(batches) : 0;
   report.makespan_s = makespan;

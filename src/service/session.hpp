@@ -9,6 +9,7 @@
 #include "partition/classify.hpp"
 #include "service/broker.hpp"
 #include "service/msbfs.hpp"
+#include "service/oracle/oracle.hpp"
 #include "service/workload.hpp"
 #include "sim/runtime.hpp"
 
@@ -61,6 +62,11 @@ struct ServiceConfig {
   /// Deterministic compute model for SSSP-root queries (they relax each
   /// in-component edge several times; BFS uses msbfs.sim_seconds_per_edge).
   double sssp_seconds_per_edge = 8e-9;
+  /// Distance-oracle cache between the broker and the engines
+  /// (src/service/oracle/): LRU of exact trees + landmark sketches +
+  /// lease-based self-invalidation.  Disabled by default — the cache-off
+  /// code path is bit-identical to the pre-oracle service.
+  oracle::CacheConfig cache;
 
   // ---- Fault tolerance (docs/SERVICE.md "Degraded modes"). ---------------
   /// Deterministic fault schedule armed only around engine executions; an
@@ -105,6 +111,8 @@ struct ServiceReport {
   /// pools are primed once — the chaos suite gates this under faults too).
   uint64_t staging_allocs_warmup = 0;
   uint64_t staging_allocs_steady = 0;
+  /// Distance-oracle telemetry (service.cache.* in the metrics report).
+  oracle::CacheStats cache;
   double mean_batch_occupancy = 0;  ///< queries per executed batch
   double makespan_s = 0;            ///< virtual clock at the last decision
   double qps = 0;                   ///< completed / makespan

@@ -23,6 +23,18 @@ WorkloadGen::WorkloadGen(const WorkloadConfig& config,
     : config_(config), roots_(std::move(roots)), rng_(config.seed) {
   SUNBFS_CHECK(!roots_.empty());
   SUNBFS_CHECK(config_.num_queries > 0);
+  SUNBFS_CHECK(config_.sssp_fraction + config_.distance_fraction +
+                   config_.reachable_fraction <=
+               1.0);
+  if (config_.root_dist == RootDist::Zipfian) {
+    SUNBFS_CHECK(config_.zipf_theta >= 0);
+    zipf_cum_.resize(roots_.size());
+    double cum = 0;
+    for (size_t i = 0; i < roots_.size(); ++i) {
+      cum += 1.0 / std::pow(double(i + 1), config_.zipf_theta);
+      zipf_cum_[i] = cum;
+    }
+  }
   if (config_.mode == ArrivalMode::Open) {
     SUNBFS_CHECK(config_.rate_qps > 0);
     open_next_s_ = exp_draw(rng_, config_.rate_qps);
@@ -40,13 +52,40 @@ WorkloadGen::WorkloadGen(const WorkloadConfig& config,
   user_of_id_.reserve(size_t(config_.num_queries));
 }
 
+graph::Vertex WorkloadGen::sample_root(Xoshiro256StarStar& rng) {
+  if (config_.root_dist == RootDist::Uniform)
+    return roots_[rng.next_below(roots_.size())];
+  // Zipfian: exactly one uniform draw inverted through the CDF table, so
+  // the draw count per query is fixed and the stream replays exactly.
+  const double r = rng.next_double() * zipf_cum_.back();
+  const size_t i = size_t(
+      std::lower_bound(zipf_cum_.begin(), zipf_cum_.end(), r) -
+      zipf_cum_.begin());
+  return roots_[std::min(i, roots_.size() - 1)];
+}
+
 Query WorkloadGen::make_query(Xoshiro256StarStar& rng, double arrival_s,
                               int user) {
   Query q;
   q.id = issued_++;
-  q.kind = rng.next_double() < config_.sssp_fraction ? QueryKind::SsspRoot
-                                                     : QueryKind::Bfs;
-  q.root = roots_[rng.next_below(roots_.size())];
+  // One draw partitions the kind mix; the historical two-kind stream is the
+  // special case where both point fractions are zero.
+  const double kd = rng.next_double();
+  double cut = config_.sssp_fraction;
+  if (kd < cut) {
+    q.kind = QueryKind::SsspRoot;
+  } else if (kd < (cut += config_.distance_fraction)) {
+    q.kind = QueryKind::Distance;
+  } else if (kd < (cut += config_.reachable_fraction)) {
+    q.kind = QueryKind::Reachable;
+  } else {
+    q.kind = QueryKind::Bfs;
+  }
+  q.root = sample_root(rng);
+  // Point-to-point targets come from the same pool and distribution — under
+  // zipfian skew they concentrate on the hot prefix (where the oracle pins
+  // its landmarks), the YCSB-style traffic shape.
+  if (query_kind_point_to_point(q.kind)) q.target = sample_root(rng);
   q.arrival_s = arrival_s;
   q.deadline_s = config_.deadline_s == kNoDeadline
                      ? kNoDeadline

@@ -25,6 +25,11 @@ namespace sunbfs::service {
 
 enum class ArrivalMode : int { Open = 0, Closed = 1 };
 
+/// Root (and point-query target) selection over the pool: uniform, or a
+/// YCSB-style zipfian skew where pool index i carries weight 1/(i+1)^theta —
+/// the hot-root traffic the distance oracle's tree cache exists for.
+enum class RootDist : int { Uniform = 0, Zipfian = 1 };
+
 struct WorkloadConfig {
   ArrivalMode mode = ArrivalMode::Open;
   uint64_t seed = 1;
@@ -35,8 +40,20 @@ struct WorkloadConfig {
   /// Relative deadline applied to every query (absolute deadline =
   /// arrival + deadline_s); kNoDeadline disables expiry.
   double deadline_s = kNoDeadline;
-  /// Fraction of queries that are SSSP-root queries (rest are BFS).
+  /// Query-kind mix, partitioning one uniform draw: [0, sssp) -> SsspRoot,
+  /// then distance, then reachable; the remainder are BFS.  The defaults
+  /// keep the draw sequence bit-identical to the pre-oracle stream.
   double sssp_fraction = 0;
+  /// Fraction of queries that are point-to-point Distance queries.
+  double distance_fraction = 0;
+  /// Fraction of queries that are point-to-point Reachable queries.
+  double reachable_fraction = 0;
+  /// Root/target selection over the pool (Uniform keeps the historical
+  /// draw-for-draw stream; Zipfian uses one uniform draw inverted through
+  /// the precomputed CDF, equally replay-deterministic).
+  RootDist root_dist = RootDist::Uniform;
+  /// Zipfian skew exponent (weight of pool index i is 1/(i+1)^theta).
+  double zipf_theta = 0.99;
   /// Deterministic expiry injection for tests: every k-th query (1-based)
   /// gets a zero relative deadline, so it is already expired when the broker
   /// sweeps.  0 disables.
@@ -71,9 +88,12 @@ class WorkloadGen {
 
  private:
   Query make_query(Xoshiro256StarStar& rng, double arrival_s, int user);
+  graph::Vertex sample_root(Xoshiro256StarStar& rng);
 
   WorkloadConfig config_;
   std::vector<graph::Vertex> roots_;
+  /// Zipfian inverse-CDF table over pool indices (empty when uniform).
+  std::vector<double> zipf_cum_;
   uint64_t issued_ = 0;  ///< queries generated so far (ids are sequential)
   // Open loop: one global arrival stream.
   Xoshiro256StarStar rng_;

@@ -1,0 +1,398 @@
+// Distance-oracle cache tests (ctest -L cache): the lease-aware LRU, the
+// landmark-sketch triangle bounds, MS-BFS depth recording, and the
+// end-to-end exactness contract — every cache-served answer must be
+// bit-identical to what a fresh engine recompute would have returned,
+// including after lease expiry (the differential layer), and a cached
+// session must still replay bit-identically from its seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "bfs/runner.hpp"
+#include "graph/rmat.hpp"
+#include "graph/validate.hpp"
+#include "partition/part1d.hpp"
+#include "service/msbfs.hpp"
+#include "service/oracle/lru.hpp"
+#include "service/oracle/oracle.hpp"
+#include "service/oracle/sketch.hpp"
+#include "service/session.hpp"
+#include "service/workload.hpp"
+#include "sim/runtime.hpp"
+
+namespace sunbfs::service {
+namespace {
+
+using graph::Graph500Config;
+using graph::Vertex;
+
+std::vector<graph::Edge> slice_of(const Graph500Config& cfg, int rank,
+                                  int nranks) {
+  uint64_t m = cfg.num_edges();
+  return graph::generate_rmat_range(cfg, m * uint64_t(rank) / uint64_t(nranks),
+                                    m * uint64_t(rank + 1) / uint64_t(nranks));
+}
+
+// ------------------------------------------------------- lease-aware LRU
+
+TEST(LeaseLru, HitPromotesAndLeaseExpiryEvicts) {
+  oracle::LeaseLru<int, int> lru(2);
+  lru.insert(1, 10, /*expires_s=*/1.0, /*epoch=*/0);
+  lru.insert(2, 20, 1.0, 0);
+  ASSERT_EQ(lru.size(), 2u);
+
+  uint64_t expired = 0;
+  int* v = lru.find_live(1, /*now_s=*/0.5, 0, &expired);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 10);
+  EXPECT_EQ(expired, 0u);
+
+  // The lease is an absolute virtual-clock bound: at exactly expires_s the
+  // entry is stale, self-evicts, and the expiry is counted.
+  EXPECT_EQ(lru.find_live(2, 1.0, 0, &expired), nullptr);
+  EXPECT_EQ(expired, 1u);
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LeaseLru, CapacityEvictsLeastRecentlyUsed) {
+  oracle::LeaseLru<int, int> lru(2);
+  lru.insert(1, 10, 9.0, 0);
+  lru.insert(2, 20, 9.0, 0);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(lru.find_live(1, 0.0, 0), nullptr);
+  lru.insert(3, 30, 9.0, 0);
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.find_live(2, 0.0, 0), nullptr);  // evicted, not expired
+  ASSERT_NE(lru.find_live(1, 0.0, 0), nullptr);
+  ASSERT_NE(lru.find_live(3, 0.0, 0), nullptr);
+}
+
+TEST(LeaseLru, OverwriteRenewsLeaseAndEpochMismatchEvicts) {
+  oracle::LeaseLru<int, int> lru(2);
+  lru.insert(1, 10, 1.0, 0);
+  lru.insert(1, 11, 5.0, 0);  // overwrite renews the lease in place
+  EXPECT_EQ(lru.size(), 1u);
+  int* v = lru.find_live(1, 2.0, 0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 11);
+
+  // A reader at a newer graph epoch must not see the old artifact.
+  uint64_t expired = 0;
+  EXPECT_EQ(lru.find_live(1, 2.0, /*epoch=*/1, &expired), nullptr);
+  EXPECT_EQ(expired, 1u);
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+// --------------------------------------------------- sketch bound algebra
+
+TEST(LandmarkSketch, TriangleBoundsOnHandBuiltRows) {
+  // A path 0-1-2-3-4 plus an isolated vertex 5; landmarks {0, 4}.
+  //   depth(0, v) = v for v <= 4;  depth(4, v) = 4 - v.
+  std::vector<int32_t> rows = {0,  1,  2,  3,  4,  oracle::kNoDepth,
+                               4,  3,  2,  1,  0,  oracle::kNoDepth};
+  oracle::LandmarkSketch sk;
+  sk.install({Vertex(0), Vertex(4)}, rows, /*num_vertices=*/6);
+  ASSERT_FALSE(sk.empty());
+  EXPECT_EQ(sk.num_landmarks(), 2);
+
+  // Endpoint IS a landmark: bounds collapse to the exact distance.
+  auto p = sk.probe(Vertex(0), Vertex(3));
+  EXPECT_TRUE(p.known_reachable);
+  EXPECT_TRUE(p.exact_distance());
+  EXPECT_EQ(p.lower, 3);
+  EXPECT_EQ(p.upper, 3);
+
+  // Interior pair: 1 and 3.  Via 0: |1-3|..1+3; via 4: |3-1|..3+1 — the
+  // bounds close at [2, 4] -> lower 2, upper 4, reachable but not exact.
+  p = sk.probe(Vertex(1), Vertex(3));
+  EXPECT_TRUE(p.known_reachable);
+  EXPECT_FALSE(p.known_unreachable);
+  EXPECT_EQ(p.lower, 2);
+  EXPECT_EQ(p.upper, 4);
+  EXPECT_FALSE(p.exact_distance());
+  EXPECT_TRUE(p.resolved());
+
+  // u == v closes at 0 regardless of the rows.
+  p = sk.probe(Vertex(5), Vertex(5));
+  EXPECT_TRUE(p.exact_distance());
+  EXPECT_EQ(p.upper, 0);
+
+  // One endpoint in a landmark's component, the other not: on an undirected
+  // graph that PROVES unreachability.
+  p = sk.probe(Vertex(2), Vertex(5));
+  EXPECT_TRUE(p.known_unreachable);
+  EXPECT_FALSE(p.known_reachable);
+  EXPECT_TRUE(p.exact_distance());
+  EXPECT_TRUE(p.resolved());
+}
+
+// ------------------------------------------- depth recording + soundness
+
+struct SketchCase {
+  uint64_t seed;
+  int scale;
+  int rows, cols;
+  int landmarks;
+  int threads;
+};
+
+class SketchSoundness : public ::testing::TestWithParam<SketchCase> {};
+
+// One SPMD run records landmark depth rows through the real MS-BFS engine;
+// the host then (1) pins every recorded depth against graph::reference_bfs
+// and (2) checks the triangle-bound contract for sampled pairs: lower <=
+// d(u,v) <= upper whenever reachability is known, and a "proven" verdict is
+// never wrong.
+TEST_P(SketchSoundness, RecordedDepthsExactAndBoundsSound) {
+  const SketchCase c = GetParam();
+  Graph500Config cfg;
+  cfg.scale = c.scale;
+  cfg.seed = c.seed;
+  const sim::MeshShape mesh{c.rows, c.cols};
+  partition::VertexSpace space{cfg.num_vertices(), mesh.ranks()};
+
+  std::vector<Vertex> landmarks;
+  std::vector<int32_t> rows;
+  sim::run_spmd(mesh, [&](sim::RankContext& ctx) {
+    auto slice = slice_of(cfg, ctx.rank, ctx.nranks());
+    auto degrees = partition::compute_local_degrees(ctx, space, slice);
+    auto part = partition::build_1d(ctx, space, slice);
+    auto keys = bfs::pick_search_keys(ctx, space, degrees, c.landmarks,
+                                      c.seed ^ 0x5eed);
+    MsbfsOptions opts;
+    opts.threads_per_rank = c.threads;
+    opts.record_depths = true;
+    MsbfsResult r = msbfs_run(ctx, part, keys, opts);
+    std::vector<size_t> off;
+    auto gathered =
+        ctx.world.allgatherv(std::span<const int32_t>(r.depth), &off);
+    if (ctx.rank == 0) {
+      landmarks = keys;
+      rows = oracle::assemble_depth_rows(space, int(keys.size()), gathered,
+                                         off);
+    }
+  });
+  ASSERT_EQ(landmarks.size(), size_t(c.landmarks));
+  ASSERT_EQ(rows.size(), landmarks.size() * cfg.num_vertices());
+
+  // Layer 1: every recorded depth equals the serial reference's.
+  auto edges = graph::generate_rmat(cfg);
+  std::vector<std::vector<int64_t>> ref_depth(landmarks.size());
+  for (size_t l = 0; l < landmarks.size(); ++l) {
+    auto parent = graph::reference_bfs(cfg.num_vertices(), edges, landmarks[l]);
+    ref_depth[l] =
+        graph::levels_from_parents(cfg.num_vertices(), parent, landmarks[l]);
+    for (uint64_t v = 0; v < cfg.num_vertices(); ++v)
+      ASSERT_EQ(int64_t(rows[l * cfg.num_vertices() + v]), ref_depth[l][v])
+          << "landmark " << landmarks[l] << " vertex " << v;
+  }
+
+  // Layer 2: triangle bounds against true distances from sampled sources.
+  oracle::LandmarkSketch sk;
+  sk.install(landmarks, rows, cfg.num_vertices());
+  std::vector<Vertex> sources = {landmarks[0], Vertex(0), Vertex(1),
+                                 Vertex(cfg.num_vertices() / 2),
+                                 Vertex(cfg.num_vertices() - 1)};
+  for (Vertex u : sources) {
+    auto parent = graph::reference_bfs(cfg.num_vertices(), edges, u);
+    auto dist = graph::levels_from_parents(cfg.num_vertices(), parent, u);
+    for (uint64_t v = 0; v < cfg.num_vertices(); ++v) {
+      const auto p = sk.probe(u, Vertex(v));
+      const int64_t d = dist[v];  // -1 when unreachable
+      if (p.known_unreachable)
+        ASSERT_EQ(d, -1) << "false unreachable " << u << "->" << v;
+      if (p.known_reachable) {
+        ASSERT_GE(d, 0) << "false reachable " << u << "->" << v;
+        ASSERT_LE(p.lower, d) << u << "->" << v;
+        ASSERT_GE(p.upper, d) << u << "->" << v;
+      }
+      // An endpoint that IS a landmark always closes exactly.
+      if (u == landmarks[0]) {
+        ASSERT_TRUE(p.resolved()) << u << "->" << v;
+        if (d >= 0) {
+          ASSERT_TRUE(p.exact_distance());
+          ASSERT_EQ(p.lower, d);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededConfigs, SketchSoundness,
+    ::testing::Values(SketchCase{41, 9, 1, 2, 4, 1},
+                      SketchCase{42, 9, 2, 2, 8, 2},
+                      SketchCase{43, 10, 2, 2, 16, 4},
+                      SketchCase{44, 10, 2, 3, 6, 2}));
+
+// -------------------------------------- end-to-end differential exactness
+
+ServiceConfig cached_service(int scale = 9) {
+  ServiceConfig cfg;
+  cfg.graph.scale = scale;
+  cfg.graph.seed = 3;
+  cfg.threads_per_rank = 2;
+  cfg.root_pool = 16;
+  cfg.cache.enabled = true;
+  cfg.cache.tree_capacity = 8;
+  cfg.cache.landmarks = 8;
+  cfg.cache.tree_lease_s = 10.0;   // effectively no expiry at test makespans
+  cfg.cache.sketch_lease_s = 10.0;
+  return cfg;
+}
+
+WorkloadConfig mixed_zipf_workload(uint64_t seed, uint64_t n) {
+  WorkloadConfig wl;
+  wl.seed = seed;
+  wl.num_queries = n;
+  wl.rate_qps = 5000;
+  wl.distance_fraction = 0.3;
+  wl.reachable_fraction = 0.15;
+  wl.root_dist = RootDist::Zipfian;
+  wl.zipf_theta = 0.99;
+  return wl;
+}
+
+// The acceptance criterion: with no deadlines every query completes, and a
+// cache-served answer must be bit-identical to the cache-off engine answer
+// for the same query id — distance, reachability, and (for BFS hits) the
+// engine-grade traversed_edges/levels scalars too.
+void expect_cache_exact(const ServiceConfig& cached_cfg, uint64_t wl_seed) {
+  ServiceConfig plain_cfg = cached_cfg;
+  plain_cfg.cache = oracle::CacheConfig{};  // disabled
+  const sim::Topology topo(sim::MeshShape{2, 2});
+  ServiceReport on =
+      GraphSession(topo, cached_cfg).serve(mixed_zipf_workload(wl_seed, 48),
+                                           BrokerConfig{});
+  ServiceReport off =
+      GraphSession(topo, plain_cfg).serve(mixed_zipf_workload(wl_seed, 48),
+                                          BrokerConfig{});
+  ASSERT_TRUE(on.spmd.ok());
+  ASSERT_TRUE(off.spmd.ok());
+  EXPECT_EQ(on.completed, 48u);
+  EXPECT_EQ(off.completed, 48u);
+  EXPECT_GT(on.cache.hits, 0u) << "cache never hit; differential is vacuous";
+  EXPECT_EQ(off.cache.probes, 0u);
+
+  std::map<uint64_t, const QueryResult*> baseline;
+  for (const auto& r : off.results) baseline[r.id] = &r;
+  uint64_t hits_seen = 0;
+  for (const auto& r : on.results) {
+    auto it = baseline.find(r.id);
+    ASSERT_NE(it, baseline.end()) << "query " << r.id;
+    const QueryResult& b = *it->second;
+    ASSERT_EQ(r.kind, b.kind) << "query " << r.id;
+    EXPECT_EQ(r.status, b.status) << "query " << r.id;
+    EXPECT_EQ(r.root, b.root) << "query " << r.id;
+    EXPECT_EQ(r.target, b.target) << "query " << r.id;
+    EXPECT_EQ(r.distance, b.distance)
+        << "query " << r.id << (r.cache_hit ? " (cache hit)" : "");
+    EXPECT_EQ(r.reachable, b.reachable)
+        << "query " << r.id << (r.cache_hit ? " (cache hit)" : "");
+    EXPECT_EQ(r.traversed_edges, b.traversed_edges)
+        << "query " << r.id << (r.cache_hit ? " (cache hit)" : "");
+    EXPECT_EQ(r.levels, b.levels)
+        << "query " << r.id << (r.cache_hit ? " (cache hit)" : "");
+    if (r.cache_hit) ++hits_seen;
+  }
+  EXPECT_EQ(hits_seen, on.cache.hits);
+}
+
+TEST(OracleDifferential, CachedAnswersBitIdenticalToEngine) {
+  expect_cache_exact(cached_service(), /*wl_seed=*/51);
+}
+
+TEST(OracleDifferential, ExactAfterLeaseExpiryChurn) {
+  // Tiny leases: artifacts expire between most probes, forcing constant
+  // eviction + sketch refresh churn.  Exactness must survive it, and the
+  // expiry/refresh counters must actually move.
+  ServiceConfig cfg = cached_service();
+  cfg.cache.tree_lease_s = 2e-4;
+  cfg.cache.sketch_lease_s = 2e-4;
+  const sim::Topology topo(sim::MeshShape{2, 2});
+  ServiceReport churn =
+      GraphSession(topo, cfg).serve(mixed_zipf_workload(52, 48),
+                                    BrokerConfig{});
+  ASSERT_TRUE(churn.spmd.ok());
+  EXPECT_GT(churn.cache.expired, 0u);
+  EXPECT_GT(churn.cache.refreshes, 1u);
+  expect_cache_exact(cfg, /*wl_seed=*/52);
+}
+
+TEST(OracleDifferential, TerminalPartitionHoldsWithCache) {
+  // Hits bypass the broker queue entirely; the terminal accounting identity
+  // (completed + expired + rejected + shed + failed == submitted) must
+  // still hold, with hits counted as completions.
+  const sim::Topology topo(sim::MeshShape{2, 2});
+  WorkloadConfig wl = mixed_zipf_workload(53, 64);
+  wl.deadline_s = 0.02;
+  ServiceReport r = GraphSession(topo, cached_service()).serve(wl,
+                                                               BrokerConfig{});
+  ASSERT_TRUE(r.spmd.ok());
+  EXPECT_EQ(r.completed + r.expired_total() + r.rejected + r.shed + r.failed,
+            r.submitted);
+  EXPECT_EQ(r.results.size(), r.submitted);
+}
+
+TEST(OracleDifferential, DeterministicReplayWithCacheOn) {
+  const sim::Topology topo(sim::MeshShape{2, 2});
+  GraphSession session(topo, cached_service());
+  WorkloadConfig wl = mixed_zipf_workload(54, 40);
+  ServiceReport a = session.serve(wl, BrokerConfig{});
+  ServiceReport b = session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(a.spmd.ok());
+  ASSERT_TRUE(b.spmd.ok());
+  EXPECT_GT(a.cache.hits, 0u);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.probes, b.cache.probes);
+  EXPECT_EQ(a.cache.refreshes, b.cache.refreshes);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const auto& x = a.results[i];
+    const auto& y = b.results[i];
+    EXPECT_EQ(x.id, y.id) << "result " << i;
+    EXPECT_EQ(x.status, y.status);
+    EXPECT_EQ(x.cache_hit, y.cache_hit);
+    EXPECT_EQ(x.distance, y.distance);
+    EXPECT_EQ(x.reachable, y.reachable);
+    EXPECT_EQ(x.done_s, y.done_s);
+    EXPECT_EQ(x.latency_s, y.latency_s);
+    EXPECT_EQ(x.traversed_edges, y.traversed_edges);
+    EXPECT_EQ(x.levels, y.levels);
+  }
+}
+
+TEST(OracleDifferential, CacheOffPathUnchangedByPointQueries) {
+  // The point-to-point kinds must work without any cache (the bench's
+  // ablation leg): distances come from the engine depth rows directly.
+  ServiceConfig cfg = cached_service();
+  cfg.cache = oracle::CacheConfig{};  // disabled
+  const sim::Topology topo(sim::MeshShape{2, 2});
+  ServiceReport r = GraphSession(topo, cfg).serve(mixed_zipf_workload(55, 32),
+                                                  BrokerConfig{});
+  ASSERT_TRUE(r.spmd.ok());
+  EXPECT_EQ(r.completed, 32u);
+  uint64_t point = 0;
+  for (const auto& q : r.results) {
+    EXPECT_FALSE(q.cache_hit);
+    if (q.kind == QueryKind::Distance) {
+      ++point;
+      // Bit-identity convention: point results carry no per-tree scalars.
+      EXPECT_EQ(q.traversed_edges, 0u);
+      EXPECT_EQ(q.levels, 0);
+      EXPECT_EQ(q.reachable, q.distance >= 0);
+    } else if (q.kind == QueryKind::Reachable) {
+      ++point;
+      EXPECT_EQ(q.distance, -1);
+    }
+  }
+  EXPECT_GT(point, 0u);
+}
+
+}  // namespace
+}  // namespace sunbfs::service

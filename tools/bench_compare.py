@@ -24,12 +24,13 @@ from pathlib import Path
 
 SCHEMA = "sunbfs.bench/1"
 
-# Substrings marking larger-is-better metrics (throughputs, savings);
-# everything else is smaller-is-better (times, latencies, memory, and the
-# wire byte counts of the encoding ablation).  Latency quantiles (the p99
-# keys of the service bench's fault-mode points) fall in the default
-# smaller-is-better class.
-HIGHER_IS_BETTER_SUBSTRINGS = ("gteps", "qps", "teps", "reduction", "saved")
+# Substrings marking larger-is-better metrics (throughputs, savings, and the
+# distance-oracle cache effectiveness keys hit_rate/hits); everything else is
+# smaller-is-better (times, latencies, memory, and the wire byte counts of
+# the encoding ablation).  Latency quantiles (the p99 keys of the service
+# bench's fault-mode points) fall in the default smaller-is-better class.
+HIGHER_IS_BETTER_SUBSTRINGS = ("gteps", "qps", "teps", "reduction", "saved",
+                               "hit_rate", "hits")
 
 # Fault-mode counters move in coarse steps (one extra retry wave under a
 # reshaped fault schedule multiplies the count), so they compare at a wider

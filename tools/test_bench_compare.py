@@ -155,6 +155,22 @@ class BenchCompareTest(unittest.TestCase):
             1.0)
         self.assertEqual(bench_compare.tolerance_multiplier("qps_open"), 1.0)
 
+    def test_higher_is_better_cache_keys(self):
+        # The distance-oracle cache keys: a falling hit rate or hit count is
+        # a regression, a rise is an improvement.
+        self.assertTrue(bench_compare.higher_is_better("hit_rate_zipf_cache"))
+        self.assertTrue(bench_compare.higher_is_better("hits_zipf_cache"))
+        code, out, _ = run_compare(doc({"hit_rate_zipf_cache": 0.6}),
+                                   doc({"hit_rate_zipf_cache": 0.4}))
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        code, _, _ = run_compare(doc({"hit_rate_zipf_cache": 0.6}),
+                                 doc({"hit_rate_zipf_cache": 0.8}))
+        self.assertEqual(code, 0)
+        code, _, _ = run_compare(doc({"hits_zipf_cache": 50.0}),
+                                 doc({"hits_zipf_cache": 40.0}))
+        self.assertEqual(code, 1)
+
     def test_higher_is_better_reduction_pct_regression(self):
         # A shrinking reduction percentage means the encoder got worse.
         code, _, _ = run_compare(doc({"alltoallv_reduction_pct": 50.0}),
