@@ -70,8 +70,25 @@ bool write_bench_json(const char* path, int scale, int ranks,
     // are higher-is-better in tools/bench_compare.py.
     std::fprintf(f, "    \"hits_%s\": %llu,\n", p.name.c_str(),
                  (unsigned long long)p.report.cache.hits);
+    // Streaming-mutation telemetry, emitted only for mutating points so the
+    // summary stays additive against pre-mutation baselines (asymmetric keys
+    // are warnings, not gates, in tools/bench_compare.py).
+    const bool mutating = p.report.mutate.batches > 0;
     std::fprintf(f, "    \"hit_rate_%s\": %.6f%s\n", p.name.c_str(),
-                 p.report.cache.hit_rate(), sep);
+                 p.report.cache.hit_rate(), mutating ? "," : sep);
+    if (mutating) {
+      const auto& m = p.report.mutate;
+      std::fprintf(f, "    \"mutate_batches_%s\": %llu,\n", p.name.c_str(),
+                   (unsigned long long)m.batches);
+      std::fprintf(f, "    \"mutate_arcs_inserted_%s\": %llu,\n",
+                   p.name.c_str(), (unsigned long long)m.inserted_arcs);
+      std::fprintf(f, "    \"mutate_arcs_deleted_%s\": %llu,\n",
+                   p.name.c_str(), (unsigned long long)m.deleted_arcs);
+      std::fprintf(f, "    \"mutate_repair_rounds_%s\": %llu,\n",
+                   p.name.c_str(), (unsigned long long)m.repair_rounds);
+      std::fprintf(f, "    \"mutate_sketch_repairs_%s\": %llu%s\n",
+                   p.name.c_str(), (unsigned long long)m.sketch_repairs, sep);
+    }
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -144,6 +161,21 @@ int main(int argc, char** argv) {
   cached_cfg.cache.tree_lease_s = 60.0;
   cached_cfg.cache.sketch_lease_s = 60.0;
   service::GraphSession cached_session(topo, cached_cfg);
+
+  // Mutating session: the cached config plus a steady mutation feed — one
+  // batch applied (and incrementally repaired, sketch included) per 16
+  // admitted queries.  Serving the same zipfian workload as zipf_cache
+  // quantifies the streaming-ingest tax on QPS/p95 relative to the static
+  // cached point; the service.mutate.* keys pin the repair volume so a
+  // repair regression (e.g. cascades ballooning) shows up in the bench gate
+  // even when latency noise would hide it.
+  service::ServiceConfig mutating_cfg = cached_cfg;
+  mutating_cfg.mutation.enabled = true;
+  mutating_cfg.mutation.every = 16;
+  mutating_cfg.mutation.max_batches = 64;
+  mutating_cfg.mutation.inserts_per_batch = 6;
+  mutating_cfg.mutation.deletes_per_batch = 6;
+  service::GraphSession mutating_session(topo, mutating_cfg);
 
   service::BrokerConfig broker;  // width 64, 5 ms age, 1024-deep queue
 
@@ -251,6 +283,15 @@ int main(int argc, char** argv) {
     p.workload = zipf;
     points.push_back(std::move(p));
   }
+  {
+    // Same zipfian workload against the mutating session: the delta vs
+    // zipf_cache is the cost of epoch-boundary ingest + incremental repair.
+    LoadPoint p;
+    p.name = "mutating";
+    p.workload = zipf;
+    p.session = &mutating_session;
+    points.push_back(std::move(p));
+  }
 
   std::printf("SCALE %d graph resident on %d ranks; %llu queries per point\n\n",
               cfg.graph.scale, topo.mesh().ranks(),
@@ -323,6 +364,36 @@ int main(int argc, char** argv) {
               cache_reproducible ? "bit-identical (stats + cache counters)"
                                  : "MISMATCH — determinism regression");
 
+  // Mutation acceptance: the mutating point must actually advance the graph
+  // epoch (batches land between query admissions), complete its workload,
+  // and replay bit-identically — mutation counters included, since the log
+  // and repair schedule are pure functions of their seeds.
+  const service::ServiceReport* mu = nullptr;
+  const LoadPoint* mu_point = nullptr;
+  for (const auto& p : points) {
+    if (p.name == "mutating") { mu = &p.report; mu_point = &p; }
+  }
+  service::ServiceReport mu_replay =
+      mutating_session.serve(mu_point->workload, mu_point->broker);
+  bool mutate_ok = mu != nullptr && mu->mutate.batches > 0 &&
+                   mu->mutate.epoch == mu->mutate.batches &&
+                   mu->completed == mu_replay.completed &&
+                   same_stats(*mu, mu_replay) &&
+                   mu->mutate.inserted_arcs == mu_replay.mutate.inserted_arcs &&
+                   mu->mutate.deleted_arcs == mu_replay.mutate.deleted_arcs &&
+                   mu->mutate.repair_rounds == mu_replay.mutate.repair_rounds;
+  std::printf("mutating point: %s (%llu batches, %llu arcs in, %llu arcs "
+              "out, %llu sketch repairs)\n",
+              mutate_ok ? "epochs advance + bit-identical replay"
+                        : "MISMATCH — mutation regression",
+              mu != nullptr ? (unsigned long long)mu->mutate.batches : 0ull,
+              mu != nullptr ? (unsigned long long)mu->mutate.inserted_arcs
+                            : 0ull,
+              mu != nullptr ? (unsigned long long)mu->mutate.deleted_arcs
+                            : 0ull,
+              mu != nullptr ? (unsigned long long)mu->mutate.sketch_repairs
+                            : 0ull);
+
   bench::shape_line(
       "higher offered load raises occupancy (collectives amortize over more "
       "queries per batch) and queueing pushes tail latency up; every point "
@@ -349,6 +420,19 @@ int main(int argc, char** argv) {
                                 p.report.cache.hits);
     bench::report().gauge("service." + p.name + ".cache_hit_rate",
                           p.report.cache.hit_rate());
+    if (p.report.mutate.batches > 0) {
+      const auto& m = p.report.mutate;
+      bench::report().add_counter("service." + p.name + ".mutate.batches",
+                                  m.batches);
+      bench::report().add_counter(
+          "service." + p.name + ".mutate.inserted_arcs", m.inserted_arcs);
+      bench::report().add_counter("service." + p.name + ".mutate.deleted_arcs",
+                                  m.deleted_arcs);
+      bench::report().add_counter(
+          "service." + p.name + ".mutate.repair_rounds", m.repair_rounds);
+      bench::report().add_counter(
+          "service." + p.name + ".mutate.sketch_repairs", m.sketch_repairs);
+    }
   }
 
   const char* out = std::getenv("SUNBFS_BENCH_OUT");
@@ -359,7 +443,8 @@ int main(int argc, char** argv) {
     std::printf("bench json: FAILED writing %s\n", path);
     return bench::finish(1);
   }
-  return bench::finish(
-      reproducible && shed_bounded && cache_wins && cache_reproducible ? 0
-                                                                       : 1);
+  return bench::finish(reproducible && shed_bounded && cache_wins &&
+                               cache_reproducible && mutate_ok
+                           ? 0
+                           : 1);
 }

@@ -14,6 +14,8 @@
 // bit-identical to a fault-free run.  --shed arms the overload breaker,
 // --hedge the straggler re-execution.  Fault runs are diagnostics, not
 // benchmark numbers.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -62,6 +64,13 @@ int main(int argc, char** argv) {
           "pinned landmark roots for the sketch, <= 64 (default 16)");
   cli.add("--lease-ms", "MS", "exact-tree lease (default 250)");
   cli.add("--sketch-lease-ms", "MS", "landmark-sketch lease (default 1000)");
+  cli.add("--mutations", "N",
+          "enable streaming mutations: N edge inserts + N deletes per batch "
+          "(default 0 = off)");
+  cli.add("--mutation-rate", "R",
+          "mutation batches per query: apply one batch every round(1/R) "
+          "query ids (default 1/32)");
+  cli.add("--mutation-seed", "S", "mutation stream seed (default 99)");
   cli.add("--exchange", "direct|butterfly|2dca",
           "exchange plan for the batched-visit alltoallv (default direct)");
   cli.add("--wl-seed", "S", "workload seed (default 1)");
@@ -136,6 +145,21 @@ int main(int argc, char** argv) {
   wl.root_dist = root_dist == "zipfian" ? service::RootDist::Zipfian
                                         : service::RootDist::Uniform;
   wl.zipf_theta = cli.f64("--zipf-theta", 0.99);
+
+  // Streaming mutations (docs/SERVICE.md "Mutations & epochs"): --mutations N
+  // arms the seeded log with N inserts + N deletes per batch; --mutation-rate
+  // R spaces batches every round(1/R) query ids.
+  const uint64_t mutation_ops = cli.u64("--mutations", 0);
+  if (mutation_ops > 0) {
+    cfg.mutation.enabled = true;
+    cfg.mutation.inserts_per_batch = int(mutation_ops);
+    cfg.mutation.deletes_per_batch = int(mutation_ops);
+    cfg.mutation.seed = cli.u64("--mutation-seed", 99);
+    const double rate = cli.f64("--mutation-rate", 1.0 / 32.0);
+    if (rate > 0)
+      cfg.mutation.every =
+          std::max<uint64_t>(1, uint64_t(std::llround(1.0 / rate)));
+  }
 
   cfg.cache.enabled = cli.has("--cache");
   cfg.cache.tree_capacity = cli.u64("--cache-capacity", 32);
@@ -253,6 +277,23 @@ int main(int argc, char** argv) {
                 (unsigned long long)c.sketch_answers,
                 (unsigned long long)c.expired,
                 (unsigned long long)c.refreshes);
+  }
+  if (cfg.mutation.enabled) {
+    const auto& mu = report.mutate;
+    std::printf("mutations: %llu batches -> epoch %llu, %llu arcs inserted / "
+                "%llu deleted, %llu tombstone misses, %llu compactions\n",
+                (unsigned long long)mu.batches, (unsigned long long)mu.epoch,
+                (unsigned long long)mu.inserted_arcs,
+                (unsigned long long)mu.deleted_arcs,
+                (unsigned long long)mu.delete_misses,
+                (unsigned long long)mu.compactions);
+    if (mu.sketch_repairs > 0)
+      std::printf("repair: %llu sketch repairs (%llu invalidated, %llu "
+                  "relaxations, %llu rounds)\n",
+                  (unsigned long long)mu.sketch_repairs,
+                  (unsigned long long)mu.repair_invalidated,
+                  (unsigned long long)mu.repair_relaxations,
+                  (unsigned long long)mu.repair_rounds);
   }
   std::printf("virtual makespan %.6f s -> %.1f QPS\n", report.makespan_s,
               report.qps);

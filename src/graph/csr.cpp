@@ -1,5 +1,7 @@
 #include "graph/csr.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 #include "support/prefix.hpp"
 
@@ -19,6 +21,8 @@ Csr Csr::from_arcs(uint64_t num_rows, std::span<const Vertex> rows,
   std::vector<uint64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
   for (size_t i = 0; i < rows.size(); ++i)
     csr.values_[cursor[size_t(rows[i])]++] = values[i];
+  csr.ends_.assign(csr.offsets_.begin() + 1, csr.offsets_.end());
+  csr.live_arcs_ = csr.values_.size();
   return csr;
 }
 
@@ -37,7 +41,53 @@ Csr Csr::from_undirected(uint64_t num_vertices, std::span<const Edge> edges) {
     csr.values_[cursor[size_t(e.u)]++] = e.v;
     csr.values_[cursor[size_t(e.v)]++] = e.u;
   }
+  csr.ends_.assign(csr.offsets_.begin() + 1, csr.offsets_.end());
+  csr.live_arcs_ = csr.values_.size();
   return csr;
+}
+
+bool Csr::insert_arc(uint64_t row, Vertex value) {
+  SUNBFS_ASSERT(row < num_rows());
+  if (ends_[row] == offsets_[row + 1]) return false;
+  values_[ends_[row]++] = value;
+  ++live_arcs_;
+  return true;
+}
+
+uint64_t Csr::erase_arcs(uint64_t row, Vertex value) {
+  SUNBFS_ASSERT(row < num_rows());
+  uint64_t removed = 0;
+  uint64_t i = offsets_[row];
+  while (i < ends_[row]) {
+    if (values_[i] == value) {
+      values_[i] = values_[ends_[row] - 1];
+      --ends_[row];
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  live_arcs_ -= removed;
+  return removed;
+}
+
+void Csr::compact(uint64_t slack_min) {
+  const uint64_t rows = num_rows();
+  std::vector<uint64_t> counts(rows, 0);
+  for (uint64_t r = 0; r < rows; ++r)
+    counts[r] = degree(r) + std::max<uint64_t>(slack_min, degree(r) / 4);
+  std::vector<uint64_t> new_offsets = offsets_from_counts(counts);
+  std::vector<Vertex> new_values(new_offsets.back());
+  std::vector<uint64_t> new_ends(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    const uint64_t deg = degree(r);
+    std::copy_n(values_.data() + offsets_[r], deg,
+                new_values.data() + new_offsets[r]);
+    new_ends[r] = new_offsets[r] + deg;
+  }
+  offsets_ = std::move(new_offsets);
+  values_ = std::move(new_values);
+  ends_ = std::move(new_ends);
 }
 
 std::vector<uint64_t> undirected_degrees(uint64_t num_vertices,

@@ -13,7 +13,15 @@
 /// (local or global), the structure does not interpret them.
 namespace sunbfs::graph {
 
-/// Immutable CSR built from (row, value) pairs.
+/// CSR built from (row, value) pairs.
+///
+/// Rows carry an independent live end (`ends_`), so a row's live arcs
+/// occupy [offsets_[r], ends_[r]) and [ends_[r], offsets_[r+1]) is slack.
+/// Freshly built CSRs have zero slack and behave exactly like the
+/// historical immutable layout; the mutation layer (src/mutate) grows
+/// slack through erase_arcs/compact and fills it through insert_arc, so
+/// engines that only use degree()/neighbors()/num_arcs() are oblivious
+/// to in-place patches.
 class Csr {
  public:
   Csr() = default;
@@ -30,10 +38,16 @@ class Csr {
                              std::span<const Edge> edges);
 
   uint64_t num_rows() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  uint64_t num_arcs() const { return values_.empty() ? 0 : values_.size(); }
+  /// Live arcs (excludes slack reserved by compact()).
+  uint64_t num_arcs() const { return live_arcs_; }
+  /// Physical arc slots, live + slack.  Sizing staging pools by capacity
+  /// instead of num_arcs() keeps them alloc-free across in-place inserts.
+  uint64_t arc_capacity() const { return values_.size(); }
+  /// Reserved-but-unused arc slots across all rows.
+  uint64_t slack_arcs() const { return values_.size() - live_arcs_; }
 
   uint64_t degree(uint64_t row) const {
-    return offsets_[row + 1] - offsets_[row];
+    return ends_[row] - offsets_[row];
   }
 
   std::span<const Vertex> neighbors(uint64_t row) const {
@@ -41,12 +55,29 @@ class Csr {
                                    degree(row));
   }
 
+  /// Append `value` to `row`'s live range.  Returns false (no change) when
+  /// the row has no slack left; the caller then compact()s and retries.
+  bool insert_arc(uint64_t row, Vertex value);
+
+  /// Remove every copy of `value` from `row` (tombstone semantics: deleting
+  /// an edge kills all its duplicates).  Order of survivors is permuted
+  /// (swap-with-last), which no consumer observes — engines are
+  /// neighbor-order independent by the determinism contract.  Returns the
+  /// number of arcs removed (0 == miss).
+  uint64_t erase_arcs(uint64_t row, Vertex value);
+
+  /// Rebuild in place, giving every row `max(slack_min, degree/4)` spare
+  /// slots.  Live adjacency (as a per-row multiset) is unchanged.
+  void compact(uint64_t slack_min = 4);
+
   const std::vector<uint64_t>& offsets() const { return offsets_; }
   const std::vector<Vertex>& values() const { return values_; }
 
  private:
-  std::vector<uint64_t> offsets_;  // num_rows + 1
-  std::vector<Vertex> values_;     // num_arcs
+  std::vector<uint64_t> offsets_;  // num_rows + 1: physical row starts
+  std::vector<uint64_t> ends_;     // num_rows: live end per row
+  std::vector<Vertex> values_;     // arc_capacity() slots
+  uint64_t live_arcs_ = 0;
 };
 
 /// Degree of every vertex in [0, num_vertices) counting both endpoints of

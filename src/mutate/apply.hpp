@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mutate/log.hpp"
+#include "partition/part15d.hpp"
+#include "partition/part1d.hpp"
+#include "sim/topology.hpp"
+
+/// In-place application of a mutation batch to the resident partitions —
+/// per-subgraph CSR patch/append with periodic compaction, no
+/// re-partitioning and no communication (the log is replicated, so every
+/// rank filters the same batch down to the arcs it stores).
+///
+/// The 1.5D placement rules are exactly build_15d's: classification (the
+/// EhlTable, the EH id space, local_is_eh) is frozen at build time, so a
+/// vertex that grows past a degree threshold after mutations keeps its
+/// class until the next full rebuild — see DESIGN.md's deviation note.
+namespace sunbfs::mutate {
+
+struct ApplyStats {
+  uint64_t inserted_arcs = 0;  ///< arcs added to this rank's CSRs
+  uint64_t deleted_arcs = 0;   ///< arcs removed from this rank's CSRs
+  /// Delete ops owning rows here that removed nothing (local tombstone
+  /// no-ops; the global miss count lives on MutationBatch::delete_misses).
+  uint64_t delete_misses = 0;
+  uint64_t compactions = 0;  ///< CSR rebuilds triggered by full rows
+
+  void merge(const ApplyStats& o) {
+    inserted_arcs += o.inserted_arcs;
+    deleted_arcs += o.deleted_arcs;
+    delete_misses += o.delete_misses;
+    compactions += o.compactions;
+  }
+};
+
+/// Patch this rank's 1D partition.  Pure-local; deterministic.  When
+/// `local_degrees` is given (the session's degree slice), it is kept in
+/// sync with the adjacency.
+ApplyStats apply_batch_1d(int rank, partition::Part1d& part,
+                          const MutationBatch& batch,
+                          std::vector<uint64_t>* local_degrees = nullptr);
+
+/// Patch this rank's 1.5D partition (all six subgraph CSRs plus the
+/// destination-major h2l_by_l mirror); arc_counts are refreshed.
+/// Pure-local; deterministic.
+ApplyStats apply_batch_15d(const sim::MeshShape& mesh, int rank,
+                           partition::Part15d& part,
+                           const MutationBatch& batch);
+
+}  // namespace sunbfs::mutate

@@ -1,0 +1,143 @@
+#include "mutate/log.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/random.hpp"
+
+namespace sunbfs::mutate {
+
+namespace {
+
+constexpr int kMaxDraws = 64;  // rejection-sampling retries per op
+
+bool key_less(const graph::Edge& a, const graph::Edge& b) {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+}  // namespace
+
+MutationLog::MutationLog(const MutationLogConfig& config,
+                         uint64_t num_vertices,
+                         std::span<const graph::Edge> base)
+    : config_(config), num_vertices_(num_vertices) {
+  SUNBFS_CHECK(num_vertices_ > 0 && num_vertices_ < (uint64_t(1) << 32));
+  for (const graph::Edge& e : base) {
+    uint64_t key = key_of(e.u, e.v);
+    auto [it, fresh] = edges_.try_emplace(key);
+    if (fresh) {
+      it->second.live_idx = live_keys_.size();
+      live_keys_.push_back(key);
+    }
+    it->second.count++;
+    live_arcs_ += 2;  // both directions; self loops count twice
+  }
+}
+
+uint64_t MutationLog::key_of(graph::Vertex u, graph::Vertex v) const {
+  SUNBFS_ASSERT(u >= 0 && uint64_t(u) < num_vertices_);
+  SUNBFS_ASSERT(v >= 0 && uint64_t(v) < num_vertices_);
+  uint64_t lo = uint64_t(u < v ? u : v);
+  uint64_t hi = uint64_t(u < v ? v : u);
+  return (lo << 32) | hi;
+}
+
+void MutationLog::model_insert(uint64_t key) {
+  auto [it, fresh] = edges_.try_emplace(key);
+  SUNBFS_ASSERT(fresh);  // generator only inserts novel edges
+  it->second.count = 1;
+  it->second.live_idx = live_keys_.size();
+  live_keys_.push_back(key);
+  live_arcs_ += 2;
+}
+
+bool MutationLog::model_delete(uint64_t key) {
+  auto it = edges_.find(key);
+  if (it == edges_.end()) return false;
+  live_arcs_ -= 2 * it->second.count;
+  // Swap-remove from the live list, keeping the moved key's index fresh.
+  uint64_t idx = it->second.live_idx;
+  uint64_t moved = live_keys_.back();
+  live_keys_[idx] = moved;
+  live_keys_.pop_back();
+  if (moved != key) edges_[moved].live_idx = idx;
+  edges_.erase(it);
+  return true;
+}
+
+uint64_t MutationLog::multiplicity(graph::Vertex u, graph::Vertex v) const {
+  auto it = edges_.find(key_of(u, v));
+  return it == edges_.end() ? 0 : it->second.count;
+}
+
+std::vector<graph::Edge> MutationLog::snapshot() const {
+  std::vector<uint64_t> keys = live_keys_;
+  std::sort(keys.begin(), keys.end());
+  std::vector<graph::Edge> out;
+  out.reserve(size_t(live_arcs_ / 2));
+  for (uint64_t key : keys) {
+    graph::Edge e{graph::Vertex(key >> 32),
+                  graph::Vertex(key & 0xFFFFFFFFull)};
+    for (uint64_t c = edges_.at(key).count; c > 0; --c) out.push_back(e);
+  }
+  return out;
+}
+
+const MutationBatch& MutationLog::generate_next() {
+  // One generator per batch, derived from (seed, batch index): batch k's
+  // draws do not depend on how many draws earlier batches consumed.
+  Xoshiro256StarStar rng(SplitMix64::mix(config_.seed) ^
+                         SplitMix64::mix(batches_.size() + 1));
+  MutationBatch batch;
+  batch.epoch = batches_.size() + 1;
+
+  // Keys already used by this batch: inserts and deletes stay disjoint and
+  // internally deduplicated.
+  std::vector<uint64_t> used;
+  auto in_batch = [&](uint64_t key) {
+    return std::find(used.begin(), used.end(), key) != used.end();
+  };
+
+  for (int i = 0; i < config_.inserts_per_batch; ++i) {
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      graph::Vertex u = graph::Vertex(rng.next_below(num_vertices_));
+      graph::Vertex v = graph::Vertex(rng.next_below(num_vertices_));
+      if (u == v) continue;
+      uint64_t key = key_of(u, v);
+      if (edges_.count(key) != 0 || in_batch(key)) continue;
+      batch.inserts.push_back({u < v ? u : v, u < v ? v : u});
+      used.push_back(key);
+      model_insert(key);
+      break;
+    }
+  }
+
+  for (int i = 0; i < config_.deletes_per_batch; ++i) {
+    bool phantom = rng.next_double() < config_.phantom_fraction;
+    if (!phantom && live_keys_.empty()) phantom = true;
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      uint64_t key;
+      if (phantom) {
+        graph::Vertex u = graph::Vertex(rng.next_below(num_vertices_));
+        graph::Vertex v = graph::Vertex(rng.next_below(num_vertices_));
+        if (u == v) continue;
+        key = key_of(u, v);
+      } else {
+        key = live_keys_[rng.next_below(live_keys_.size())];
+      }
+      if (in_batch(key)) continue;
+      batch.deletes.push_back({graph::Vertex(key >> 32),
+                               graph::Vertex(key & 0xFFFFFFFFull)});
+      used.push_back(key);
+      if (!model_delete(key)) batch.delete_misses++;
+      break;
+    }
+  }
+
+  std::sort(batch.inserts.begin(), batch.inserts.end(), key_less);
+  std::sort(batch.deletes.begin(), batch.deletes.end(), key_less);
+  batches_.push_back(std::move(batch));
+  return batches_.back();
+}
+
+}  // namespace sunbfs::mutate

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+/// Seeded deterministic mutation log: the streaming-ingest side of the
+/// dynamic-graph scenario (ROADMAP "Streaming graph mutations").
+///
+/// The log models the global graph as an undirected edge multiset keyed by
+/// the normalized endpoint pair and generates edge insert/delete batches
+/// from one seeded stream:
+///
+///   * inserts draw uniform endpoint pairs, rejecting self loops, edges
+///     already present and edges already used by this batch (duplicate-edge
+///     dedup) — an accepted insert always creates a new distinct edge;
+///   * deletes either target a live edge (uniform over the distinct live
+///     set) or draw a random pair that is usually absent — a tombstone
+///     no-op recorded in `delete_misses`.  Deleting an edge removes every
+///     duplicate copy the base graph had (tombstone semantics).
+///
+/// The log is replicated: every rank constructs it from the same (seed,
+/// base edge list) and reads identical batches, so applying a batch to the
+/// local partitions needs no communication, and a batch can be replayed
+/// from the log after a fault rollback.  Real ingest would shard the stream
+/// and route ops to partition owners — see DESIGN.md's deviation note.
+namespace sunbfs::mutate {
+
+/// One epoch's worth of edge mutations.  Inserts and deletes are disjoint,
+/// internally deduplicated, normalized (u <= v) and key-sorted; applying is
+/// order-independent.  Semantics: all inserts land, then all deletes.
+struct MutationBatch {
+  uint64_t epoch = 0;  ///< epoch created by applying this batch (1-based)
+  std::vector<graph::Edge> inserts;
+  std::vector<graph::Edge> deletes;
+  /// Deletes that hit no live edge (tombstone no-ops), decided globally at
+  /// generation time against the replicated model.
+  uint64_t delete_misses = 0;
+};
+
+struct MutationLogConfig {
+  uint64_t seed = 99;
+  int inserts_per_batch = 6;
+  int deletes_per_batch = 6;
+  /// Fraction of delete draws taken as uniform vertex pairs (usually
+  /// absent -> tombstone no-op) instead of live edges.
+  double phantom_fraction = 0.25;
+};
+
+class MutationLog {
+ public:
+  /// `base` is the full global edge list (duplicates and self loops kept,
+  /// multiplicity preserved); identical on every rank.
+  MutationLog(const MutationLogConfig& config, uint64_t num_vertices,
+              std::span<const graph::Edge> base);
+
+  /// Generate (and retain) the next batch.  Deterministic: batch k depends
+  /// only on (config, base, k).
+  const MutationBatch& generate_next();
+
+  /// Batches generated so far; batch(i) replays batch i (epoch i + 1).
+  uint64_t size() const { return batches_.size(); }
+  const MutationBatch& batch(uint64_t i) const { return batches_[i]; }
+
+  /// Multiplicity of edge {u, v} in the current snapshot (0 == absent).
+  uint64_t multiplicity(graph::Vertex u, graph::Vertex v) const;
+  /// Distinct live edges.
+  uint64_t live_edges() const { return live_keys_.size(); }
+  /// Live arcs, counting multiplicity and both directions (self loops
+  /// twice): matches Part1d::adj.num_arcs() summed over ranks.
+  uint64_t live_arcs() const { return live_arcs_; }
+
+  /// The current global edge list (normalized, key-sorted, multiplicity
+  /// expanded): deterministic, so SPMD ranks can slice it consistently to
+  /// rebuild reference partitions of the mutated graph.
+  std::vector<graph::Edge> snapshot() const;
+
+ private:
+  struct EdgeState {
+    uint64_t count = 0;     // multiplicity
+    uint64_t live_idx = 0;  // position in live_keys_ (for uniform draws)
+  };
+
+  uint64_t key_of(graph::Vertex u, graph::Vertex v) const;
+  void model_insert(uint64_t key);
+  bool model_delete(uint64_t key);  // false == miss
+
+  MutationLogConfig config_;
+  uint64_t num_vertices_ = 0;
+  std::unordered_map<uint64_t, EdgeState> edges_;
+  std::vector<uint64_t> live_keys_;
+  uint64_t live_arcs_ = 0;
+  std::vector<MutationBatch> batches_;
+};
+
+}  // namespace sunbfs::mutate

@@ -59,8 +59,10 @@ DistanceOracle::Answer DistanceOracle::probe(const Query& q, double now_s) {
   }
 
   // Class 2: landmark triangle bounds (the session refreshed an expired
-  // sketch before probing, so a live sketch is the common case here).
-  if (!sketch_.empty() && sketch_expires_s_ > now_s) {
+  // sketch before probing, so a live sketch is the common case here).  A
+  // sketch built at an older epoch never answers: its depth rows describe
+  // the pre-mutation graph.
+  if (sketch_live(now_s)) {
     const SketchProbe p = sketch_.probe(q.root, q.target);
     const bool closes = q.kind == QueryKind::Reachable ? p.resolved()
                                                        : p.exact_distance();
@@ -80,12 +82,14 @@ DistanceOracle::Answer DistanceOracle::probe(const Query& q, double now_s) {
 
 void DistanceOracle::install_sketch(std::vector<graph::Vertex> landmarks,
                                     std::vector<int32_t> rows, double now_s) {
-  // A re-install only ever happens after the previous lease lapsed (the
-  // session refreshes on sketch_due), so it doubles as the expiry record.
+  // A re-install only ever happens after the previous lease lapsed or the
+  // epoch moved (the session refreshes on sketch_due), so it doubles as the
+  // expiry record.
   if (!sketch_.empty()) ++stats_.expired;
   ++stats_.refreshes;
   sketch_.install(std::move(landmarks), std::move(rows), num_vertices_);
   sketch_expires_s_ = now_s + config_.sketch_lease_s;
+  sketch_epoch_ = epoch_;
 }
 
 void DistanceOracle::insert_tree(graph::Vertex root, CachedTree tree,

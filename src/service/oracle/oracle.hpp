@@ -79,6 +79,15 @@ class DistanceOracle {
   bool enabled() const { return config_.enabled; }
   const CacheStats& stats() const { return stats_; }
   size_t tree_count() const { return trees_.size(); }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Advance the graph epoch after a mutation batch.  Cached trees and the
+  /// landmark sketch carry the epoch they were built at; stale-epoch trees
+  /// self-evict on the next probe (the lease path) and the sketch stops
+  /// answering immediately — triangle bounds are never served across an
+  /// epoch boundary.  Replicated: every rank bumps at the same point in the
+  /// query stream.
+  void bump_epoch() { ++epoch_; }
 
   /// A probed query's cache-served answer.  `hit` false means engine work is
   /// required; the other fields are then meaningless.
@@ -102,7 +111,15 @@ class DistanceOracle {
   /// before probing.
   bool sketch_due(double now_s) const {
     return config_.enabled && config_.landmarks > 0 &&
-           (sketch_.empty() || sketch_expires_s_ <= now_s);
+           (sketch_.empty() || sketch_expires_s_ <= now_s ||
+            sketch_epoch_ != epoch_);
+  }
+
+  /// True when the resident sketch may answer probes right now (live lease
+  /// AND built at the current epoch).
+  bool sketch_live(double now_s) const {
+    return !sketch_.empty() && sketch_expires_s_ > now_s &&
+           sketch_epoch_ == epoch_;
   }
 
   /// Install freshly gathered landmark rows at virtual time `now_s`; the new
@@ -117,11 +134,12 @@ class DistanceOracle {
  private:
   CacheConfig config_;
   uint64_t num_vertices_;
-  uint64_t epoch_ = 0;  ///< graph epoch (static snapshot: always 0 for now)
+  uint64_t epoch_ = 0;  ///< graph epoch; mutation batches bump_epoch()
   CacheStats stats_;
   LeaseLru<graph::Vertex, CachedTree> trees_;
   LandmarkSketch sketch_;
   double sketch_expires_s_ = 0;
+  uint64_t sketch_epoch_ = 0;  ///< epoch the resident sketch was built at
 };
 
 /// Reshuffle the allgathered per-rank depth blocks (each rank contributes

@@ -37,6 +37,15 @@ std::string failed_message(uint64_t id, double arrival_s, double deadline_s,
          std::to_string(now_s) + "s: " + why;
 }
 
+std::string mutation_message(uint64_t epoch, uint64_t inserts, uint64_t deletes,
+                             uint64_t delete_misses, double now_s) {
+  return "MutationApplied: epoch " + std::to_string(epoch) + " (" +
+         std::to_string(inserts) + " inserts, " + std::to_string(deletes) +
+         " deletes, " + std::to_string(delete_misses) +
+         " tombstone misses) applied at virtual time " + std::to_string(now_s) +
+         "s";
+}
+
 std::string retried_message(uint64_t id, double arrival_s, double deadline_s,
                             int attempt, double retry_at_s) {
   return "QueryRetried: " + stamp(id, arrival_s, deadline_s) +
@@ -99,6 +108,17 @@ QueryFailed::QueryFailed(uint64_t id, double arrival_s, double deadline_s,
       deadline_s(deadline_s),
       now_s(now_s),
       attempts(attempts) {}
+
+MutationApplied::MutationApplied(uint64_t epoch, uint64_t inserts,
+                                 uint64_t deletes, uint64_t delete_misses,
+                                 double now_s)
+    : std::runtime_error(
+          mutation_message(epoch, inserts, deletes, delete_misses, now_s)),
+      epoch(epoch),
+      inserts(inserts),
+      deletes(deletes),
+      delete_misses(delete_misses),
+      now_s(now_s) {}
 
 QueryRetried::QueryRetried(uint64_t id, double arrival_s, double deadline_s,
                            int attempt, double retry_at_s)

@@ -97,6 +97,11 @@ struct QueryResult {
   /// "The distance oracle"): the query bypassed batch formation and was
   /// charged the modeled probe cost instead of an engine round.
   bool cache_hit = false;
+  /// Graph epoch the query was admitted and served at (0 until the first
+  /// mutation batch).  Mutation batches only apply with the broker's queue
+  /// drained, so a query's admission epoch and execution epoch coincide —
+  /// the read-consistency contract of docs/SERVICE.md "Mutations & epochs".
+  uint64_t epoch = 0;
   int retries = 0;     ///< broker re-admissions before this terminal state
   bool hedged = false; ///< batch was hedge-re-executed past the straggle cut
   std::string error;  ///< typed outcome message when not Done
@@ -157,6 +162,23 @@ class QueryFailed : public std::runtime_error {
   double deadline_s;
   double now_s;
   int attempts;
+};
+
+/// Typed mutation notice (not a failure): mutation batch `epoch` was applied
+/// to the resident partitions at virtual time `now_s`, advancing the graph
+/// epoch.  The session logs one per batch, so a serving log records exactly
+/// where the graph changed under the query stream (docs/SERVICE.md
+/// "Mutations & epochs").
+class MutationApplied : public std::runtime_error {
+ public:
+  MutationApplied(uint64_t epoch, uint64_t inserts, uint64_t deletes,
+                  uint64_t delete_misses, double now_s);
+
+  uint64_t epoch;
+  uint64_t inserts;
+  uint64_t deletes;
+  uint64_t delete_misses;
+  double now_s;
 };
 
 /// Typed retry notice (not terminal): the query survived a failed batch and

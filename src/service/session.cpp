@@ -7,6 +7,9 @@
 
 #include "bfs/runner.hpp"
 #include "bfs/workspace.hpp"
+#include "mutate/apply.hpp"
+#include "mutate/log.hpp"
+#include "mutate/repair.hpp"
 #include "partition/part15d.hpp"
 #include "partition/part1d.hpp"
 #include "support/check.hpp"
@@ -54,6 +57,19 @@ void ServiceReport::to_report(obs::Report& report) const {
   report.add_counter("service.cache.sketch_answers", cache.sketch_answers);
   report.add_counter("service.cache.tree_hits", cache.tree_hits);
   report.gauge("service.cache.hit_rate", cache.hit_rate());
+  // Streaming-mutation counters (docs/OBSERVABILITY.md "service.mutate.*").
+  report.add_counter("service.mutate.batches", mutate.batches);
+  report.add_counter("service.mutate.epoch", mutate.epoch);
+  report.add_counter("service.mutate.inserted_arcs", mutate.inserted_arcs);
+  report.add_counter("service.mutate.deleted_arcs", mutate.deleted_arcs);
+  report.add_counter("service.mutate.delete_misses", mutate.delete_misses);
+  report.add_counter("service.mutate.compactions", mutate.compactions);
+  report.add_counter("service.mutate.repair_invalidated",
+                     mutate.repair_invalidated);
+  report.add_counter("service.mutate.repair_relaxations",
+                     mutate.repair_relaxations);
+  report.add_counter("service.mutate.repair_rounds", mutate.repair_rounds);
+  report.add_counter("service.mutate.sketch_repairs", mutate.sketch_repairs);
   report.gauge("service.batch_occupancy", mean_batch_occupancy);
   report.gauge("service.makespan_s", makespan_s);
   report.gauge("service.qps", qps);
@@ -83,6 +99,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
   uint64_t breaker_transitions = 0, allocs_warm = 0, allocs_steady = 0;
   double occupancy_sum = 0, makespan = 0;
   oracle::CacheStats cache_stats;
+  MutateStats mut_stats;
 
   sim::SpmdOptions spmd_opts;
   spmd_opts.policy = config_.fault_policy;
@@ -114,6 +131,32 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
     std::vector<Vertex> roots = bfs::pick_search_keys(
         ctx, space, degrees, config_.root_pool, config_.root_seed ^ g.seed);
 
+    // ---- Streaming mutations (src/mutate, "Mutations & epochs"). --------
+    // The log is a replicated model of the full edge multiset: every rank
+    // regenerates the whole edge list once and steps an identical seeded
+    // generator, so batches need no communication to agree and each rank
+    // filters a batch down to the arcs it stores (apply_batch_1d/15d).
+    const MutationConfig& mcfg = config_.mutation;
+    const bool mutating =
+        mcfg.enabled && mcfg.every > 0 && mcfg.max_batches > 0;
+    std::optional<mutate::MutationLog> mut_log;
+    if (mutating) {
+      auto full = graph::generate_rmat_range(g, 0, m, &ws.pool());
+      mutate::MutationLogConfig lc;
+      lc.seed = mcfg.seed;
+      lc.inserts_per_batch = mcfg.inserts_per_batch;
+      lc.deletes_per_batch = mcfg.deletes_per_batch;
+      lc.phantom_fraction = mcfg.phantom_fraction;
+      mut_log.emplace(lc, space.total, full);
+    }
+    // Worst-case arcs this rank can ever hold: the built partition plus
+    // every insert of every batch landing here.  Staging pools primed with
+    // this headroom stay alloc-free across the whole mutating run.
+    const size_t insert_headroom =
+        mutating ? 2 * size_t(mcfg.max_batches) *
+                       size_t(std::max(0, mcfg.inserts_per_batch))
+                 : 0;
+
     // ---- Distance-oracle cache (src/service/oracle/). -------------------
     // Landmarks pin the hot prefix of the root pool (under a zipfian
     // workload those ARE the hot roots and targets); their sketch is built
@@ -141,12 +184,24 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         config_.msbfs.exchange.backend, ctx.nranks(), ctx.mesh);
     {
       const size_t nt = ws.pool().size();
-      const size_t arcs = size_t(part1.adj.num_arcs());
+      const size_t arcs = size_t(part1.adj.num_arcs()) + insert_headroom;
       staging.set_encoding(config_.msbfs.encoding);
       staging.prime(size_t(nranks), nt, arcs / nt + 64, arcs + 64, arcs + 64);
       staging.prime_staged(msbfs_plan, ctx.rank, nt, arcs / nt + 64,
                            arcs + 64);
     }
+    // Resident repair channels + landmark tree state: the sketch's owned
+    // parent/depth slices survive between batches so repair_bfs can patch
+    // them instead of a full MS-BFS rebuild after every mutation.
+    mutate::RepairChannels rchan;
+    const bool repair_lm = mutating && config_.cache.enabled &&
+                           mcfg.repair_sketch && config_.cache.landmarks > 0;
+    if (mutating)
+      rchan.prime(ctx, 1, size_t(part1.adj.num_arcs()) + insert_headroom,
+                  config_.msbfs.encoding, config_.msbfs.exchange);
+    std::vector<Vertex> lm_parent;
+    std::vector<int32_t> lm_depth;
+    bool lm_valid = false;
     MsbfsOptions mopts = config_.msbfs;
     mopts.threads_per_rank = config_.threads_per_rank;
     mopts.workspace = &ws;
@@ -166,6 +221,13 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
     double occ_sum = 0;
     uint64_t warm_allocs = 0;
     bool warm_captured = false;
+    // Graph epoch: bumped once per applied mutation batch, stamped on every
+    // result (replicated — the id-driven trigger is a pure function of the
+    // workload's query ids).
+    uint64_t epoch = 0;
+    uint64_t mut_applied = 0, n_sketch_repairs = 0;
+    mutate::ApplyStats apply_total;
+    mutate::RepairStats repair_total;
     // Batch service times feeding the hedge straggle cut (replicated: every
     // rank appends the same allreduced values).
     std::vector<double> service_hist;
@@ -184,6 +246,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       QueryResult out;
       const uint64_t sheds0 = broker.shed_count();
       if (broker.submit(q, &out, now)) return true;
+      out.epoch = epoch;
       if (out.cache_hit) {
         if (out.status == QueryStatus::Done)
           ++n_done;
@@ -203,7 +266,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
     auto note_allocs = [&]() {
       if (warm_captured) return;
       warm_captured = true;
-      warm_allocs = ws.staging_allocs() + staging.allocs();
+      warm_allocs = ws.staging_allocs() + staging.allocs() + rchan.allocs();
     };
 
     // Cache-probe admission (docs/SERVICE.md "The distance oracle"): the
@@ -238,6 +301,13 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
                                    space, int(landmarks.size()), depth_gather,
                                    depth_off),
                                now);
+          if (repair_lm) {
+            // Keep the owned parent/depth slices resident: mutation batches
+            // repair them in place (repair_bfs) instead of rebuilding.
+            lm_parent = std::move(sk.parent);
+            lm_depth = std::move(sk.depth);
+            lm_valid = true;
+          }
         }
         const oracle::DistanceOracle::Answer ans = cache.probe(q, now);
         if (!ans.hit) return false;
@@ -259,6 +329,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         r.distance = ans.distance;
         r.reachable = ans.reachable;
         r.cache_hit = true;
+        r.epoch = epoch;
         r.retries = q.attempt;
         if (r.done_s > q.deadline_s) {
           r.status = QueryStatus::Expired;
@@ -272,40 +343,18 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       });
     }
 
-    for (;;) {
-      if (!broker.batch_ready(now)) {
-        double t = std::min({gen.next_arrival_s(), broker.next_close_s(),
-                             next_retry_s()});
-        if (t == kInf) break;  // drained: no arrivals, retries or queue
-        now = std::max(now, t);
-      }
-      // Due re-admissions first (they carry the oldest arrivals), in
-      // (retry time, id) order so every rank replays them identically...
-      if (!retryq.empty()) {
-        std::sort(retryq.begin(), retryq.end(),
-                  [](const std::pair<double, Query>& a,
-                     const std::pair<double, Query>& b) {
-                    return a.first != b.first ? a.first < b.first
-                                              : a.second.id < b.second.id;
-                  });
-        size_t due = 0;
-        while (due < retryq.size() && retryq[due].first <= now) ++due;
-        for (size_t i = 0; i < due; ++i) admit(retryq[i].second);
-        retryq.erase(retryq.begin(), retryq.begin() + ptrdiff_t(due));
-      }
-      // ...then fresh arrivals.
-      for (Query& q : gen.pop_ready(now)) {
-        ++n_sub;
-        if (admit(q)) ++n_acc;
-      }
-      if (!broker.batch_ready(now)) continue;
+    // ---- One batch: sweep expiries, form, execute, finish.  Factored out
+    // of the main loop so the pre-mutation drain below can run every queued
+    // batch against its admission epoch before the graph changes.
+    auto run_one_batch = [&]() {
       std::vector<QueryResult> swept;
       std::vector<Query> batch = broker.form_batch(now, &swept);
       for (QueryResult& e : swept) {
+        e.epoch = epoch;
         ++n_expq;
         finish(std::move(e));
       }
-      if (batch.empty()) continue;
+      if (batch.empty()) return;
 
       // ---- Execute the batch against the resident graph. ----------------
       ++n_batches;
@@ -476,11 +525,13 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
                           .what());
           } else {
             ++n_failed;
-            finish(
-                make_failed(q, now, "batch exhausted in-engine fault recovery"));
+            QueryResult fr =
+                make_failed(q, now, "batch exhausted in-engine fault recovery");
+            fr.epoch = epoch;
+            finish(std::move(fr));
           }
         }
-        continue;
+        return;
       }
 
       // Hedge: re-execute a batch straggling past the latency-quantile cut
@@ -532,6 +583,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         } else if (q.kind == QueryKind::Reachable) {
           r.reachable = pdist[size_t(i)] >= 0;
         }
+        r.epoch = epoch;
         r.retries = q.attempt;
         r.hedged = hedged;
         if (now > q.deadline_s) {
@@ -544,15 +596,142 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
         }
         finish(std::move(r));
       }
+    };
+
+    // ---- Mutation trigger ("Mutations & epochs"). -----------------------
+    // Id-driven: batch k applies immediately before the first query with
+    // id >= k * every is admitted.  Ids come from the replicated workload
+    // generator, so every rank fires at the same point in the stream and a
+    // query's epoch is independent of the virtual clock — cache-on and
+    // cache-off runs see identical epochs per query id.
+    auto maybe_mutate = [&](uint64_t next_id) {
+      if (!mutating) return;
+      while (mut_applied < mcfg.max_batches &&
+             next_id >= (mut_applied + 1) * mcfg.every) {
+        // Drain: every queued query executes against its admission epoch
+        // before the graph changes (the read-consistency contract).
+        while (!broker.empty()) run_one_batch();
+        const mutate::MutationBatch& mb = mut_log->generate_next();
+        // Ingest + repair are not the recoverable engine surface; park the
+        // fault plan for their collectives, like the sketch-refresh path.
+        const sim::FaultPlan* plan = ctx.faults.plan;
+        ctx.faults.plan = nullptr;
+        const double comm0 = ctx.stats.total_modeled_s();
+        double local_cost =
+            double(mb.inserts.size() + mb.deletes.size()) * mcfg.seconds_per_op;
+        mutate::ApplyStats as =
+            mutate::apply_batch_1d(ctx.rank, part1, mb, &degrees);
+        if (part15)
+          as.merge(mutate::apply_batch_15d(ctx.mesh, ctx.rank, *part15, mb));
+        apply_total.merge(as);
+        ++mut_applied;
+        epoch = mut_applied;
+        // The bump invalidates every cached artifact: stale-epoch trees
+        // self-evict on their next probe (the lease path) and the sketch
+        // stops answering immediately.
+        cache.bump_epoch();
+        bool repaired = false;
+        if (repair_lm && lm_valid) {
+          // Incremental landmark repair: only invalidated vertices re-enter
+          // the frontier, and the repaired rows bit-match a full rebuild —
+          // so the sketch can be reinstalled at the new epoch without an
+          // MS-BFS sweep.
+          mutate::RepairOptions ropts;
+          ropts.channels = &rchan;
+          ropts.sim_seconds_per_edge = config_.msbfs.sim_seconds_per_edge;
+          for (size_t k = 0; k < landmarks.size(); ++k) {
+            mutate::RepairStats rs = mutate::repair_bfs(
+                ctx, part1, mb, landmarks[k],
+                std::span<Vertex>(lm_parent.data() + k * local_count,
+                                  local_count),
+                std::span<int32_t>(lm_depth.data() + k * local_count,
+                                   local_count),
+                ropts);
+            local_cost += rs.compute_model_s;
+            repair_total.merge(rs);
+          }
+          ctx.world.allgatherv_into(std::span<const int32_t>(lm_depth),
+                                    depth_gather, &depth_off);
+          repaired = true;
+          ++n_sketch_repairs;
+        }
+        now += ctx.world.allreduce_max(ctx.stats.total_modeled_s() - comm0 +
+                                       local_cost);
+        ctx.faults.plan = plan;
+        if (repaired)
+          cache.install_sketch(landmarks,
+                               oracle::assemble_depth_rows(
+                                   space, int(landmarks.size()), depth_gather,
+                                   depth_off),
+                               now);
+        log_debug(MutationApplied(epoch, mb.inserts.size(), mb.deletes.size(),
+                                  mb.delete_misses, now)
+                      .what());
+      }
+    };
+
+    for (;;) {
+      if (!broker.batch_ready(now)) {
+        double t = std::min({gen.next_arrival_s(), broker.next_close_s(),
+                             next_retry_s()});
+        if (t == kInf) break;  // drained: no arrivals, retries or queue
+        now = std::max(now, t);
+      }
+      // Due re-admissions first (they carry the oldest arrivals), in
+      // (retry time, id) order so every rank replays them identically...
+      if (!retryq.empty()) {
+        std::sort(retryq.begin(), retryq.end(),
+                  [](const std::pair<double, Query>& a,
+                     const std::pair<double, Query>& b) {
+                    return a.first != b.first ? a.first < b.first
+                                              : a.second.id < b.second.id;
+                  });
+        size_t due = 0;
+        while (due < retryq.size() && retryq[due].first <= now) ++due;
+        for (size_t i = 0; i < due; ++i) admit(retryq[i].second);
+        retryq.erase(retryq.begin(), retryq.begin() + ptrdiff_t(due));
+      }
+      // ...then fresh arrivals, each crossing the mutation trigger first.
+      for (Query& q : gen.pop_ready(now)) {
+        maybe_mutate(q.id);
+        ++n_sub;
+        if (admit(q)) ++n_acc;
+      }
+      if (!broker.batch_ready(now)) continue;
+      run_one_batch();
     }
 
     // Steady-state allocation proof: the resident pools must stop growing
     // after the first executed batch, faults or not (the chaos suite gates
     // the BFS-workload steady count at zero).
-    const uint64_t total_allocs = ws.staging_allocs() + staging.allocs();
+    const uint64_t total_allocs =
+        ws.staging_allocs() + staging.allocs() + rchan.allocs();
     const uint64_t warm = warm_captured ? warm_allocs : total_allocs;
     const uint64_t warm_total = ctx.world.allreduce_sum(warm);
     const uint64_t steady_total = ctx.world.allreduce_sum(total_allocs - warm);
+
+    // Mutation telemetry: arc counts are per-rank (each rank patches only
+    // its own rows), so the global counters need a sum; batch counts,
+    // rounds and tombstone misses are replicated.  Collective — gated on
+    // the replicated config so mutation-off runs keep their exact historic
+    // collective sequence.
+    MutateStats mstats;
+    if (mutating) {
+      mstats.batches = mut_applied;
+      mstats.epoch = epoch;
+      mstats.inserted_arcs = ctx.world.allreduce_sum(apply_total.inserted_arcs);
+      mstats.deleted_arcs = ctx.world.allreduce_sum(apply_total.deleted_arcs);
+      mstats.compactions = ctx.world.allreduce_sum(apply_total.compactions);
+      for (uint64_t i = 0; i < mut_applied; ++i)
+        mstats.delete_misses += mut_log->batch(size_t(i)).delete_misses;
+      mstats.repair_invalidated =
+          ctx.world.allreduce_sum(repair_total.invalidated);
+      mstats.repair_relaxations =
+          ctx.world.allreduce_sum(repair_total.relaxations);
+      mstats.repair_rounds = uint64_t(repair_total.cascade_rounds) +
+                             uint64_t(repair_total.repair_rounds);
+      mstats.sketch_repairs = n_sketch_repairs;
+    }
 
     if (ctx.rank == 0) {
       results0 = std::move(results);
@@ -574,6 +753,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
       occupancy_sum = occ_sum;
       makespan = now;
       cache_stats = cache.stats();
+      mut_stats = mstats;
     }
   };
   report.spmd = sim::run_spmd(topology_, body, spmd_opts);
@@ -595,6 +775,7 @@ ServiceReport GraphSession::serve(const WorkloadConfig& workload,
   report.staging_allocs_warmup = allocs_warm;
   report.staging_allocs_steady = allocs_steady;
   report.cache = cache_stats;
+  report.mutate = mut_stats;
   report.mean_batch_occupancy =
       batches > 0 ? occupancy_sum / double(batches) : 0;
   report.makespan_s = makespan;

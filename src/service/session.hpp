@@ -48,6 +48,37 @@ struct HedgeConfig {
   double factor = 3.0;
 };
 
+/// Streaming graph mutations between query epochs (docs/SERVICE.md
+/// "Mutations & epochs").  A seeded MutationLog generates deterministic
+/// edge insert/delete batches; batch k is applied — on every rank, to the
+/// resident 1D (and, when built, 1.5D) partitions in place — immediately
+/// before the first query with id >= k * `every` is admitted.  Because the
+/// trigger is *id-driven* rather than clock-driven, the epoch each query
+/// executes at is a pure function of the workload seed: cache-on and
+/// cache-off runs see identical epochs even though their virtual clocks
+/// differ.  Before a batch applies, the broker's queue is drained (queued
+/// batches execute against their admission epoch), so a query never
+/// observes a graph newer than the one it was admitted against.
+struct MutationConfig {
+  bool enabled = false;
+  uint64_t seed = 99;          ///< mutation stream seed (MutationLogConfig)
+  int inserts_per_batch = 6;
+  int deletes_per_batch = 6;
+  /// Fraction of delete draws aimed at arbitrary vertex pairs; misses are
+  /// tombstone no-ops the log records as delete_misses.
+  double phantom_fraction = 0.25;
+  /// Apply batch k before admitting query id k * every (0 disables).
+  uint64_t every = 32;
+  uint64_t max_batches = 64;
+  /// Modeled ingest seconds charged per edge op (insert or delete) — the
+  /// mutation feed is modeled, not measured (docs/DESIGN.md deviations).
+  double seconds_per_op = 5e-7;
+  /// Incrementally repair the resident landmark BFS trees (src/mutate
+  /// repair_bfs) and reinstall the sketch at the new epoch, instead of
+  /// letting the next point-to-point probe trigger a full MS-BFS rebuild.
+  bool repair_sketch = true;
+};
+
 struct ServiceConfig {
   graph::Graph500Config graph;
   /// 1.5D thresholds for the SSSP partition (built only when the workload
@@ -67,6 +98,10 @@ struct ServiceConfig {
   /// lease-based self-invalidation.  Disabled by default — the cache-off
   /// code path is bit-identical to the pre-oracle service.
   oracle::CacheConfig cache;
+  /// Streaming mutations between query epochs (src/mutate, docs/SERVICE.md
+  /// "Mutations & epochs").  Disabled by default — the mutation-off path is
+  /// bit-identical to the static-snapshot service.
+  MutationConfig mutation;
 
   // ---- Fault tolerance (docs/SERVICE.md "Degraded modes"). ---------------
   /// Deterministic fault schedule armed only around engine executions; an
@@ -85,6 +120,20 @@ struct ServiceConfig {
   double retry_backoff_s = 1e-3;
   double retry_backoff_cap_s = 8e-3;
   HedgeConfig hedge;
+};
+
+/// Mutation telemetry, surfaced as service.mutate.* (docs/OBSERVABILITY.md).
+struct MutateStats {
+  uint64_t batches = 0;           ///< mutation batches applied
+  uint64_t epoch = 0;             ///< final graph epoch (== batches)
+  uint64_t inserted_arcs = 0;     ///< CSR arcs appended (summed over ranks)
+  uint64_t deleted_arcs = 0;      ///< CSR arcs removed (summed over ranks)
+  uint64_t delete_misses = 0;     ///< tombstone no-op deletes (replicated)
+  uint64_t compactions = 0;       ///< CSR slack rebuilds (summed over ranks)
+  uint64_t repair_invalidated = 0;  ///< vertices re-entering repair frontiers
+  uint64_t repair_relaxations = 0;  ///< repair candidates applied
+  uint64_t repair_rounds = 0;       ///< cascade + relaxation rounds
+  uint64_t sketch_repairs = 0;    ///< sketches reinstalled via repair_bfs
 };
 
 /// Aggregate outcome of one served workload.
@@ -113,6 +162,8 @@ struct ServiceReport {
   uint64_t staging_allocs_steady = 0;
   /// Distance-oracle telemetry (service.cache.* in the metrics report).
   oracle::CacheStats cache;
+  /// Streaming-mutation telemetry (service.mutate.* in the metrics report).
+  MutateStats mutate;
   double mean_batch_occupancy = 0;  ///< queries per executed batch
   double makespan_s = 0;            ///< virtual clock at the last decision
   double qps = 0;                   ///< completed / makespan

@@ -78,6 +78,11 @@ std::string repro_command(const ServiceConfig& cfg, const WorkloadConfig& wl,
       std::to_string(cfg.root_pool);
   if (wl.deadline_s != kNoDeadline)
     cmd += " --deadline-ms " + std::to_string(wl.deadline_s * 1e3);
+  if (cfg.mutation.enabled)
+    cmd += " --mutations " + std::to_string(cfg.mutation.inserts_per_batch) +
+           " --mutation-rate " +
+           std::to_string(1.0 / double(cfg.mutation.every)) +
+           " --mutation-seed " + std::to_string(cfg.mutation.seed);
   if (fault_level > 0)
     cmd += " --faults " + std::to_string(fault_level) + " --fault-seed " +
            std::to_string(fault_seed) + " --fault-policy recover";
@@ -303,6 +308,162 @@ TEST(ChaosSoak, SheddingBoundsTailLatencyUnderOverload) {
   // The point of shedding: admitted queries keep a bounded tail.
   EXPECT_LT(report.latency_p99_s, baseline.latency_p99_s)
       << "shedding did not improve the admitted p99";
+}
+
+// ----------------------- mutation-interleaved storms (ctest -L mutation)
+
+ServiceConfig mutating_chaos_service() {
+  ServiceConfig cfg = chaos_service();
+  cfg.mutation.enabled = true;
+  cfg.mutation.every = 8;
+  cfg.mutation.max_batches = 4;
+  cfg.mutation.inserts_per_batch = 4;
+  cfg.mutation.deletes_per_batch = 4;
+  return cfg;
+}
+
+// Epoch-aware variant of check_answers_match: a completed query whose epoch
+// equals the oracle run's must answer bit-identically; a query that moved to
+// a different epoch may only have done so through a broker retry (the
+// rollback path re-admits it after mutations advanced the graph).
+void check_answers_match_by_epoch(const ServiceReport& faulty,
+                                  const ServiceReport& clean) {
+  std::map<uint64_t, const QueryResult*> oracle;
+  for (const auto& r : clean.results)
+    if (r.status == QueryStatus::Done) oracle[r.id] = &r;
+  for (const auto& r : faulty.results) {
+    if (r.status != QueryStatus::Done) continue;
+    auto it = oracle.find(r.id);
+    ASSERT_NE(it, oracle.end()) << "query " << r.id;
+    const QueryResult& b = *it->second;
+    if (r.epoch != b.epoch) {
+      EXPECT_GT(r.retries, 0)
+          << "query " << r.id << " changed epoch without a retry";
+      continue;
+    }
+    EXPECT_EQ(r.traversed_edges, b.traversed_edges)
+        << "query " << r.id << " answer diverged under faults";
+    EXPECT_EQ(r.levels, b.levels)
+        << "query " << r.id << " level count diverged under faults";
+    EXPECT_EQ(r.distance, b.distance) << "query " << r.id;
+    EXPECT_EQ(r.reachable, b.reachable) << "query " << r.id;
+  }
+}
+
+// The soak with streaming mutations live: randomized storms interleave edge
+// insert/delete batches with fault injections.  Terminal accounting, the
+// allocation-free steady state, and epoch-consistent answers must all
+// survive, and the run must actually have mutated (epoch advanced).
+TEST(ChaosSoak, MutationStormHoldsServiceInvariants) {
+  const ServiceConfig base = mutating_chaos_service();
+  const WorkloadConfig wl = chaos_workload();
+  sim::Topology topo(sim::MeshShape{2, 2});
+
+  GraphSession clean_session(topo, base);
+  ServiceReport clean = clean_session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(clean.spmd.ok());
+  check_terminal_accounting(clean, wl.num_queries);
+  ASSERT_GT(clean.mutate.batches, 0u);
+  EXPECT_EQ(clean.staging_allocs_steady, 0u);
+
+  uint64_t injected_total = 0;
+  for (const Intensity& in : kIntensities) {
+    for (uint64_t fault_seed : {11ull, 29ull}) {
+      SCOPED_TRACE("repro: " + repro_command(base, wl, in.level, fault_seed));
+      ServiceConfig cfg = base;
+      cfg.faults =
+          sim::FaultPlan::random(fault_seed, topo.mesh().ranks(),
+                                 in.stragglers, in.corruptions, in.failures);
+      GraphSession session(topo, cfg);
+      ServiceReport report = session.serve(wl, BrokerConfig{});
+      ASSERT_TRUE(report.spmd.ok());
+      check_terminal_accounting(report, wl.num_queries);
+      check_answers_match_by_epoch(report, clean);
+      EXPECT_EQ(report.mutate.batches, clean.mutate.batches)
+          << "faults changed how many mutation batches applied";
+      EXPECT_EQ(report.staging_allocs_steady, 0u);
+      injected_total += report.spmd.fault_totals().injected();
+    }
+  }
+  EXPECT_GT(injected_total, 0u);
+}
+
+// A mutation racing lease expiry: tiny oracle leases force constant artifact
+// churn while mutation batches bump the epoch underneath.  Cache-served
+// answers must stay bit-identical to the cache-off mutating run, with both
+// the lease-expiry and the epoch-invalidation paths demonstrably exercised.
+TEST(ChaosSoak, MutationRacesLeaseExpiryWithoutStaleAnswers) {
+  ServiceConfig cached = mutating_chaos_service();
+  cached.cache.enabled = true;
+  cached.cache.tree_capacity = 8;
+  cached.cache.landmarks = 8;
+  cached.cache.tree_lease_s = 2e-4;   // expires between most probes
+  cached.cache.sketch_lease_s = 2e-4;
+  ServiceConfig plain = mutating_chaos_service();
+
+  WorkloadConfig wl = chaos_workload();
+  wl.distance_fraction = 0.3;
+  wl.reachable_fraction = 0.15;
+  wl.root_dist = RootDist::Zipfian;
+  sim::Topology topo(sim::MeshShape{2, 2});
+  SCOPED_TRACE("repro: " + repro_command(cached, wl, 0, 0) +
+               " --cache --cache-capacity 8 --landmarks 8 --lease-ms 0.2"
+               " --sketch-lease-ms 0.2 --mix-distance 0.3"
+               " --mix-reachable 0.15 --root-dist zipfian");
+
+  ServiceReport on = GraphSession(topo, cached).serve(wl, BrokerConfig{});
+  ServiceReport off = GraphSession(topo, plain).serve(wl, BrokerConfig{});
+  ASSERT_TRUE(on.spmd.ok());
+  ASSERT_TRUE(off.spmd.ok());
+  check_terminal_accounting(on, wl.num_queries);
+  ASSERT_GT(on.mutate.batches, 0u);
+  EXPECT_GT(on.cache.expired, 0u) << "leases never expired; race is vacuous";
+
+  std::map<uint64_t, const QueryResult*> baseline;
+  for (const auto& r : off.results) baseline[r.id] = &r;
+  for (const auto& r : on.results) {
+    auto it = baseline.find(r.id);
+    ASSERT_NE(it, baseline.end()) << "query " << r.id;
+    const QueryResult& b = *it->second;
+    ASSERT_EQ(r.epoch, b.epoch) << "query " << r.id;
+    EXPECT_EQ(r.status, b.status) << "query " << r.id;
+    EXPECT_EQ(r.distance, b.distance)
+        << "query " << r.id << (r.cache_hit ? " (cache hit)" : "");
+    EXPECT_EQ(r.reachable, b.reachable) << "query " << r.id;
+    EXPECT_EQ(r.traversed_edges, b.traversed_edges) << "query " << r.id;
+    EXPECT_EQ(r.levels, b.levels) << "query " << r.id;
+  }
+}
+
+// Rollback replaying a mutation from the log: planned rank failures force
+// batch rollbacks after mutation epochs have applied.  The replicated log
+// means replayed batches execute against exactly the graph their admission
+// epoch named, so recovered answers still match the fault-free mutating
+// oracle (epoch-aware) and the whole run replays bit-identically.
+TEST(ChaosSoak, RollbackReplaysAcrossMutationEpochs) {
+  ServiceConfig cfg = mutating_chaos_service();
+  cfg.faults = sim::FaultPlan::random(7, 4, /*stragglers=*/0,
+                                      /*corruptions=*/0, /*failures=*/2);
+  const WorkloadConfig wl = chaos_workload();
+  sim::Topology topo(sim::MeshShape{2, 2});
+  SCOPED_TRACE("repro: " + repro_command(cfg, wl, 2, 7));
+
+  GraphSession clean_session(topo, mutating_chaos_service());
+  ServiceReport clean = clean_session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(clean.spmd.ok());
+
+  GraphSession session(topo, cfg);
+  ServiceReport first = session.serve(wl, BrokerConfig{});
+  ServiceReport second = session.serve(wl, BrokerConfig{});
+  ASSERT_TRUE(first.spmd.ok());
+  ASSERT_TRUE(second.spmd.ok());
+  check_terminal_accounting(first, wl.num_queries);
+  check_answers_match_by_epoch(first, clean);
+  check_identical_reports(first, second);
+  EXPECT_GT(first.mutate.batches, 0u);
+  EXPECT_GT(first.spmd.fault_totals().recovered, 0u)
+      << "no rollback happened; the replay path is vacuous";
+  EXPECT_EQ(first.staging_allocs_steady, 0u);
 }
 
 // Hedged re-execution: a one-off straggler delay far past the service's

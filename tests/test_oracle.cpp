@@ -130,6 +130,71 @@ TEST(LandmarkSketch, TriangleBoundsOnHandBuiltRows) {
   EXPECT_TRUE(p.resolved());
 }
 
+// ------------------------------------------------ epoch invalidation
+
+// A bumped graph epoch must close the sketch answer path immediately: after
+// a mutation batch, triangle bounds built at the old epoch are never served
+// — sketch_live flips false, sketch_due demands a refresh, probes fall
+// through to the engines — until a sketch is reinstalled at the new epoch.
+// Cached exact trees self-evict through the same epoch check on first touch.
+TEST(OracleEpoch, BumpStopsSketchAndTreeAnswersUntilReinstall) {
+  oracle::CacheConfig cc;
+  cc.enabled = true;
+  cc.landmarks = 2;
+  cc.tree_capacity = 4;
+  cc.tree_lease_s = 100.0;   // leases would outlive the test: only the
+  cc.sketch_lease_s = 100.0; // epoch can invalidate anything here
+  oracle::DistanceOracle oc(cc, /*num_vertices=*/6);
+
+  // The path 0-1-2-3-4 plus isolated 5; landmarks {0, 4} (exact bounds for
+  // any pair with a landmark endpoint).
+  std::vector<int32_t> rows = {0, 1, 2, 3, 4, oracle::kNoDepth,
+                               4, 3, 2, 1, 0, oracle::kNoDepth};
+  oc.install_sketch({Vertex(0), Vertex(4)}, rows, /*now_s=*/0.0);
+  oracle::CachedTree tree;
+  tree.depth = {0, 1, 2, 3, 4, oracle::kNoDepth};
+  tree.traversed_edges = 4;
+  tree.levels = 4;
+  oc.insert_tree(Vertex(0), tree, 0.0);
+
+  Query q;
+  q.kind = QueryKind::Distance;
+  q.root = Vertex(4);
+  q.target = Vertex(1);
+  ASSERT_TRUE(oc.sketch_live(1.0));
+  ASSERT_FALSE(oc.sketch_due(1.0));
+  auto a = oc.probe(q, 1.0);
+  ASSERT_TRUE(a.hit);
+  EXPECT_TRUE(a.sketch);
+  EXPECT_EQ(a.distance, 3);
+
+  oc.bump_epoch();
+  EXPECT_EQ(oc.epoch(), 1u);
+  // The sketch stops answering at once — no probe needed to notice.
+  EXPECT_FALSE(oc.sketch_live(1.0));
+  EXPECT_TRUE(oc.sketch_due(1.0));
+  a = oc.probe(q, 1.0);
+  EXPECT_FALSE(a.hit) << "stale-epoch sketch served a triangle bound";
+
+  // The stale tree is evicted (and counted) on its first post-bump touch.
+  Query tq;
+  tq.kind = QueryKind::Distance;
+  tq.root = Vertex(0);
+  tq.target = Vertex(2);
+  const uint64_t expired_before = oc.stats().expired;
+  a = oc.probe(tq, 1.0);
+  EXPECT_FALSE(a.hit) << "stale-epoch tree served an answer";
+  EXPECT_GT(oc.stats().expired, expired_before);
+  EXPECT_EQ(oc.tree_count(), 0u);
+
+  // Reinstalling at the current epoch reopens the answer path.
+  oc.install_sketch({Vertex(0), Vertex(4)}, rows, 2.0);
+  ASSERT_TRUE(oc.sketch_live(2.5));
+  a = oc.probe(q, 2.5);
+  ASSERT_TRUE(a.hit);
+  EXPECT_EQ(a.distance, 3);
+}
+
 // ------------------------------------------- depth recording + soundness
 
 struct SketchCase {
